@@ -1,0 +1,75 @@
+// Fig. 11 — "Comparison between resource allocation schemes".
+//
+// How a node's capacity is divided among the trees it participates in
+// (Sec. 5.2): UNIFORM (equal split), PROPORTIONAL (by tree size),
+// ON-DEMAND (all remaining capacity, build order as given), ORDERED
+// (on-demand, smallest trees built first).
+//
+//   (a) % collected vs number of nodes
+//   (b) % collected vs number of tasks
+//
+// Expected shapes (Sec. 7.1): ON-DEMAND and ORDERED consistently beat
+// UNIFORM and PROPORTIONAL; ORDERED gains an increasing advantage over
+// ON-DEMAND as nodes/tasks grow (trees of very different sizes appear and
+// building small ones first avoids bad node placement).
+#include "bench/bench_support.h"
+
+namespace remo::bench {
+namespace {
+
+constexpr CostModel kCost{10.0, 1.0};
+
+double alloc_coverage(const Scenario& s, AllocationScheme alloc) {
+  return coverage(s, planner_options(PartitionScheme::kRemo,
+                                     TreeScheme::kAdaptive, alloc));
+}
+
+void sweep_nodes() {
+  subbanner("Fig. 11a: increasing number of nodes (90 mixed tasks)");
+  Table t({"nodes", "UNIFORM %", "PROPORTIONAL %", "ON-DEMAND %", "ORDERED %"});
+  for (std::size_t n : {50u, 100u, 200u, 300u}) {
+    Scenario s(n, 60, 40, 40.0, 5000.0, kCost, 61);
+    WorkloadGenerator gen(s.system, WorkloadConfig{.attr_universe = 60}, 67);
+    auto tasks = gen.small_tasks(70);
+    auto large = gen.large_tasks(20);
+    tasks.insert(tasks.end(), large.begin(), large.end());
+    s.add_tasks(std::move(tasks));
+    t.row()
+        .add(static_cast<long long>(n))
+        .add(alloc_coverage(s, AllocationScheme::kUniform), 1)
+        .add(alloc_coverage(s, AllocationScheme::kProportional), 1)
+        .add(alloc_coverage(s, AllocationScheme::kOnDemand), 1)
+        .add(alloc_coverage(s, AllocationScheme::kOrdered), 1);
+  }
+  t.print(std::cout);
+}
+
+void sweep_tasks() {
+  subbanner("Fig. 11b: increasing number of tasks (150 nodes)");
+  Table t({"tasks", "UNIFORM %", "PROPORTIONAL %", "ON-DEMAND %", "ORDERED %"});
+  for (std::size_t count : {30u, 60u, 120u, 180u}) {
+    Scenario s(150, 60, 40, 40.0, 5000.0, kCost, 71);
+    WorkloadGenerator gen(s.system, WorkloadConfig{.attr_universe = 60}, 73);
+    auto tasks = gen.small_tasks(count * 3 / 4);
+    auto large = gen.large_tasks(count / 4);
+    tasks.insert(tasks.end(), large.begin(), large.end());
+    s.add_tasks(std::move(tasks));
+    t.row()
+        .add(static_cast<long long>(count))
+        .add(alloc_coverage(s, AllocationScheme::kUniform), 1)
+        .add(alloc_coverage(s, AllocationScheme::kProportional), 1)
+        .add(alloc_coverage(s, AllocationScheme::kOnDemand), 1)
+        .add(alloc_coverage(s, AllocationScheme::kOrdered), 1);
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace remo::bench
+
+int main() {
+  remo::bench::banner("Fig. 11", "tree-wise capacity allocation schemes");
+  remo::bench::sweep_nodes();
+  remo::bench::sweep_tasks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 6 — "Comparison of attribute set partition schemes under different
+// system characteristics".
+//
+//   (a) % collected vs number of nodes, small-scale tasks
+//   (b) % collected vs number of nodes, large-scale tasks
+//   (c) % collected vs C/a ratio, small-scale tasks
+//   (d) % collected vs C/a ratio, large-scale tasks
+//
+// Expected shapes (Sec. 7.1): REMO >= both baselines in every cell;
+// growing per-message overhead (C/a) "hits the SINGLETON-SET scheme hard"
+// while ONE-SET "degrades more gracefully"; REMO reduces its tree count as
+// C/a rises.
+#include "bench/bench_support.h"
+
+namespace remo::bench {
+namespace {
+
+void sweep_nodes(bool large_tasks) {
+  subbanner(large_tasks ? "Fig. 6b: increasing nodes, large-scale tasks"
+                        : "Fig. 6a: increasing nodes, small-scale tasks");
+  Table t({"nodes", "SINGLETON-SET %", "ONE-SET %", "REMO %"});
+  for (std::size_t n : {50u, 100u, 200u, 300u}) {
+    Scenario s(n, 60, 50, 50.0, 6000.0, CostModel{10.0, 1.0}, 31);
+    WorkloadGenerator gen(s.system, WorkloadConfig{.attr_universe = 60}, 37);
+    if (large_tasks)
+      s.add_tasks(gen.large_tasks(16));
+    else
+      s.add_tasks(gen.small_tasks(100));
+    t.row()
+        .add(static_cast<long long>(n))
+        .add(coverage(s, planner_options(PartitionScheme::kSingletonSet)), 1)
+        .add(coverage(s, planner_options(PartitionScheme::kOneSet)), 1)
+        .add(coverage(s, planner_options(PartitionScheme::kRemo)), 1);
+  }
+  t.print(std::cout);
+}
+
+void sweep_overhead(bool large_tasks) {
+  subbanner(large_tasks ? "Fig. 6d: increasing C/a ratio, large-scale tasks"
+                        : "Fig. 6c: increasing C/a ratio, small-scale tasks");
+  Table t({"C/a", "SINGLETON-SET %", "ONE-SET %", "REMO %"});
+  for (double c : {1.0, 2.0, 5.0, 10.0, 20.0, 40.0}) {
+    Scenario s(100, 60, 50, 50.0, 6000.0, CostModel{c, 1.0}, 41);
+    WorkloadGenerator gen(s.system, WorkloadConfig{.attr_universe = 60}, 43);
+    if (large_tasks)
+      s.add_tasks(gen.large_tasks(16));
+    else
+      s.add_tasks(gen.small_tasks(100));
+    t.row()
+        .add(c, 0)
+        .add(coverage(s, planner_options(PartitionScheme::kSingletonSet)), 1)
+        .add(coverage(s, planner_options(PartitionScheme::kOneSet)), 1)
+        .add(coverage(s, planner_options(PartitionScheme::kRemo)), 1);
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace remo::bench
+
+int main() {
+  remo::bench::banner("Fig. 6",
+                      "partition schemes vs system characteristics "
+                      "(% of node-attribute pairs collected)");
+  remo::bench::sweep_nodes(false);
+  remo::bench::sweep_nodes(true);
+  remo::bench::sweep_overhead(false);
+  remo::bench::sweep_overhead(true);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig. 7 — "Comparison of tree construction schemes under different
+// workload and system characteristics".
+//
+// Schemes: STAR, CHAIN, MAX_AVB (the TMON heuristic), ADAPTIVE (REMO).
+// To isolate tree construction, every run uses SINGLETON-SET partitioning
+// (many trees per node: the regime where a scheme's relay/overhead
+// trade-off shows up as coverage, not just cost). Sweeps:
+//
+//   (a) attributes monitored per node (workload weight)
+//   (b) per-node capacity slack beyond the node's own sends
+//   (c) number of nodes
+//   (d) C/a ratio
+//
+// Expected shapes (Sec. 7.1): ADAPTIVE best everywhere; CHAIN good only
+// under light load and worst under heavy load (relay cost); STAR strong
+// under heavy load; MAX_AVB in between, degrading as workload grows.
+#include "bench/bench_support.h"
+
+namespace remo::bench {
+namespace {
+
+double tree_coverage(const Scenario& s, TreeScheme scheme) {
+  return coverage(s, planner_options(PartitionScheme::kSingletonSet, scheme));
+}
+
+Scenario scheme_scenario(std::size_t nodes, std::size_t attrs_per_node,
+                         double slack, CostModel cost, std::uint64_t seed) {
+  const Capacity b =
+      static_cast<double>(attrs_per_node) * cost.message_cost(1) + slack;
+  return Scenario(nodes, 24, attrs_per_node, b, 4000.0, cost, seed);
+}
+
+void header_sweep(Table& t, const Scenario& s, const std::string& label) {
+  t.row()
+      .add(label)
+      .add(tree_coverage(s, TreeScheme::kStar), 1)
+      .add(tree_coverage(s, TreeScheme::kChain), 1)
+      .add(tree_coverage(s, TreeScheme::kMaxAvb), 1)
+      .add(tree_coverage(s, TreeScheme::kAdaptive), 1);
+}
+
+void sweep_attrs_per_node() {
+  subbanner("Fig. 7a: increasing attributes per node (heavier workload ->)");
+  Table t({"attrs/node", "STAR %", "CHAIN %", "MAX_AVB %", "ADAPTIVE %"});
+  for (std::size_t x : {2u, 4u, 8u, 12u, 16u}) {
+    Scenario s = scheme_scenario(60, x, 30.0, CostModel{10.0, 1.0}, 3);
+    s.monitor_everything();
+    header_sweep(t, s, std::to_string(x));
+  }
+  t.print(std::cout);
+}
+
+void sweep_slack() {
+  subbanner("Fig. 7b: increasing per-node slack (lighter workload ->)");
+  Table t({"slack", "STAR %", "CHAIN %", "MAX_AVB %", "ADAPTIVE %"});
+  for (double slack : {5.0, 15.0, 30.0, 60.0, 120.0, 240.0}) {
+    Scenario s = scheme_scenario(60, 8, slack, CostModel{10.0, 1.0}, 3);
+    s.monitor_everything();
+    header_sweep(t, s, std::to_string(static_cast<int>(slack)));
+  }
+  t.print(std::cout);
+}
+
+void sweep_nodes() {
+  subbanner("Fig. 7c: increasing number of nodes");
+  Table t({"nodes", "STAR %", "CHAIN %", "MAX_AVB %", "ADAPTIVE %"});
+  for (std::size_t n : {30u, 60u, 120u, 200u}) {
+    Scenario s = scheme_scenario(n, 8, 30.0, CostModel{10.0, 1.0}, 5);
+    s.monitor_everything();
+    header_sweep(t, s, std::to_string(n));
+  }
+  t.print(std::cout);
+}
+
+void sweep_overhead() {
+  subbanner("Fig. 7d: increasing C/a ratio");
+  Table t({"C/a", "STAR %", "CHAIN %", "MAX_AVB %", "ADAPTIVE %"});
+  for (double c : {2.0, 5.0, 10.0, 20.0, 40.0}) {
+    Scenario s = scheme_scenario(60, 8, 30.0, CostModel{c, 1.0}, 7);
+    s.monitor_everything();
+    header_sweep(t, s, std::to_string(static_cast<int>(c)));
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace remo::bench
+
+int main() {
+  remo::bench::banner("Fig. 7",
+                      "tree construction schemes (% collected, singleton "
+                      "partitioning isolates the tree builder)");
+  remo::bench::sweep_attrs_per_node();
+  remo::bench::sweep_slack();
+  remo::bench::sweep_nodes();
+  remo::bench::sweep_overhead();
+  return 0;
+}

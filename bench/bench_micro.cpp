@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark) for REMO's hot primitives: set
+// algebra, tree attachment/feasibility, branch moves, whole-tree builds,
+// partition operations, gain estimation, and simulator epochs. These are
+// the building blocks whose costs the Sec. 5 optimizations target.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/sorted_vector.h"
+#include "partition/augmentation.h"
+#include "planner/planner.h"
+#include "sim/simulator.h"
+#include "task/workload.h"
+#include "tree/builder.h"
+
+namespace remo {
+namespace {
+
+const CostModel kCost{10.0, 1.0};
+
+std::vector<AttrId> random_set(Rng& rng, std::size_t n, std::size_t universe) {
+  auto idx = rng.sample(static_cast<std::uint32_t>(universe),
+                        static_cast<std::uint32_t>(n));
+  std::vector<AttrId> out(idx.begin(), idx.end());
+  sort_unique(out);
+  return out;
+}
+
+void BM_SetUnion(benchmark::State& state) {
+  Rng rng{1};
+  const auto a = random_set(rng, state.range(0), state.range(0) * 4);
+  const auto b = random_set(rng, state.range(0), state.range(0) * 4);
+  for (auto _ : state) benchmark::DoNotOptimize(set_union(a, b));
+}
+BENCHMARK(BM_SetUnion)->Arg(16)->Arg(256);
+
+void BM_IntersectionSize(benchmark::State& state) {
+  Rng rng{2};
+  const auto a = random_set(rng, state.range(0), state.range(0) * 4);
+  const auto b = random_set(rng, state.range(0), state.range(0) * 4);
+  for (auto _ : state) benchmark::DoNotOptimize(intersection_size(a, b));
+}
+BENCHMARK(BM_IntersectionSize)->Arg(16)->Arg(256);
+
+MonitoringTree chain_tree(std::size_t n, std::size_t attrs) {
+  std::vector<TreeAttrSpec> specs;
+  for (std::size_t m = 0; m < attrs; ++m)
+    specs.push_back(TreeAttrSpec{static_cast<AttrId>(m), FunnelSpec{}, 1.0});
+  MonitoringTree t(specs, 1e9, kCost);
+  NodeId parent = kCollectorId;
+  for (NodeId id = 1; id <= n; ++id) {
+    t.attach(BuildItem{id, std::vector<std::uint32_t>(attrs, 1), 1e9}, parent);
+    parent = id;
+  }
+  return t;
+}
+
+void BM_CanAttachDeep(benchmark::State& state) {
+  auto tree = chain_tree(state.range(0), 4);
+  const BuildItem item{9999, {1, 1, 1, 1}, 1e9};
+  const NodeId deepest = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(tree.can_attach(item, deepest));
+}
+BENCHMARK(BM_CanAttachDeep)->Arg(16)->Arg(128);
+
+void BM_MoveBranch(benchmark::State& state) {
+  auto tree = chain_tree(64, 2);
+  // Bounce the deepest node between two parents.
+  NodeId a = 32, b = 33;
+  for (auto _ : state) {
+    tree.move_branch(64, a);
+    tree.move_branch(64, b);
+  }
+}
+BENCHMARK(BM_MoveBranch);
+
+void BM_BuildTree(benchmark::State& state) {
+  const auto scheme = static_cast<TreeScheme>(state.range(1));
+  std::vector<TreeAttrSpec> attrs{{0, FunnelSpec{}, 1.0}};
+  std::vector<BuildItem> items;
+  Rng rng{3};
+  for (NodeId id = 1; id <= static_cast<NodeId>(state.range(0)); ++id)
+    items.push_back(BuildItem{id, {1}, 40.0 * rng.uniform(0.8, 1.5)});
+  const Capacity collector = static_cast<double>(state.range(0)) * 4.0;
+  TreeBuildOptions opts;
+  opts.scheme = scheme;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(build_tree(attrs, items, collector, kCost, opts));
+}
+BENCHMARK(BM_BuildTree)
+    ->Args({100, static_cast<long>(TreeScheme::kStar)})
+    ->Args({100, static_cast<long>(TreeScheme::kChain)})
+    ->Args({100, static_cast<long>(TreeScheme::kAdaptive)});
+
+void BM_MergeGain(benchmark::State& state) {
+  Rng rng{4};
+  PairSet pairs(201);
+  for (NodeId n = 1; n <= 200; ++n)
+    for (AttrId a : random_set(rng, 10, 40)) pairs.add(n, a);
+  std::vector<AttrId> universe(40);
+  for (AttrId a = 0; a < 40; ++a) universe[a] = a;
+  const Partition p = Partition::singleton(universe);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(estimate_merge_gain(p, 3, 17, pairs, kCost));
+}
+BENCHMARK(BM_MergeGain);
+
+void BM_PlannerSmall(benchmark::State& state) {
+  SystemModel system(40, 60.0, kCost);
+  system.set_collector_capacity(2000.0);
+  Rng rng{5};
+  system.assign_random_attributes(16, 6, rng);
+  PairSet pairs(41);
+  for (NodeId n = 1; n <= 40; ++n)
+    for (AttrId a : system.observable(n)) pairs.add(n, a);
+  PlannerOptions o;
+  o.max_candidates = 8;
+  Planner planner(system, o);
+  for (auto _ : state) benchmark::DoNotOptimize(planner.plan(pairs));
+}
+BENCHMARK(BM_PlannerSmall)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorEpoch(benchmark::State& state) {
+  SystemModel system(100, 1e6, kCost);
+  system.set_collector_capacity(1e9);
+  PairSet pairs(101);
+  for (NodeId n = 1; n <= 100; ++n) {
+    system.set_observable(n, {0, 1, 2, 3});
+    for (AttrId a = 0; a < 4; ++a) pairs.add(n, a);
+  }
+  PlannerOptions o;
+  const auto topo = Planner(system, o).plan(pairs);
+  RandomWalkSource src(pairs, 6);
+  SimConfig cfg;
+  cfg.warmup = 0;
+  for (auto _ : state) {
+    cfg.epochs = 10;
+    benchmark::DoNotOptimize(simulate(system, topo, pairs, src, cfg));
+  }
+}
+BENCHMARK(BM_SimulatorEpoch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace remo
+
+BENCHMARK_MAIN();

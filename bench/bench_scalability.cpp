@@ -1,0 +1,80 @@
+// Planning-time scalability (not a paper figure, but the property the
+// guided search exists to protect — Sec. 3: "this guiding feature is
+// essential for the scalability of large-scale application state
+// monitoring systems"). Reports wall time and candidate evaluations of a
+// full REMO plan as nodes and the attribute universe grow, next to the
+// two baselines (which build once, no search).
+#include <chrono>
+
+#include "bench/bench_support.h"
+
+namespace remo::bench {
+namespace {
+
+constexpr CostModel kCost{10.0, 1.0};
+
+struct Timing {
+  double seconds = 0.0;
+  std::size_t evaluations = 0;
+  double coverage = 0.0;
+};
+
+Timing run(std::size_t nodes, std::size_t universe, PartitionScheme scheme) {
+  Scenario s(nodes, universe, universe * 2 / 3, 60.0,
+             15.0 * static_cast<double>(nodes), kCost, 7);
+  WorkloadGenerator gen(s.system, WorkloadConfig{.attr_universe = universe}, 9);
+  s.add_tasks(gen.small_tasks(nodes));
+  Planner planner(s.system, planner_options(scheme));
+  const auto start = std::chrono::steady_clock::now();
+  const Topology topo = planner.plan(s.pairs);
+  Timing t;
+  t.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  t.evaluations = planner.last_evaluations();
+  t.coverage = topo.coverage() * 100.0;
+  return t;
+}
+
+void sweep_nodes() {
+  subbanner("planning time vs nodes (universe 36)");
+  Table t({"nodes", "REMO (s)", "evaluations", "REMO %", "SINGLETON (s)",
+           "ONE-SET (s)"});
+  for (std::size_t n : {50u, 100u, 200u, 400u}) {
+    const auto remo = run(n, 36, PartitionScheme::kRemo);
+    const auto single = run(n, 36, PartitionScheme::kSingletonSet);
+    const auto one = run(n, 36, PartitionScheme::kOneSet);
+    t.row()
+        .add(static_cast<long long>(n))
+        .add(remo.seconds, 2)
+        .add(static_cast<long long>(remo.evaluations))
+        .add(remo.coverage, 1)
+        .add(single.seconds, 2)
+        .add(one.seconds, 2);
+  }
+  t.print(std::cout);
+}
+
+void sweep_universe() {
+  subbanner("planning time vs attribute universe (100 nodes)");
+  Table t({"attrs", "REMO (s)", "evaluations", "REMO %"});
+  for (std::size_t a : {12u, 24u, 48u, 96u}) {
+    const auto remo = run(100, a, PartitionScheme::kRemo);
+    t.row()
+        .add(static_cast<long long>(a))
+        .add(remo.seconds, 2)
+        .add(static_cast<long long>(remo.evaluations))
+        .add(remo.coverage, 1);
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace remo::bench
+
+int main() {
+  remo::bench::banner("Scalability", "planner cost vs problem size");
+  remo::bench::sweep_nodes();
+  remo::bench::sweep_universe();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared scaffolding for the figure-reproduction benches. Each bench binary
+// regenerates one figure of the paper's evaluation (Sec. 7) as an aligned
+// text table; EXPERIMENTS.md records the series next to the paper's.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sorted_vector.h"
+#include "common/table.h"
+#include "cost/system_model.h"
+#include "planner/planner.h"
+#include "task/task_manager.h"
+#include "task/workload.h"
+
+namespace remo::bench {
+
+/// One synthetic-dataset scenario (Sec. 7 setup): a system with random
+/// per-node observable attributes plus a task-driven pair set.
+struct Scenario {
+  SystemModel system;
+  TaskManager manager;
+  PairSet pairs;
+
+  Scenario(std::size_t nodes, std::size_t universe, std::size_t attrs_per_node,
+           Capacity node_cap, Capacity collector_cap, CostModel cost,
+           std::uint64_t seed)
+      : system(nodes, node_cap, cost), manager(&system), pairs(nodes + 1) {
+    system.set_collector_capacity(collector_cap);
+    Rng rng{seed};
+    system.assign_random_attributes(universe, attrs_per_node, rng);
+  }
+
+  /// Adds tasks and refreshes the deduplicated pair set.
+  void add_tasks(std::vector<MonitoringTask> tasks) {
+    for (auto& t : tasks) manager.add_task(std::move(t));
+    refresh();
+  }
+
+  /// Monitors every observable attribute on every node (full coverage —
+  /// the heaviest workload).
+  void monitor_everything() {
+    MonitoringTask t;
+    t.nodes = system.monitoring_nodes();
+    std::vector<AttrId> all;
+    for (NodeId n : t.nodes)
+      for (AttrId a : system.observable(n)) all.push_back(a);
+    sort_unique(all);
+    t.attrs = std::move(all);
+    manager.add_task(std::move(t));
+    refresh();
+  }
+
+  void refresh() { pairs = manager.dedup(system.num_vertices()); }
+};
+
+inline PlannerOptions planner_options(PartitionScheme scheme,
+                                      TreeScheme tree = TreeScheme::kAdaptive,
+                                      AllocationScheme alloc = AllocationScheme::kOrdered) {
+  PlannerOptions o;
+  o.partition_scheme = scheme;
+  o.tree.scheme = tree;
+  o.allocation = alloc;
+  // Bench-sized search budget: plenty for convergence at these scales while
+  // keeping the full sweep under a minute per figure.
+  o.max_candidates = 16;
+  o.max_iterations = 256;
+  return o;
+}
+
+inline double coverage(const Scenario& s, const PlannerOptions& o) {
+  return Planner(s.system, o).plan(s.pairs).coverage() * 100.0;  // percent
+}
+
+/// Header printed by every bench so bench_output.txt is self-describing.
+inline void banner(const std::string& figure, const std::string& caption) {
+  std::printf("\n=== %s — %s ===\n", figure.c_str(), caption.c_str());
+}
+
+inline void subbanner(const std::string& text) {
+  std::printf("\n--- %s ---\n", text.c_str());
+}
+
+}  // namespace remo::bench

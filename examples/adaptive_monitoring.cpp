@@ -1,0 +1,85 @@
+// Runtime adaptation scenario: monitoring tasks keep changing (debugging
+// sessions, ad-hoc queries, reconfigured dashboards) and the topology must
+// follow. Compares DIRECT-APPLY (cheapest, decays), REBUILD (best quality,
+// unsustainable planning cost) and REMO's throttled ADAPTIVE scheme over a
+// stream of task-update batches.
+//
+//   $ ./adaptive_monitoring
+#include <cstdio>
+#include <iostream>
+
+#include "adapt/adaptive_planner.h"
+#include "common/table.h"
+#include "task/workload.h"
+
+using namespace remo;
+
+namespace {
+
+struct RunTotals {
+  double cpu_seconds = 0.0;
+  std::size_t adaptation_messages = 0;
+  std::size_t operations = 0;
+  std::size_t throttled = 0;
+  double avg_coverage = 0.0;
+};
+
+RunTotals run(AdaptScheme scheme) {
+  const CostModel cost{10.0, 1.0};
+  SystemModel system(60, 120.0, cost);
+  system.set_collector_capacity(480.0);
+  Rng rng{3};
+  system.assign_random_attributes(24, 8, rng);
+
+  TaskManager manager(&system);
+  WorkloadGenerator gen(system, WorkloadConfig{.attr_universe = 24}, 23);
+  for (auto& t : gen.small_tasks(25)) manager.add_task(std::move(t));
+
+  PlannerOptions options;
+  options.max_candidates = 16;
+  AdaptivePlanner planner(system, options, scheme);
+  planner.initialize(manager.dedup(system.num_vertices()), 0.0);
+
+  RunTotals totals;
+  Rng churn{17};
+  const int batches = 10;
+  for (int b = 1; b <= batches; ++b) {
+    // Each batch: 5% of nodes get 50% of their monitored attributes
+    // replaced (the paper's dynamic-task emulation).
+    apply_update_batch(manager, system, 24, churn);
+    const auto report =
+        planner.apply_update(manager.dedup(system.num_vertices()), b * 10.0);
+    totals.cpu_seconds += report.planning_seconds;
+    totals.adaptation_messages += report.adaptation_messages;
+    totals.operations += report.operations_applied;
+    totals.throttled += report.operations_throttled;
+    totals.avg_coverage += planner.topology().coverage() * 100.0;
+  }
+  totals.avg_coverage /= batches;
+  return totals;
+}
+
+}  // namespace
+
+int main() {
+  Table t({"scheme", "plan CPU (s)", "adapt msgs", "ops applied", "throttled",
+           "avg coverage %"});
+  for (auto scheme : {AdaptScheme::kDirectApply, AdaptScheme::kRebuild,
+                      AdaptScheme::kNoThrottle, AdaptScheme::kAdaptive}) {
+    const auto totals = run(scheme);
+    t.row()
+        .add(to_string(scheme))
+        .add(totals.cpu_seconds, 3)
+        .add(static_cast<long long>(totals.adaptation_messages))
+        .add(static_cast<long long>(totals.operations))
+        .add(static_cast<long long>(totals.throttled))
+        .add(totals.avg_coverage, 1);
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nADAPTIVE should sit between DIRECT-APPLY (cheap, decaying) and\n"
+      "REBUILD (expensive, optimal): near-REBUILD coverage at a small\n"
+      "fraction of its planning cost, with cost-benefit throttling\n"
+      "suppressing adaptations that would not pay for themselves.\n");
+  return 0;
+}

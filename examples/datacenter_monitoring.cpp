@@ -1,0 +1,74 @@
+// Datacenter-scale scenario: monitor a distributed stream-processing
+// application (the System S stand-in) running across 200 nodes with ~200
+// monitoring tasks — the paper's headline deployment — then simulate
+// delivery and compare what a user of each planning scheme would actually
+// observe (average percentage error of the collected attributes).
+//
+//   $ ./datacenter_monitoring
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "planner/planner.h"
+#include "sim/simulator.h"
+#include "streamapp/stream_app.h"
+#include "task/workload.h"
+
+using namespace remo;
+
+int main() {
+  const CostModel cost{10.0, 1.0};
+  const std::size_t nodes = 200;
+
+  SystemModel system(nodes, 38.0, cost);
+  system.set_collector_capacity(25.0 * static_cast<double>(nodes));
+
+  // Deploy the stream application: operators placed across the nodes
+  // expose per-node rate/queue/utilization attributes (30-50 per node).
+  StreamAppConfig app_config;
+  app_config.num_operators = 5 * nodes;
+  StreamApplication app(system, app_config, /*seed=*/7);
+  std::printf("deployed %zu operators over %zu nodes; attribute universe %zu\n",
+              app.num_operators(), nodes, app.attr_universe());
+
+  // ~200 monitoring tasks over the application's attributes.
+  WorkloadGenerator gen(system, WorkloadConfig{.attr_universe = app.attr_universe()},
+                        11);
+  TaskManager manager(&system);
+  for (auto& t : gen.small_tasks(150)) manager.add_task(std::move(t));
+  for (auto& t : gen.large_tasks(50)) manager.add_task(std::move(t));
+  const PairSet pairs = manager.dedup(system.num_vertices());
+  std::printf("%zu tasks -> %zu deduplicated node-attribute pairs\n\n",
+              manager.num_tasks(), pairs.total_pairs());
+
+  Table table({"scheme", "trees", "coverage %", "msg volume", "avg err %",
+               "p95 err %"});
+  for (auto scheme : {PartitionScheme::kSingletonSet, PartitionScheme::kOneSet,
+                      PartitionScheme::kRemo}) {
+    PlannerOptions options;
+    options.partition_scheme = scheme;
+    options.max_candidates = 16;
+    const Topology topology = Planner(system, options).plan(pairs);
+
+    // Replay the same application stream against this topology.
+    SystemModel fresh = system;
+    StreamApplication source(fresh, app_config, /*seed=*/7);
+    SimConfig sim;
+    sim.epochs = 150;
+    sim.warmup = 30;
+    const SimReport report = simulate(system, topology, pairs, source, sim);
+
+    table.row()
+        .add(to_string(scheme))
+        .add(static_cast<long long>(topology.num_trees()))
+        .add(topology.coverage() * 100.0, 1)
+        .add(topology.total_cost(), 0)
+        .add(report.avg_percent_error, 2)
+        .add(report.p95_percent_error, 2);
+  }
+  table.print(std::cout);
+  std::printf("\nREMO should deliver the lowest observation error: it covers "
+              "more pairs\nwithin the same per-node budgets and keeps trees "
+              "shallow where it matters.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// The embeddable "monitoring service" view (paper Fig. 1): a single
+// MonitoringSystem object owns the task manager, the adaptive planner and
+// the topology; the host application just adds/removes tasks over time and
+// reads status. Finishes by dumping the live topology as Graphviz DOT.
+//
+//   $ ./monitoring_service | dot -Tsvg > topology.svg   (if graphviz is around)
+#include <cstdio>
+
+#include "core/monitoring_system.h"
+
+using namespace remo;
+
+int main() {
+  SystemModel system(16, 120.0, CostModel{10.0, 1.0});
+  system.set_collector_capacity(500.0);
+  for (NodeId n = 1; n <= 16; ++n) system.set_observable(n, {0, 1, 2, 3, 4});
+
+  MonitoringSystem service(std::move(system));
+
+  auto show = [&](const char* when, double now) {
+    const auto s = service.status(now);
+    std::fprintf(stderr,
+                 "[%-22s] tasks=%zu pairs=%zu collected=%zu (%.0f%%) trees=%zu "
+                 "volume=%.0f adaptations=%zu (%zu msgs)\n",
+                 when, s.tasks, s.pairs, s.collected, s.coverage * 100.0,
+                 s.trees, s.message_volume, s.adaptations,
+                 s.adaptation_messages);
+  };
+
+  // t=0: the ops team starts with fleet-wide CPU monitoring.
+  MonitoringTask cpu;
+  cpu.attrs = {0};
+  for (NodeId n = 1; n <= 16; ++n) cpu.nodes.push_back(n);
+  const TaskId cpu_id = service.add_task(cpu);
+  show("fleet cpu", 0.0);
+
+  // t=10: a debugging session adds detailed metrics on a suspect subset.
+  MonitoringTask debug;
+  debug.attrs = {1, 2, 3};
+  debug.nodes = {3, 4, 5, 6};
+  const TaskId debug_id = service.add_task(debug);
+  show("+debug subset", 10.0);
+
+  // t=20: an alarm metric goes mission-critical: replicate its delivery.
+  MonitoringTask alarms;
+  alarms.attrs = {4};
+  for (NodeId n = 1; n <= 16; ++n) alarms.nodes.push_back(n);
+  alarms.reliability = ReliabilityMode::kSSDP;
+  service.add_task(alarms);
+  show("+replicated alarms", 20.0);
+
+  // t=30: debugging ends; the session's task disappears.
+  service.remove_task(debug_id);
+  show("-debug subset", 30.0);
+
+  // t=40: the CPU task is widened to include memory.
+  MonitoringTask widened;
+  widened.id = cpu_id;
+  widened.attrs = {0, 1};
+  for (NodeId n = 1; n <= 16; ++n) widened.nodes.push_back(n);
+  service.modify_task(widened);
+  show("cpu -> cpu+mem", 40.0);
+
+  // The current overlay, ready for graphviz.
+  std::printf("%s", service.export_dot(40.0).c_str());
+  return 0;
+}

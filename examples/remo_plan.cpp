@@ -1,0 +1,84 @@
+// Config-driven planning: read a scenario description (see
+// core/scenario_parser.h for the format), plan, and print the topology —
+// optionally as Graphviz DOT or JSON.
+//
+//   $ ./remo_plan scenario.txt [--dot|--json]
+//   $ ./remo_plan --demo             # runs a built-in scenario
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/monitoring_system.h"
+#include "core/scenario_parser.h"
+
+using namespace remo;
+
+namespace {
+
+const char* kDemoScenario = R"(# remo_plan --demo scenario
+system nodes=12 capacity=70 collector=280 C=10 a=1
+observe 1-12 0,1,2,3
+capacity 11-12 30          # two undersized nodes
+task attrs=0,1 nodes=1-12
+task attrs=2 nodes=1-6 agg=max
+task attrs=3 nodes=1-12 freq=0.25
+)";
+
+int usage() {
+  std::fprintf(stderr, "usage: remo_plan <scenario-file>|--demo [--dot|--json]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string text;
+  std::string mode = argc >= 3 ? argv[2] : "";
+  if (std::string(argv[1]) == "--demo") {
+    text = kDemoScenario;
+  } else {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+
+  auto parsed = parse_scenario(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", parsed.error.c_str());
+    return 1;
+  }
+
+  MonitoringSystem service(std::move(parsed.scenario->system));
+  for (auto& t : parsed.scenario->tasks) service.add_task(std::move(t));
+
+  if (mode == "--dot") {
+    std::printf("%s", service.export_dot().c_str());
+    return 0;
+  }
+  if (mode == "--json") {
+    std::printf("%s", service.export_json().c_str());
+    return 0;
+  }
+
+  const auto s = service.status();
+  std::printf("tasks=%zu pairs=%zu collected=%zu (%.1f%%) trees=%zu "
+              "volume=%.1f\n",
+              s.tasks, s.pairs, s.collected, s.coverage * 100.0, s.trees,
+              s.message_volume);
+  for (const auto& entry : service.topology().entries()) {
+    std::printf("tree {");
+    for (std::size_t i = 0; i < entry.attrs.size(); ++i)
+      std::printf("%s%u", i ? "," : "", entry.attrs[i]);
+    std::printf("}: %zu/%zu pairs, %zu nodes, height %zu\n",
+                entry.collected_pairs, entry.offered_pairs, entry.tree.size(),
+                entry.tree.height());
+  }
+  return 0;
+}

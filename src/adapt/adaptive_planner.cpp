@@ -1,0 +1,361 @@
+#include "adapt/adaptive_planner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/sorted_vector.h"
+
+namespace remo {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// A candidate operation of the restricted local search, ranked by
+/// estimated benefit per estimated adaptation cost (Sec. 4.1).
+struct CandidateOp {
+  AugmentKind kind = AugmentKind::kMerge;
+  std::size_t set_a = 0;
+  std::size_t set_b = 0;
+  AttrId attr = 0;
+  double effectiveness = 0.0;
+};
+
+}  // namespace
+
+const char* to_string(AdaptScheme s) noexcept {
+  switch (s) {
+    case AdaptScheme::kDirectApply:
+      return "DIRECT-APPLY";
+    case AdaptScheme::kRebuild:
+      return "REBUILD";
+    case AdaptScheme::kNoThrottle:
+      return "NO-THROTTLE";
+    case AdaptScheme::kAdaptive:
+      return "ADAPTIVE";
+  }
+  return "?";
+}
+
+AdaptivePlanner::AdaptivePlanner(const SystemModel& system, PlannerOptions options,
+                                 AdaptScheme scheme)
+    : system_(&system), planner_(system, std::move(options)), scheme_(scheme) {}
+
+double AdaptivePlanner::last_adjusted(const std::vector<AttrId>& attrs,
+                                      double now) const {
+  auto it = adjusted_at_.find(attrs);
+  if (it != adjusted_at_.end()) return it->second;
+  (void)now;
+  return init_time_;
+}
+
+void AdaptivePlanner::stamp(const std::vector<AttrId>& attrs, double now) {
+  adjusted_at_[attrs] = now;
+}
+
+AdaptReport AdaptivePlanner::initialize(const PairSet& pairs, double now) {
+  const auto start = std::chrono::steady_clock::now();
+  AdaptReport report;
+  init_time_ = now;
+  topology_ = planner_.plan(pairs);
+  pairs_ = pairs;
+  adjusted_at_.clear();
+  for (const auto& e : topology_.entries()) stamp(e.attrs, now);
+  report.planning_seconds = seconds_since(start);
+  report.adaptation_messages = topology_.edges().size();  // all links are new
+  report.score = score_of(topology_);
+  return report;
+}
+
+std::vector<std::vector<AttrId>> AdaptivePlanner::direct_apply(
+    const PairSet& new_pairs, double now) {
+  const PairSetDelta delta = diff(pairs_, new_pairs);
+  if (delta.empty()) return {};
+  const auto old_universe = pairs_.attribute_universe();
+  const auto new_universe = new_pairs.attribute_universe();
+  const auto removed_attrs = set_difference(old_universe, new_universe);
+  const auto added_attrs = set_difference(new_universe, old_universe);
+
+  // 1. Structural changes: a tree whose attribute set shrinks (an
+  //    attribute left the universe) must be rebuilt; brand-new attributes
+  //    get singleton trees. Everything else is patched in place below.
+  std::vector<std::size_t> victims;
+  std::vector<std::vector<AttrId>> new_sets;
+  for (std::size_t i = 0; i < topology_.entries().size(); ++i) {
+    const auto& attrs = topology_.entries()[i].attrs;
+    if (!sets_intersect(attrs, removed_attrs)) continue;
+    victims.push_back(i);
+    adjusted_at_.erase(attrs);  // identity follows the (possibly shrunk) set
+    auto kept = set_difference(attrs, removed_attrs);
+    if (!kept.empty()) new_sets.push_back(std::move(kept));
+  }
+  for (AttrId a : added_attrs) {
+    new_sets.push_back({a});
+    stamp({a}, now);  // a brand-new tree starts its throttle window now
+  }
+  if (!victims.empty() || !new_sets.empty()) {
+    topology_ = rebuild_trees(topology_, *system_, new_pairs, victims, new_sets,
+                              planner_.options().attr_specs,
+                              planner_.options().allocation,
+                              planner_.options().tree);
+  }
+
+  // 2. Pair-level changes: patch surviving trees with minimum topology
+  //    impact — update member nodes' local counts in place, attach nodes
+  //    that newly monitor a tree's attribute, and leave everything else
+  //    untouched. This is what makes DIRECT-APPLY cheap in adaptation
+  //    messages (and what lets its quality decay over time, Fig. 9).
+  const auto changed_attrs = delta.affected_attrs();
+  std::vector<std::vector<AttrId>> touched;
+  for (auto& entry : topology_.mutable_entries()) {
+    if (!sets_intersect(entry.attrs, changed_attrs)) continue;
+    // Nodes with a changed pair on this tree's attributes.
+    std::vector<NodeId> nodes;
+    for (const auto& pr : delta.added)
+      if (set_contains(entry.attrs, pr.attr)) nodes.push_back(pr.node);
+    for (const auto& pr : delta.removed)
+      if (set_contains(entry.attrs, pr.attr)) nodes.push_back(pr.node);
+    sort_unique(nodes);
+    if (nodes.empty()) continue;
+
+    MonitoringTree& tree = entry.tree;
+    // Bind the in-place patch to *global* budgets: the tree's stored
+    // allocations date from build time, but the node may since have taken
+    // work in other trees. Clamping avail to capacity minus other-tree
+    // usage makes the within-tree feasibility checks exactly the global
+    // constraint (clamp never goes below current usage because the
+    // topology was globally valid coming in).
+    auto clamp = [&](NodeId v) {
+      const Capacity other = topology_.node_usage(v) - tree.usage(v);
+      const Capacity bound =
+          std::max(tree.usage(v), system_->capacity(v) - other);
+      tree.set_avail(v, std::min(tree.avail(v), bound));
+    };
+    for (NodeId v : tree.members()) clamp(v);
+    clamp(kCollectorId);
+    for (NodeId n : nodes) {
+      std::vector<std::uint32_t> desired(entry.attrs.size());
+      bool any = false;
+      for (std::size_t m = 0; m < entry.attrs.size(); ++m) {
+        desired[m] = new_pairs.contains(n, entry.attrs[m]) ? 1u : 0u;
+        any |= desired[m] != 0;
+      }
+      if (tree.contains(n)) {
+        // Removals are always feasible; apply them first so stale values
+        // stop flowing even when the additions do not fit.
+        const auto& old_local = tree.local_counts(n);
+        std::vector<std::uint32_t> shrunk(entry.attrs.size());
+        for (std::size_t m = 0; m < entry.attrs.size(); ++m)
+          shrunk[m] = std::min(old_local[m], desired[m]);
+        if (shrunk != old_local) tree.update_local(n, shrunk);
+        if (desired != shrunk) tree.update_local(n, desired);  // best effort
+      } else if (any) {
+        // New member: attach at the shallowest vertex with capacity,
+        // spending only this node's remaining global budget.
+        BuildItem item{n, desired,
+                       system_->capacity(n) - topology_.node_usage(n)};
+        NodeId best = kNoNode;
+        std::size_t best_depth = 0;
+        auto consider = [&](NodeId v) {
+          if (!tree.can_attach(item, v)) return;
+          const std::size_t d = tree.depth(v);
+          if (best == kNoNode || d < best_depth) {
+            best = v;
+            best_depth = d;
+          }
+        };
+        consider(kCollectorId);
+        for (NodeId v : tree.members()) consider(v);
+        if (best != kNoNode) tree.attach(item, best);
+      }
+    }
+    // Refresh the entry's accounting.
+    entry.collected_pairs = tree.collected_pairs();
+    entry.offered_pairs = 0;
+    for (NodeId n : new_pairs.nodes_with_any(entry.attrs))
+      entry.offered_pairs += new_pairs.count_at(n, entry.attrs);
+    touched.push_back(entry.attrs);
+  }
+
+  // Rebuilt/new trees also need their offered counts refreshed against the
+  // new pair set (rebuild_trees computed them already) and join T.
+  for (const auto& s : new_sets) touched.push_back(s);
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  return touched;
+}
+
+void AdaptivePlanner::optimize(const PairSet& pairs,
+                               std::vector<std::vector<AttrId>> rebuilt, double now,
+                               AdaptReport& report) {
+  const auto& opts = planner_.options();
+  auto in_rebuilt = [&rebuilt](const std::vector<AttrId>& attrs) {
+    return std::find(rebuilt.begin(), rebuilt.end(), attrs) != rebuilt.end();
+  };
+
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    const Partition p = topology_.partition();  // sets in entry order
+    const std::size_t k = p.num_sets();
+    if (k == 0) return;
+
+    // Enumerate candidate operations involving at least one tree in T,
+    // using the planner's topology-aware gain estimates, then re-rank by
+    // cost effectiveness: estimated benefit per estimated adaptation cost
+    // (lower bound on the edges the operation would rewire, Sec. 4.1).
+    std::vector<bool> mask(k);
+    for (std::size_t i = 0; i < k; ++i) mask[i] = in_rebuilt(p.set(i));
+    auto ranked = rank_topology_augmentations(topology_, pairs, system_->cost(),
+                                              opts.conflicts, 0, &mask);
+    std::vector<CandidateOp> merges, splits;
+    for (const auto& aug : ranked) {
+      CandidateOp op;
+      op.kind = aug.kind;
+      op.set_a = aug.set_a;
+      op.set_b = aug.set_b;
+      op.attr = aug.attr;
+      double adapt_cost = 1.0;
+      if (aug.kind == AugmentKind::kMerge) {
+        adapt_cost += static_cast<double>(std::min(
+            topology_.entries()[aug.set_a].tree.size(),
+            topology_.entries()[aug.set_b].tree.size()));
+      } else {
+        adapt_cost += static_cast<double>(pairs.nodes_with(aug.attr).size());
+      }
+      op.effectiveness = aug.estimated_gain / adapt_cost;
+      (op.kind == AugmentKind::kMerge ? merges : splits).push_back(op);
+    }
+    auto by_effectiveness = [](const CandidateOp& a, const CandidateOp& b) {
+      return a.effectiveness > b.effectiveness;
+    };
+    std::stable_sort(merges.begin(), merges.end(), by_effectiveness);
+    std::stable_sort(splits.begin(), splits.end(), by_effectiveness);
+
+    // Evaluate each list in rank order until the first valid (improving)
+    // operation (Sec. 4.1), then keep the better of the two.
+    const PlanScore current = score_of(topology_);
+    struct Found {
+      Topology topo;
+      std::vector<std::size_t> victims;
+      std::vector<std::vector<AttrId>> new_sets;
+      PlanScore score;
+      bool valid = false;
+    };
+    auto find_first = [&](const std::vector<CandidateOp>& ops) {
+      Found found;
+      std::size_t evaluated = 0;
+      for (const auto& op : ops) {
+        if (evaluated >= opts.max_candidates) break;
+        std::vector<std::size_t> victims;
+        std::vector<std::vector<AttrId>> new_sets;
+        if (op.kind == AugmentKind::kMerge) {
+          victims = {op.set_a, op.set_b};
+          new_sets = {set_union(p.set(op.set_a), p.set(op.set_b))};
+        } else {
+          victims = {op.set_a};
+          auto rest = set_difference(p.set(op.set_a), std::vector<AttrId>{op.attr});
+          new_sets = {std::move(rest), {op.attr}};
+        }
+        Topology candidate =
+            rebuild_trees(topology_, *system_, pairs, victims, new_sets,
+                          opts.attr_specs, opts.allocation, opts.tree);
+        ++evaluated;
+        const PlanScore s = score_of(candidate);
+        if (improves(s, current)) {
+          found.topo = std::move(candidate);
+          found.victims = std::move(victims);
+          found.new_sets = std::move(new_sets);
+          found.score = s;
+          found.valid = true;
+          break;
+        }
+      }
+      return found;
+    };
+
+    Found best_merge = find_first(merges);
+    Found best_split = find_first(splits);
+    Found* chosen = nullptr;
+    if (best_merge.valid && best_split.valid)
+      chosen = improves(best_merge.score, best_split.score) ? &best_merge : &best_split;
+    else if (best_merge.valid)
+      chosen = &best_merge;
+    else if (best_split.valid)
+      chosen = &best_split;
+    if (chosen == nullptr) return;
+
+    if (scheme_ == AdaptScheme::kAdaptive) {
+      // Cost-benefit throttling (Sec. 4.2): Threshold(A_m) =
+      // (T_cur - min T_adj,i) * (C_cur - C_adj). The paper's efficiency
+      // term (C_cur - C_adj) presumes the operation keeps collected values
+      // constant; an operation that *recovers* coverage necessarily pushes
+      // more data and would read as negative benefit, so the benefit rate
+      // also counts recovered values at their delivery cost (a per value
+      // per unit time).
+      const double m_adapt =
+          static_cast<double>(edge_diff(topology_, chosen->topo));
+      double t_min = std::numeric_limits<double>::infinity();
+      for (std::size_t v : chosen->victims)
+        t_min = std::min(t_min, last_adjusted(p.set(v), now));
+      const double c_cur = topology_.total_cost();
+      const double c_adj = chosen->topo.total_cost();
+      const double value_gain =
+          system_->cost().per_value *
+          (static_cast<double>(chosen->score.collected) -
+           static_cast<double>(score_of(topology_).collected));
+      const double gain_rate = std::max(0.0, c_cur - c_adj) + std::max(0.0, value_gain);
+      const double threshold = (now - t_min) * gain_rate;
+      if (!(m_adapt < threshold)) {
+        ++report.operations_throttled;
+        return;  // not cost-effective: terminate immediately (Sec. 4.2)
+      }
+    }
+
+    // Adopt the operation; the new sets join T and restart their windows.
+    for (std::size_t v : chosen->victims) adjusted_at_.erase(p.set(v));
+    for (const auto& s : chosen->new_sets) {
+      stamp(s, now);
+      if (std::find(rebuilt.begin(), rebuilt.end(), s) == rebuilt.end())
+        rebuilt.push_back(s);
+    }
+    topology_ = std::move(chosen->topo);
+    ++report.operations_applied;
+  }
+}
+
+AdaptReport AdaptivePlanner::apply_update(const PairSet& new_pairs, double now) {
+  const auto start = std::chrono::steady_clock::now();
+  AdaptReport report;
+  const Topology before = topology_;
+
+  switch (scheme_) {
+    case AdaptScheme::kRebuild: {
+      topology_ = planner_.plan(new_pairs);
+      adjusted_at_.clear();
+      for (const auto& e : topology_.entries()) stamp(e.attrs, now);
+      break;
+    }
+    case AdaptScheme::kDirectApply: {
+      direct_apply(new_pairs, now);
+      break;
+    }
+    case AdaptScheme::kNoThrottle:
+    case AdaptScheme::kAdaptive: {
+      auto rebuilt = direct_apply(new_pairs, now);
+      optimize(new_pairs, std::move(rebuilt), now, report);
+      break;
+    }
+  }
+
+  pairs_ = new_pairs;
+  topology_.set_total_pairs(new_pairs.total_pairs());
+  report.planning_seconds = seconds_since(start);
+  report.adaptation_messages = edge_diff(before, topology_);
+  report.score = score_of(topology_);
+  return report;
+}
+
+}  // namespace remo

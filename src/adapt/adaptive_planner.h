@@ -1,0 +1,89 @@
+// Runtime topology adaptation (Sec. 4). When monitoring tasks are added,
+// removed, or modified, the planner must trade topology quality against
+// adaptation cost. Four schemes, matching the Fig. 9 comparison:
+//
+//   DIRECT-APPLY  apply the task change with minimum topology change: keep
+//                 the attribute partition (new attributes become singleton
+//                 sets) and rebuild only the affected trees;
+//   REBUILD       full REMO search from scratch on every change — best
+//                 topology, highest planning + reconstruction cost;
+//   NO-THROTTLE   DIRECT-APPLY to get a base topology, then local search
+//                 restricted to operations involving a reconstructed tree
+//                 (the set T of Sec. 4.1), ranked by estimated
+//                 cost-effectiveness;
+//   ADAPTIVE      NO-THROTTLE plus cost-benefit throttling (Sec. 4.2): an
+//                 operation is applied only when its control-message volume
+//                 M_adapt stays below
+//                   (T_cur − min T_adj,i) · (C_cur − C_adj).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "planner/planner.h"
+
+namespace remo {
+
+enum class AdaptScheme : std::uint8_t {
+  kDirectApply,
+  kRebuild,
+  kNoThrottle,
+  kAdaptive,
+};
+
+const char* to_string(AdaptScheme s) noexcept;
+
+/// What one initialize()/apply_update() call did — the raw series behind
+/// Fig. 9a-9d.
+struct AdaptReport {
+  /// CPU seconds spent planning (searching, building candidate trees).
+  double planning_seconds = 0.0;
+  /// Control messages needed to morph the deployed topology into the new
+  /// one (multiset edge diff) — M_adapt.
+  std::size_t adaptation_messages = 0;
+  /// Merge/split operations adopted by the local search.
+  std::size_t operations_applied = 0;
+  /// Operations rejected by cost-benefit throttling.
+  std::size_t operations_throttled = 0;
+  PlanScore score;
+};
+
+class AdaptivePlanner {
+ public:
+  AdaptivePlanner(const SystemModel& system, PlannerOptions options,
+                  AdaptScheme scheme);
+
+  const Topology& topology() const noexcept { return topology_; }
+  AdaptScheme scheme() const noexcept { return scheme_; }
+
+  /// Initial full plan (all schemes plan identically at t = `now`).
+  AdaptReport initialize(const PairSet& pairs, double now);
+
+  /// Applies a task-set change: `new_pairs` replaces the previous pair set.
+  AdaptReport apply_update(const PairSet& new_pairs, double now);
+
+ private:
+  /// DIRECT-APPLY base step: rebuild exactly the trees whose attribute
+  /// sets intersect the update, keeping the partition otherwise. Returns
+  /// the indices-agnostic set of rebuilt attr sets (the set T).
+  std::vector<std::vector<AttrId>> direct_apply(const PairSet& new_pairs, double now);
+
+  /// The Sec. 4.1 restricted local search over the base topology.
+  void optimize(const PairSet& pairs, std::vector<std::vector<AttrId>> rebuilt,
+                double now, AdaptReport& report);
+
+  double last_adjusted(const std::vector<AttrId>& attrs, double now) const;
+  void stamp(const std::vector<AttrId>& attrs, double now);
+
+  const SystemModel* system_;
+  Planner planner_;
+  AdaptScheme scheme_;
+  Topology topology_;
+  PairSet pairs_;
+  /// Last-adjusted time per tree, keyed by the tree's attribute set
+  /// (T_adj,i in the throttle formula).
+  std::map<std::vector<AttrId>, double> adjusted_at_;
+  double init_time_ = 0.0;
+};
+
+}  // namespace remo

@@ -1,0 +1,116 @@
+#include "collector/alerts.h"
+
+namespace remo {
+
+const char* to_string(AlertOp op) noexcept {
+  switch (op) {
+    case AlertOp::kGreater:
+      return ">";
+    case AlertOp::kGreaterEq:
+      return ">=";
+    case AlertOp::kLess:
+      return "<";
+    case AlertOp::kLessEq:
+      return "<=";
+  }
+  return "?";
+}
+
+const char* to_string(AlertScope scope) noexcept {
+  switch (scope) {
+    case AlertScope::kPerNode:
+      return "PER-NODE";
+    case AlertScope::kFleetAvg:
+      return "FLEET-AVG";
+    case AlertScope::kFleetMax:
+      return "FLEET-MAX";
+    case AlertScope::kFleetMin:
+      return "FLEET-MIN";
+  }
+  return "?";
+}
+
+RuleId AlertEngine::add_rule(AlertRule rule, Callback callback) {
+  const RuleId id = next_id_++;
+  if (rule.min_consecutive == 0) rule.min_consecutive = 1;
+  rules_.emplace(id, RuleState{rule, std::move(callback), {}});
+  return id;
+}
+
+bool AlertEngine::remove_rule(RuleId id) { return rules_.erase(id) > 0; }
+
+bool AlertEngine::breaches(const AlertRule& rule, double value) {
+  switch (rule.op) {
+    case AlertOp::kGreater:
+      return value > rule.threshold;
+    case AlertOp::kGreaterEq:
+      return value >= rule.threshold;
+    case AlertOp::kLess:
+      return value < rule.threshold;
+    case AlertOp::kLessEq:
+      return value <= rule.threshold;
+  }
+  return false;
+}
+
+void AlertEngine::fire(RuleState& state, RuleId id, NodeId node,
+                       std::uint64_t epoch, double value) {
+  ++fired_;
+  if (state.callback) state.callback(Alert{id, node, epoch, value});
+}
+
+void AlertEngine::on_value(NodeAttrPair pair, std::uint64_t epoch, double value) {
+  for (auto& [id, state] : rules_) {
+    const AlertRule& rule = state.rule;
+    if (rule.scope != AlertScope::kPerNode || rule.attr != pair.attr) continue;
+    auto& streak = state.streak[pair.node];
+    if (breaches(rule, value)) {
+      if (++streak == rule.min_consecutive)
+        fire(state, id, pair.node, epoch, value);
+      // Re-arm only after the condition clears: clamp so a persistent
+      // breach produces one alert (and the counter cannot wrap).
+      if (streak > rule.min_consecutive) streak = rule.min_consecutive + 1;
+    } else {
+      streak = 0;
+    }
+  }
+}
+
+void AlertEngine::end_epoch(std::uint64_t epoch) {
+  if (store_ == nullptr) return;
+  for (auto& [id, state] : rules_) {
+    const AlertRule& rule = state.rule;
+    if (rule.scope == AlertScope::kPerNode) continue;
+    const std::uint64_t min_epoch =
+        epoch >= rule.max_staleness ? epoch - rule.max_staleness : 0;
+    const WindowAggregate snap = store_->snapshot(rule.attr, min_epoch);
+    if (snap.count == 0) {
+      state.streak[kNoNode] = 0;
+      continue;
+    }
+    double observed = 0.0;
+    switch (rule.scope) {
+      case AlertScope::kFleetAvg:
+        observed = snap.avg();
+        break;
+      case AlertScope::kFleetMax:
+        observed = snap.max;
+        break;
+      case AlertScope::kFleetMin:
+        observed = snap.min;
+        break;
+      case AlertScope::kPerNode:
+        continue;  // unreachable
+    }
+    auto& streak = state.streak[kNoNode];
+    if (breaches(rule, observed)) {
+      if (++streak == rule.min_consecutive)
+        fire(state, id, kNoNode, epoch, observed);
+      if (streak > rule.min_consecutive) streak = rule.min_consecutive + 1;
+    } else {
+      streak = 0;
+    }
+  }
+}
+
+}  // namespace remo

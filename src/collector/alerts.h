@@ -1,0 +1,94 @@
+// The result processor's warning engine (Fig. 1: "executes the concrete
+// monitoring operations including collecting and aggregating attribute
+// values, triggering warnings"). Rules are evaluated against delivered
+// values as they arrive (per-node scope) or against fleet snapshots at
+// epoch boundaries (fleet scopes), with consecutive-breach debouncing so a
+// single spike does not page anyone.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "collector/time_series.h"
+#include "common/types.h"
+
+namespace remo {
+
+using RuleId = std::uint32_t;
+
+enum class AlertOp : std::uint8_t { kGreater, kGreaterEq, kLess, kLessEq };
+enum class AlertScope : std::uint8_t {
+  kPerNode,   ///< breach when any single node's delivered value trips
+  kFleetAvg,  ///< breach on the mean of the latest values across nodes
+  kFleetMax,  ///< breach on the max of the latest values across nodes
+  kFleetMin,  ///< breach on the min of the latest values across nodes
+};
+
+const char* to_string(AlertOp op) noexcept;
+const char* to_string(AlertScope scope) noexcept;
+
+struct AlertRule {
+  AttrId attr = 0;
+  AlertOp op = AlertOp::kGreater;
+  double threshold = 0.0;
+  AlertScope scope = AlertScope::kPerNode;
+  /// Fire only after this many consecutive breaching observations
+  /// (per node for kPerNode; per epoch for fleet scopes).
+  std::uint32_t min_consecutive = 1;
+  /// Fleet scopes: ignore nodes whose latest sample is older than
+  /// `now - max_staleness` (a dead node must not pin the fleet minimum).
+  std::uint64_t max_staleness = 10;
+};
+
+struct Alert {
+  RuleId rule = 0;
+  /// Breaching node for kPerNode; kNoNode for fleet scopes.
+  NodeId node = kNoNode;
+  std::uint64_t epoch = 0;
+  /// The observed value that tripped the rule.
+  double value = 0.0;
+};
+
+class AlertEngine {
+ public:
+  using Callback = std::function<void(const Alert&)>;
+
+  /// The engine reads fleet snapshots from `store` (not owned); per-node
+  /// rules are evaluated straight off on_value() deliveries.
+  explicit AlertEngine(const TimeSeriesStore* store = nullptr) : store_(store) {}
+
+  RuleId add_rule(AlertRule rule, Callback callback);
+  bool remove_rule(RuleId id);
+  std::size_t num_rules() const noexcept { return rules_.size(); }
+
+  /// Feed one delivered value (call alongside TimeSeriesStore::record).
+  void on_value(NodeAttrPair pair, std::uint64_t epoch, double value);
+
+  /// Evaluate fleet-scope rules at an epoch boundary (needs `store`).
+  void end_epoch(std::uint64_t epoch);
+
+  std::size_t alerts_fired() const noexcept { return fired_; }
+
+ private:
+  struct RuleState {
+    AlertRule rule;
+    Callback callback;
+    /// Consecutive-breach counters: per node for kPerNode (keyed by node),
+    /// single entry keyed by kNoNode for fleet scopes.
+    std::unordered_map<NodeId, std::uint32_t> streak;
+  };
+
+  static bool breaches(const AlertRule& rule, double value);
+  void fire(RuleState& state, RuleId id, NodeId node, std::uint64_t epoch,
+            double value);
+
+  const TimeSeriesStore* store_;
+  std::map<RuleId, RuleState> rules_;
+  RuleId next_id_ = 1;
+  std::size_t fired_ = 0;
+};
+
+}  // namespace remo

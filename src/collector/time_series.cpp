@@ -1,0 +1,111 @@
+#include "collector/time_series.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace remo {
+
+TimeSeriesStore::TimeSeriesStore(std::size_t ring_capacity)
+    : capacity_(ring_capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("ring capacity must be > 0");
+}
+
+const Sample* TimeSeriesStore::newest(const Ring& ring) const {
+  if (ring.buf.empty()) return nullptr;
+  if (!ring.full) return &ring.buf.back();
+  const std::size_t idx = (ring.next + capacity_ - 1) % capacity_;
+  return &ring.buf[idx];
+}
+
+void TimeSeriesStore::record(NodeAttrPair pair, std::uint64_t epoch, double value) {
+  Ring& ring = rings_[pair];
+  if (const Sample* head = newest(ring); head != nullptr && head->epoch == epoch) {
+    // Duplicate delivery for the same epoch (e.g. a replica path): the
+    // newest observation wins, no new slot.
+    const std::size_t idx =
+        ring.full ? (ring.next + capacity_ - 1) % capacity_ : ring.buf.size() - 1;
+    ring.buf[idx].value = value;
+    return;
+  }
+  if (!ring.full) {
+    ring.buf.push_back({epoch, value});
+    if (ring.buf.size() == capacity_) {
+      ring.full = true;
+      ring.next = 0;
+    }
+  } else {
+    ring.buf[ring.next] = {epoch, value};
+    ring.next = (ring.next + 1) % capacity_;
+  }
+  ++total_samples_;
+}
+
+std::optional<Sample> TimeSeriesStore::latest(NodeAttrPair pair) const {
+  auto it = rings_.find(pair);
+  if (it == rings_.end()) return std::nullopt;
+  const Sample* head = newest(it->second);
+  return head == nullptr ? std::nullopt : std::optional<Sample>(*head);
+}
+
+std::vector<Sample> TimeSeriesStore::range(NodeAttrPair pair, std::uint64_t from,
+                                           std::uint64_t to) const {
+  std::vector<Sample> out;
+  auto it = rings_.find(pair);
+  if (it == rings_.end()) return out;
+  const Ring& ring = it->second;
+  const std::size_t n = ring.buf.size();
+  const std::size_t start = ring.full ? ring.next : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sample& s = ring.buf[(start + i) % n];
+    if (s.epoch >= from && s.epoch <= to) out.push_back(s);
+  }
+  return out;
+}
+
+WindowAggregate TimeSeriesStore::window(NodeAttrPair pair, std::uint64_t from,
+                                        std::uint64_t to) const {
+  WindowAggregate agg;
+  for (const Sample& s : range(pair, from, to)) {
+    if (agg.count == 0) {
+      agg.min = agg.max = s.value;
+    } else {
+      agg.min = std::min(agg.min, s.value);
+      agg.max = std::max(agg.max, s.value);
+    }
+    agg.sum += s.value;
+    ++agg.count;
+  }
+  return agg;
+}
+
+WindowAggregate TimeSeriesStore::snapshot(AttrId attr, std::uint64_t min_epoch) const {
+  WindowAggregate agg;
+  for (const auto& [pair, ring] : rings_) {
+    if (pair.attr != attr) continue;
+    const Sample* head = newest(ring);
+    if (head == nullptr || head->epoch < min_epoch) continue;
+    if (agg.count == 0) {
+      agg.min = agg.max = head->value;
+    } else {
+      agg.min = std::min(agg.min, head->value);
+      agg.max = std::max(agg.max, head->value);
+    }
+    agg.sum += head->value;
+    ++agg.count;
+  }
+  return agg;
+}
+
+std::optional<std::uint64_t> TimeSeriesStore::staleness(NodeAttrPair pair,
+                                                        std::uint64_t now) const {
+  const auto head = latest(pair);
+  if (!head.has_value()) return std::nullopt;
+  return now >= head->epoch ? now - head->epoch : 0;
+}
+
+void TimeSeriesStore::clear() {
+  rings_.clear();
+  total_samples_ = 0;
+}
+
+}  // namespace remo

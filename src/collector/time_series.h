@@ -1,0 +1,90 @@
+// The data collector's repository (Fig. 1): bounded time-series storage
+// for delivered attribute values, with point, range, and window-aggregate
+// queries. This is what "provides monitoring data access to users and
+// high-level applications" on top of the delivery overlay.
+//
+// One fixed-capacity ring per node-attribute pair: O(1) record, O(window)
+// range scans, memory bounded by pairs × capacity regardless of runtime.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace remo {
+
+struct Sample {
+  std::uint64_t epoch = 0;
+  double value = 0.0;
+
+  friend constexpr bool operator==(const Sample&, const Sample&) = default;
+};
+
+struct WindowAggregate {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+
+  double avg() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+class TimeSeriesStore {
+ public:
+  /// `ring_capacity`: samples retained per pair (oldest evicted first).
+  explicit TimeSeriesStore(std::size_t ring_capacity = 256);
+
+  /// Records a delivered value. Epochs are expected non-decreasing per
+  /// pair; a sample for an epoch already at the head overwrites it (a
+  /// replica path may deliver the same observation twice).
+  void record(NodeAttrPair pair, std::uint64_t epoch, double value);
+
+  /// Most recent sample for the pair.
+  std::optional<Sample> latest(NodeAttrPair pair) const;
+
+  /// Samples with epoch in [from, to], oldest first (within retention).
+  std::vector<Sample> range(NodeAttrPair pair, std::uint64_t from,
+                            std::uint64_t to) const;
+
+  /// min/max/sum/count over the pair's samples in [from, to].
+  WindowAggregate window(NodeAttrPair pair, std::uint64_t from,
+                         std::uint64_t to) const;
+
+  /// Cross-node aggregate of the *latest* value of `attr` on every node,
+  /// ignoring samples older than `min_epoch` (stale nodes drop out) — the
+  /// fleet snapshot behind dashboards and fleet-scope alerts.
+  WindowAggregate snapshot(AttrId attr, std::uint64_t min_epoch = 0) const;
+
+  /// Epochs since the pair's last delivery (nullopt if never delivered).
+  std::optional<std::uint64_t> staleness(NodeAttrPair pair,
+                                         std::uint64_t now) const;
+
+  std::size_t num_pairs() const noexcept { return rings_.size(); }
+  /// Lifetime count of recorded samples (evicted ones included; duplicate
+  /// same-epoch overwrites excluded).
+  std::size_t total_samples() const noexcept { return total_samples_; }
+  std::size_t ring_capacity() const noexcept { return capacity_; }
+
+  /// Drops every sample (retains nothing; pairs forget their history).
+  void clear();
+
+ private:
+  struct Ring {
+    std::vector<Sample> buf;  // grows to capacity_, then wraps
+    std::size_t next = 0;     // overwrite index once full
+    bool full = false;
+  };
+
+  const Sample* newest(const Ring& ring) const;
+
+  std::size_t capacity_;
+  std::unordered_map<NodeAttrPair, Ring> rings_;
+  std::size_t total_samples_ = 0;
+};
+
+}  // namespace remo

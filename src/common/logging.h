@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// REMO libraries are quiet by default (benchmarks time the planner, so
+// logging in hot paths must compile down to a level check). The level is a
+// process-wide atomic; there is no per-module configuration on purpose —
+// this is a research library, not a service.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace remo {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace remo
+
+#define REMO_LOG(level)                                 \
+  if (static_cast<int>(level) < static_cast<int>(::remo::log_level())) { \
+  } else                                                \
+    ::remo::detail::LogLine(level)
+
+#define REMO_DEBUG() REMO_LOG(::remo::LogLevel::kDebug)
+#define REMO_INFO() REMO_LOG(::remo::LogLevel::kInfo)
+#define REMO_WARN() REMO_LOG(::remo::LogLevel::kWarn)
+#define REMO_ERROR() REMO_LOG(::remo::LogLevel::kError)

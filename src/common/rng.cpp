@@ -1,0 +1,35 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace remo {
+
+double Rng::sqrt_impl(double x) noexcept { return std::sqrt(x); }
+double Rng::log_impl(double x) noexcept { return std::log(x); }
+
+std::vector<std::uint32_t> Rng::sample(std::uint32_t n, std::uint32_t k) {
+  if (k > n) k = n;
+  // For dense samples a partial Fisher–Yates over [0,n) is cheapest; for
+  // sparse samples rejection over a hash set avoids materializing [0,n).
+  if (k * 3 >= n) {
+    std::vector<std::uint32_t> all(n);
+    for (std::uint32_t i = 0; i < n; ++i) all[i] = i;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const auto j = i + static_cast<std::uint32_t>(below(n - i));
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    const auto v = static_cast<std::uint32_t>(below(n));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace remo

@@ -1,0 +1,121 @@
+// Set algebra over sorted, duplicate-free vectors.
+//
+// REMO manipulates many small sets (attribute sets of a partition, node
+// sets of a tree). Sorted vectors beat node-based containers for these
+// sizes and make unions/intersections linear merges. Every function below
+// requires its inputs to satisfy is_sorted_unique() and guarantees the same
+// for its output.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace remo {
+
+template <typename T>
+bool is_sorted_unique(const std::vector<T>& v) {
+  return std::adjacent_find(v.begin(), v.end(),
+                            [](const T& a, const T& b) { return !(a < b); }) ==
+         v.end();
+}
+
+/// Sort and deduplicate in place, turning an arbitrary vector into a set.
+template <typename T>
+void sort_unique(std::vector<T>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+template <typename T>
+bool set_contains(const std::vector<T>& v, const T& x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+/// Insert x if absent; returns true if inserted.
+template <typename T>
+bool set_insert(std::vector<T>& v, const T& x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) return false;
+  v.insert(it, x);
+  return true;
+}
+
+/// Erase x if present; returns true if erased.
+template <typename T>
+bool set_erase(std::vector<T>& v, const T& x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || !(*it == x)) return false;
+  v.erase(it);
+  return true;
+}
+
+template <typename T>
+std::vector<T> set_union(const std::vector<T>& a, const std::vector<T>& b) {
+  std::vector<T> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+template <typename T>
+std::vector<T> set_intersection(const std::vector<T>& a, const std::vector<T>& b) {
+  std::vector<T> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+template <typename T>
+std::vector<T> set_difference(const std::vector<T>& a, const std::vector<T>& b) {
+  std::vector<T> out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+/// |a ∩ b| without materializing the intersection.
+template <typename T>
+std::size_t intersection_size(const std::vector<T>& a, const std::vector<T>& b) {
+  std::size_t n = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++n;
+      ++ia;
+      ++ib;
+    }
+  }
+  return n;
+}
+
+template <typename T>
+bool sets_intersect(const std::vector<T>& a, const std::vector<T>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// True iff a ⊆ b.
+template <typename T>
+bool is_subset(const std::vector<T>& a, const std::vector<T>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace remo

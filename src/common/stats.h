@@ -1,0 +1,45 @@
+// Small statistics helpers used by the simulator and the bench harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace remo {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance.
+  double variance() const noexcept { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile over a sample (linear interpolation between ranks).
+/// p in [0, 100]. Returns 0 for an empty sample.
+double percentile(std::vector<double> sample, double p);
+
+/// Arithmetic mean; 0 for empty input.
+double mean_of(const std::vector<double>& v);
+
+/// Jain's fairness index: (Σx)² / (n·Σx²); 1 = perfectly balanced.
+/// Used to characterize load balance across monitoring nodes.
+double jain_fairness(const std::vector<double>& loads);
+
+}  // namespace remo

@@ -1,0 +1,36 @@
+// Fixed-width table printer for the bench harnesses.
+//
+// Every figure-reproduction bench prints its series as an aligned text
+// table (one row per sweep point, one column per scheme) so that
+// bench_output.txt is directly comparable to the paper's figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace remo {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row. Subsequent add() calls fill its cells.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(double value, int precision = 2);
+  Table& add(long long value);
+  Table& add(int value) { return add(static_cast<long long>(value)); }
+  Table& add(std::size_t value) { return add(static_cast<long long>(value)); }
+
+  /// Render with aligned columns; includes a header underline.
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace remo

@@ -1,0 +1,71 @@
+// Core identifier types and small value types shared by every REMO module.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace remo {
+
+/// Identifies a monitoring node. Node 0 is reserved for the central data
+/// collector (the root of every monitoring tree).
+using NodeId = std::uint32_t;
+
+/// Identifies an attribute *type* (e.g. "cpu_utilization"). Attributes at
+/// different nodes with the same id are considered the same type (Sec. 2.3).
+using AttrId = std::uint32_t;
+
+/// Identifies a monitoring task submitted to the task manager.
+using TaskId = std::uint32_t;
+
+/// Identifies a monitoring tree within a topology.
+using TreeId = std::uint32_t;
+
+/// Resource capacity / consumption, in abstract cost units per unit time
+/// (the paper uses CPU as the primary resource, Sec. 2.3).
+using Capacity = double;
+
+/// The reserved id of the central data collector node.
+inline constexpr NodeId kCollectorId = 0;
+
+/// Sentinel for "no node" (e.g. the parent of a tree root).
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no tree".
+inline constexpr TreeId kNoTree = std::numeric_limits<TreeId>::max();
+
+/// A single (node, attribute) pair: the unit of monitoring work after the
+/// task manager deduplicates overlapping tasks (Definition 1).
+struct NodeAttrPair {
+  NodeId node = kNoNode;
+  AttrId attr = 0;
+
+  friend constexpr bool operator==(const NodeAttrPair&,
+                                   const NodeAttrPair&) = default;
+  friend constexpr auto operator<=>(const NodeAttrPair&,
+                                    const NodeAttrPair&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const NodeAttrPair& p) {
+  return os << "(n" << p.node << ",a" << p.attr << ")";
+}
+
+}  // namespace remo
+
+template <>
+struct std::hash<remo::NodeAttrPair> {
+  std::size_t operator()(const remo::NodeAttrPair& p) const noexcept {
+    // Splitmix-style combine: both fields are 32-bit so pack then mix.
+    std::uint64_t v =
+        (static_cast<std::uint64_t>(p.node) << 32) | static_cast<std::uint64_t>(p.attr);
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdULL;
+    v ^= v >> 33;
+    v *= 0xc4ceb9fe1a85ec53ULL;
+    v ^= v >> 33;
+    return static_cast<std::size_t>(v);
+  }
+};

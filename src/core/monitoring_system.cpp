@@ -1,0 +1,136 @@
+#include "core/monitoring_system.h"
+
+#include "planner/export.h"
+
+namespace remo {
+
+MonitoringSystem::MonitoringSystem(SystemModel system,
+                                   MonitoringSystemOptions options)
+    : system_(std::move(system)),
+      options_(std::move(options)),
+      manager_(&system_) {}
+
+TaskId MonitoringSystem::add_task(MonitoringTask task) {
+  task.id = next_id_++;
+  user_tasks_.emplace(task.id, std::move(task));
+  ++public_tasks_;
+  dirty_ = true;
+  return next_id_ - 1;
+}
+
+bool MonitoringSystem::remove_task(TaskId id) {
+  if (user_tasks_.erase(id) == 0) return false;
+  --public_tasks_;
+  dirty_ = true;
+  return true;
+}
+
+bool MonitoringSystem::modify_task(MonitoringTask task) {
+  auto it = user_tasks_.find(task.id);
+  if (it == user_tasks_.end()) return false;
+  it->second = std::move(task);
+  dirty_ = true;
+  return true;
+}
+
+MonitoringSystem::RewriteState MonitoringSystem::rebuild_internal_tasks() {
+  // Rewrite the user tasks (reliability expansion) into the internal
+  // manager and derive the planner's per-attribute specs.
+  std::vector<MonitoringTask> raw;
+  raw.reserve(user_tasks_.size());
+  for (const auto& [id, t] : user_tasks_) raw.push_back(t);
+
+  ReliabilityRewriter rewriter(options_.first_alias_id);
+  auto rewritten = rewriter.rewrite(raw);
+  ReliabilityRewriter::register_aliases(system_, rewritten.alias_of);
+
+  manager_ = TaskManager(&system_);
+  for (auto& t : rewritten.tasks) manager_.add_task(std::move(t));
+
+  RewriteState state;
+  state.planner_options = options_.planner;
+  state.planner_options.conflicts = rewritten.conflicts;
+  state.planner_options.attr_specs = derive_attr_specs(
+      manager_, options_.aggregation_aware, options_.frequency_aware);
+
+  // Constraint signature: when it changes the adaptive planner must be
+  // rebuilt (it has no API for evolving conflicts/specs); otherwise task
+  // churn flows through the cheap apply_update path.
+  std::size_t funnels = 0, weights = 0;
+  for (AttrId a : manager_.dedup(system_.num_vertices()).attribute_universe()) {
+    if (state.planner_options.attr_specs.funnel(a).type() != AggType::kHolistic)
+      ++funnels;
+    if (state.planner_options.attr_specs.weight(a) < 1.0) ++weights;
+  }
+  state.signature = std::to_string(rewritten.conflicts.size()) + ":" +
+                    std::to_string(funnels) + ":" + std::to_string(weights);
+  return state;
+}
+
+void MonitoringSystem::ensure_planned(double now) {
+  if (!dirty_ && planner_.has_value()) return;
+  RewriteState state = rebuild_internal_tasks();
+  const PairSet pairs = manager_.dedup(system_.num_vertices());
+
+  if (!planner_.has_value() || state.signature != constraint_signature_) {
+    // First plan, or the constraint set changed shape: full (re)build.
+    const Topology previous =
+        planner_.has_value() ? planner_->topology() : Topology{};
+    planner_.emplace(system_, state.planner_options, options_.adaptation);
+    planner_->initialize(pairs, now);
+    if (!previous.entries().empty()) {
+      const std::size_t moved = edge_diff(previous, planner_->topology());
+      if (moved > 0) {
+        ++adaptations_;
+        adaptation_messages_ += moved;
+      }
+    }
+    constraint_signature_ = state.signature;
+  } else {
+    const auto report = planner_->apply_update(pairs, now);
+    if (report.adaptation_messages > 0) {
+      ++adaptations_;
+      adaptation_messages_ += report.adaptation_messages;
+    }
+  }
+  dirty_ = false;
+}
+
+const Topology& MonitoringSystem::topology(double now) {
+  ensure_planned(now);
+  return planner_->topology();
+}
+
+void MonitoringSystem::replan(double now) {
+  dirty_ = true;
+  planner_.reset();
+  constraint_signature_.clear();
+  ensure_planned(now);
+}
+
+MonitoringSystem::Status MonitoringSystem::status(double now) {
+  ensure_planned(now);
+  const Topology& topo = planner_->topology();
+  Status s;
+  s.tasks = public_tasks_;
+  s.pairs = topo.total_pairs();
+  s.collected = topo.collected_pairs();
+  s.coverage = topo.coverage();
+  s.trees = topo.num_trees();
+  s.message_volume = topo.total_cost();
+  s.adaptations = adaptations_;
+  s.adaptation_messages = adaptation_messages_;
+  return s;
+}
+
+std::string MonitoringSystem::export_dot(double now) {
+  ensure_planned(now);
+  return to_dot(planner_->topology());
+}
+
+std::string MonitoringSystem::export_json(double now) {
+  ensure_planned(now);
+  return to_json(planner_->topology());
+}
+
+}  // namespace remo

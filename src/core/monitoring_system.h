@@ -1,0 +1,105 @@
+// The top-level facade matching the paper's system model (Fig. 1): the
+// task manager ingests monitoring tasks, the management core (monitoring
+// planner) maintains the overlay, and users read the resulting topology
+// and status. This is the one-stop API a downstream application embeds;
+// the lower layers (Planner, AdaptivePlanner, TaskManager, simulate())
+// remain available for fine-grained control.
+//
+// Task mutations are buffered; the topology is (re)planned lazily on the
+// next read, through the adaptive planner, so a burst of task changes
+// costs one adaptation. Time is whatever unit the caller advances
+// (epochs); it feeds the cost-benefit throttle.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "adapt/adaptive_planner.h"
+#include "extensions/attr_spec_derivation.h"
+#include "extensions/reliability.h"
+#include "task/task_manager.h"
+
+namespace remo {
+
+struct MonitoringSystemOptions {
+  PlannerOptions planner;
+  /// Adaptation scheme used when tasks change after the initial plan.
+  AdaptScheme adaptation = AdaptScheme::kAdaptive;
+  /// Derive funnels / frequency weights from the task set automatically
+  /// (Sec. 6.1 / 6.3). Disable to plan extension-oblivious.
+  bool aggregation_aware = true;
+  bool frequency_aware = true;
+  /// Rewrite SSDP/DSDP tasks into replicas with conflict constraints
+  /// (Sec. 6.2). Alias attribute ids are allocated from this value up;
+  /// it must sit above every real attribute id.
+  AttrId first_alias_id = 1u << 20;
+};
+
+class MonitoringSystem {
+ public:
+  MonitoringSystem(SystemModel system, MonitoringSystemOptions options = {});
+
+  // The internal planner holds pointers into the owned SystemModel;
+  // moving/copying the facade would dangle them.
+  MonitoringSystem(const MonitoringSystem&) = delete;
+  MonitoringSystem& operator=(const MonitoringSystem&) = delete;
+
+  // ---- task management (Fig. 1: Task manager) -------------------------
+  /// Adds a task; returns its id. SSDP/DSDP tasks are rewritten into
+  /// replica tasks transparently (their ids map to the original id).
+  TaskId add_task(MonitoringTask task);
+  bool remove_task(TaskId id);
+  bool modify_task(MonitoringTask task);
+  std::size_t num_tasks() const noexcept { return public_tasks_; }
+
+  // ---- overlay (Fig. 1: Management core / Monitoring planner) ---------
+  /// The current monitoring topology; replans if tasks changed. `now` is
+  /// the caller's clock (same unit across calls), driving the throttle.
+  const Topology& topology(double now = 0.0);
+  /// Force a full from-scratch replan regardless of the adaptation scheme.
+  void replan(double now = 0.0);
+
+  struct Status {
+    std::size_t tasks = 0;
+    std::size_t pairs = 0;
+    std::size_t collected = 0;
+    double coverage = 0.0;
+    std::size_t trees = 0;
+    Capacity message_volume = 0.0;
+    std::size_t adaptations = 0;  // apply_update calls that changed links
+    std::size_t adaptation_messages = 0;
+  };
+  Status status(double now = 0.0);
+
+  // ---- introspection ----------------------------------------------------
+  std::string export_dot(double now = 0.0);
+  std::string export_json(double now = 0.0);
+  const SystemModel& system() const noexcept { return system_; }
+  SystemModel& mutable_system() noexcept { return system_; }
+  const TaskManager& tasks() const noexcept { return manager_; }
+
+ private:
+  struct RewriteState {
+    PlannerOptions planner_options;
+    std::string signature;
+  };
+
+  void ensure_planned(double now);
+  RewriteState rebuild_internal_tasks();
+
+  SystemModel system_;
+  MonitoringSystemOptions options_;
+  /// User-visible tasks (pre-rewriting).
+  std::map<TaskId, MonitoringTask> user_tasks_;
+  std::size_t public_tasks_ = 0;
+  TaskId next_id_ = 1;
+  /// Internal manager holding the rewritten tasks.
+  TaskManager manager_;
+  std::optional<AdaptivePlanner> planner_;
+  std::string constraint_signature_;
+  bool dirty_ = true;
+  std::size_t adaptations_ = 0;
+  std::size_t adaptation_messages_ = 0;
+};
+
+}  // namespace remo

@@ -1,0 +1,264 @@
+#include "core/scenario_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <sstream>
+
+#include "common/sorted_vector.h"
+
+namespace remo {
+namespace {
+
+std::optional<double> to_double(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::uint64_t> to_uint(const std::string& s) {
+  std::uint64_t v = 0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return v;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+/// "key=value" tokens after the directive word.
+std::optional<std::map<std::string, std::string>> parse_kv(
+    const std::vector<std::string>& tokens, std::size_t first) {
+  std::map<std::string, std::string> kv;
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos || eq == 0) return std::nullopt;
+    kv[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+  }
+  return kv;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::optional<std::vector<NodeId>> parse_node_range(const std::string& spec) {
+  std::vector<NodeId> out;
+  if (spec.empty()) return std::nullopt;
+  for (const auto& part : split(spec, ',')) {
+    const auto dash = part.find('-');
+    if (dash == std::string::npos) {
+      const auto v = to_uint(part);
+      if (!v) return std::nullopt;
+      out.push_back(static_cast<NodeId>(*v));
+    } else {
+      const auto lo = to_uint(part.substr(0, dash));
+      const auto hi = to_uint(part.substr(dash + 1));
+      if (!lo || !hi || *lo > *hi) return std::nullopt;
+      for (std::uint64_t v = *lo; v <= *hi; ++v)
+        out.push_back(static_cast<NodeId>(v));
+    }
+  }
+  sort_unique(out);
+  return out;
+}
+
+std::optional<std::vector<AttrId>> parse_attr_list(const std::string& spec) {
+  std::vector<AttrId> out;
+  if (spec.empty()) return std::nullopt;
+  for (const auto& part : split(spec, ',')) {
+    const auto dash = part.find('-');
+    if (dash == std::string::npos) {
+      const auto v = to_uint(part);
+      if (!v) return std::nullopt;
+      out.push_back(static_cast<AttrId>(*v));
+    } else {
+      const auto lo = to_uint(part.substr(0, dash));
+      const auto hi = to_uint(part.substr(dash + 1));
+      if (!lo || !hi || *lo > *hi) return std::nullopt;
+      for (std::uint64_t v = *lo; v <= *hi; ++v)
+        out.push_back(static_cast<AttrId>(v));
+    }
+  }
+  sort_unique(out);
+  return out;
+}
+
+std::optional<AggType> parse_agg(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "holistic" || lower == "none") return AggType::kHolistic;
+  if (lower == "sum") return AggType::kSum;
+  if (lower == "max") return AggType::kMax;
+  if (lower == "min") return AggType::kMin;
+  if (lower == "count") return AggType::kCount;
+  if (lower == "avg") return AggType::kAvg;
+  if (lower == "topk") return AggType::kTopK;
+  if (lower == "distinct") return AggType::kDistinct;
+  return std::nullopt;
+}
+
+}  // namespace detail
+
+ParseResult parse_scenario(const std::string& text) {
+  ParseResult result;
+  auto fail = [&result](int line, const std::string& message) {
+    result.scenario.reset();
+    result.error = "line " + std::to_string(line) + ": " + message;
+    return result;
+  };
+
+  std::optional<Scenario> scenario;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const auto tokens = tokenize(raw);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+
+    if (directive == "system") {
+      if (scenario) return fail(line_no, "duplicate system directive");
+      const auto kv = parse_kv(tokens, 1);
+      if (!kv) return fail(line_no, "malformed key=value token");
+      std::optional<std::uint64_t> nodes;
+      if (kv->count("nodes")) nodes = to_uint(kv->at("nodes"));
+      std::optional<double> cap;
+      if (kv->count("capacity")) cap = to_double(kv->at("capacity"));
+      if (!nodes || *nodes == 0 || !cap)
+        return fail(line_no, "system needs nodes=<n> capacity=<b>");
+      CostModel cost;
+      if (kv->count("C")) {
+        const auto c = to_double(kv->at("C"));
+        if (!c) return fail(line_no, "bad C");
+        cost.per_message = *c;
+      }
+      if (kv->count("a")) {
+        const auto a = to_double(kv->at("a"));
+        if (!a) return fail(line_no, "bad a");
+        cost.per_value = *a;
+      }
+      scenario.emplace(Scenario{SystemModel(*nodes, *cap, cost), {}});
+      if (kv->count("collector")) {
+        const auto b0 = to_double(kv->at("collector"));
+        if (!b0) return fail(line_no, "bad collector capacity");
+        scenario->system.set_collector_capacity(*b0);
+      }
+      continue;
+    }
+
+    if (!scenario) return fail(line_no, "system directive must come first");
+
+    if (directive == "observe") {
+      if (tokens.size() != 3) return fail(line_no, "observe <nodes> <attrs>");
+      const auto nodes = detail::parse_node_range(tokens[1]);
+      const auto attrs = detail::parse_attr_list(tokens[2]);
+      if (!nodes || !attrs) return fail(line_no, "malformed observe ranges");
+      for (NodeId n : *nodes) {
+        if (n == kCollectorId || n > scenario->system.num_nodes())
+          return fail(line_no, "observe node out of range");
+        auto merged = set_union(scenario->system.observable(n), *attrs);
+        scenario->system.set_observable(n, std::move(merged));
+      }
+      continue;
+    }
+
+    if (directive == "capacity") {
+      if (tokens.size() != 3) return fail(line_no, "capacity <nodes> <value>");
+      const auto nodes = detail::parse_node_range(tokens[1]);
+      const auto value = to_double(tokens[2]);
+      if (!nodes || !value) return fail(line_no, "malformed capacity directive");
+      for (NodeId n : *nodes) {
+        if (n > scenario->system.num_nodes())
+          return fail(line_no, "capacity node out of range");
+        scenario->system.set_capacity(n, *value);
+      }
+      continue;
+    }
+
+    if (directive == "task") {
+      const auto kv = parse_kv(tokens, 1);
+      if (!kv) return fail(line_no, "malformed key=value token");
+      if (!kv->count("attrs") || !kv->count("nodes"))
+        return fail(line_no, "task needs attrs=<list> nodes=<range>");
+      const auto attrs = detail::parse_attr_list(kv->at("attrs"));
+      const auto nodes = detail::parse_node_range(kv->at("nodes"));
+      if (!attrs || !nodes) return fail(line_no, "malformed task ranges");
+      MonitoringTask t;
+      t.attrs = *attrs;
+      t.nodes = *nodes;
+      if (kv->count("freq")) {
+        const auto f = to_double(kv->at("freq"));
+        if (!f || *f <= 0.0 || *f > 1.0)
+          return fail(line_no, "freq must be in (0, 1]");
+        t.frequency = *f;
+      }
+      if (kv->count("agg")) {
+        const auto agg = detail::parse_agg(kv->at("agg"));
+        if (!agg) return fail(line_no, "unknown aggregation type");
+        t.aggregation = *agg;
+      }
+      if (kv->count("topk")) {
+        const auto k = to_uint(kv->at("topk"));
+        if (!k || *k == 0) return fail(line_no, "bad topk");
+        t.top_k = static_cast<std::uint32_t>(*k);
+      }
+      if (kv->count("reliability")) {
+        const std::string& mode = kv->at("reliability");
+        if (mode == "ssdp")
+          t.reliability = ReliabilityMode::kSSDP;
+        else if (mode == "dsdp")
+          t.reliability = ReliabilityMode::kDSDP;
+        else
+          return fail(line_no, "reliability must be ssdp or dsdp");
+      }
+      if (kv->count("replicas")) {
+        const auto r = to_uint(kv->at("replicas"));
+        if (!r || *r < 2) return fail(line_no, "replicas must be >= 2");
+        t.replicas = static_cast<std::uint32_t>(*r);
+      }
+      scenario->tasks.push_back(std::move(t));
+      continue;
+    }
+
+    return fail(line_no, "unknown directive '" + directive + "'");
+  }
+
+  if (!scenario) return fail(0, "missing system directive");
+  result.scenario = std::move(scenario);
+  return result;
+}
+
+}  // namespace remo

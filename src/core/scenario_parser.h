@@ -1,0 +1,53 @@
+// Text-format scenario descriptions: lets operators describe a monitored
+// system and its tasks in a small config file and drive the planner
+// without writing C++ (see examples/remo_plan.cpp).
+//
+// Format (one directive per line; '#' starts a comment):
+//
+//   system nodes=<n> capacity=<b> collector=<b0> C=<c> a=<a>
+//   capacity <node-range> <value>
+//   observe <node-range> <attr-list>
+//   task attrs=<attr-list> nodes=<node-range> [freq=<f>] [agg=<type>]
+//        [topk=<k>] [reliability=<ssdp|dsdp>] [replicas=<r>]
+//
+// where <node-range> is a comma list of ids and inclusive ranges
+// ("1-8,10,12-14") and <attr-list> a comma list of attribute ids
+// ("0,1,5"). The `system` directive must come first; `observe` and
+// `capacity` ranges must stay within the declared node count.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/system_model.h"
+#include "task/task.h"
+
+namespace remo {
+
+struct Scenario {
+  SystemModel system;
+  std::vector<MonitoringTask> tasks;
+};
+
+struct ParseResult {
+  std::optional<Scenario> scenario;
+  /// Empty on success; otherwise "line N: message".
+  std::string error;
+
+  bool ok() const noexcept { return scenario.has_value(); }
+};
+
+/// Parses a scenario description. Never throws; malformed input is
+/// reported through ParseResult::error.
+ParseResult parse_scenario(const std::string& text);
+
+// Exposed for unit tests.
+namespace detail {
+/// "1-3,7" -> {1,2,3,7}; empty optional on malformed input.
+std::optional<std::vector<NodeId>> parse_node_range(const std::string& spec);
+std::optional<std::vector<AttrId>> parse_attr_list(const std::string& spec);
+std::optional<AggType> parse_agg(const std::string& name);
+}  // namespace detail
+
+}  // namespace remo

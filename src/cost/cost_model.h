@@ -1,0 +1,47 @@
+// The REMO message cost model (Sec. 2.3).
+//
+// Every message carries a fixed per-message overhead C plus a per-value
+// cost a: cost(x values) = C + a·x. Both sending and receiving a message
+// charge this cost to the respective endpoint. The paper motivates the
+// model from BlueGene/P measurements (Fig. 2): root CPU grows linearly in
+// the *number* of received messages (~0.26%/msg) and, much more slowly, in
+// the number of values per message (0.2% -> 1.4% for 1 -> 256 values).
+#pragma once
+
+#include <cassert>
+
+#include "common/types.h"
+
+namespace remo {
+
+struct CostModel {
+  /// Per-message overhead C (cost units). Paper default keeps C/a around 20
+  /// in most experiments; benches sweep the ratio (Fig. 6c/6d).
+  double per_message = 20.0;
+  /// Per-value cost a (cost units per attribute value).
+  double per_value = 1.0;
+
+  constexpr CostModel() = default;
+  constexpr CostModel(double c, double a) : per_message(c), per_value(a) {}
+
+  /// Cost of sending (or receiving) one message carrying `values` values.
+  constexpr Capacity message_cost(std::size_t values) const noexcept {
+    return per_message + per_value * static_cast<double>(values);
+  }
+
+  /// The C/a ratio the paper sweeps in Fig. 6c/6d.
+  constexpr double overhead_ratio() const noexcept {
+    return per_value > 0 ? per_message / per_value : 0.0;
+  }
+
+  /// How many values amortize the per-message overhead down to `frac` of
+  /// total message cost. Used by heuristics to reason about batching.
+  constexpr double values_for_overhead_fraction(double frac) const noexcept {
+    // frac = C / (C + a·x)  =>  x = C (1 - frac) / (a · frac)
+    return per_message * (1.0 - frac) / (per_value * frac);
+  }
+
+  friend constexpr bool operator==(const CostModel&, const CostModel&) = default;
+};
+
+}  // namespace remo

@@ -1,0 +1,50 @@
+#include "cost/system_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/sorted_vector.h"
+
+namespace remo {
+
+SystemModel::SystemModel(std::size_t num_nodes, Capacity default_capacity,
+                         CostModel cost)
+    : num_nodes_(num_nodes),
+      cost_(cost),
+      capacity_(num_nodes + 1, default_capacity),
+      observable_(num_nodes + 1) {
+  if (num_nodes == 0) throw std::invalid_argument("SystemModel needs >= 1 node");
+}
+
+void SystemModel::set_observable(NodeId id, std::vector<AttrId> attrs) {
+  sort_unique(attrs);
+  observable_.at(id) = std::move(attrs);
+}
+
+bool SystemModel::observes(NodeId id, AttrId attr) const {
+  return set_contains(observable_.at(id), attr);
+}
+
+std::vector<NodeId> SystemModel::monitoring_nodes() const {
+  std::vector<NodeId> ids(num_nodes_);
+  for (std::size_t i = 0; i < num_nodes_; ++i) ids[i] = static_cast<NodeId>(i + 1);
+  return ids;
+}
+
+void SystemModel::assign_random_attributes(std::size_t attr_universe,
+                                           std::size_t attrs_per_node, Rng& rng) {
+  attrs_per_node = std::min(attrs_per_node, attr_universe);
+  for (NodeId id = 1; id <= num_nodes_; ++id) {
+    auto picks = rng.sample(static_cast<std::uint32_t>(attr_universe),
+                            static_cast<std::uint32_t>(attrs_per_node));
+    std::vector<AttrId> attrs(picks.begin(), picks.end());
+    set_observable(id, std::move(attrs));
+  }
+}
+
+void SystemModel::perturb_capacities(double lo_frac, double hi_frac, Rng& rng) {
+  for (NodeId id = 1; id <= num_nodes_; ++id)
+    capacity_[id] *= rng.uniform(lo_frac, hi_frac);
+}
+
+}  // namespace remo

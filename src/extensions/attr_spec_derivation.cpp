@@ -1,0 +1,49 @@
+#include "extensions/attr_spec_derivation.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+namespace remo {
+
+AttrSpecTable derive_attr_specs(const TaskManager& tasks, bool aggregation_aware,
+                                bool frequency_aware) {
+  AttrSpecTable specs;
+
+  // Per attribute: the agreed aggregation (nullopt = disagreement =>
+  // holistic) and the fastest requested frequency.
+  struct Info {
+    std::optional<AggType> agg;
+    std::uint32_t top_k = 10;
+    bool agg_conflict = false;
+    double freq = 0.0;
+  };
+  std::map<AttrId, Info> info;
+  double freq_max = 0.0;
+
+  for (const auto& [id, t] : tasks.tasks()) {
+    freq_max = std::max(freq_max, t.frequency);
+    for (AttrId a : t.attrs) {
+      auto& e = info[a];
+      e.freq = std::max(e.freq, t.frequency);
+      if (!e.agg.has_value()) {
+        e.agg = t.aggregation;
+        e.top_k = t.top_k;
+      } else if (*e.agg != t.aggregation ||
+                 (t.aggregation == AggType::kTopK && e.top_k != t.top_k)) {
+        e.agg_conflict = true;
+      }
+    }
+  }
+
+  for (const auto& [attr, e] : info) {
+    if (aggregation_aware && e.agg.has_value() && !e.agg_conflict &&
+        *e.agg != AggType::kHolistic)
+      specs.set_funnel(attr, FunnelSpec(*e.agg, e.top_k));
+    if (frequency_aware && freq_max > 0.0 && e.freq > 0.0 && e.freq < freq_max)
+      specs.set_weight(attr, e.freq / freq_max);
+  }
+  return specs;
+}
+
+}  // namespace remo

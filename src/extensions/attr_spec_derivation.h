@@ -1,0 +1,21 @@
+// Derives the planner's per-attribute specs (funnels + frequency weights)
+// from the task set — the glue for the Sec. 6.1 / 6.3 extensions.
+//
+// Aggregation awareness: an attribute gets a non-holistic funnel only when
+// *every* task requesting it agrees on the aggregation type (otherwise the
+// holistic upper bound keeps every consumer satisfiable).
+//
+// Frequency awareness: weight(attr) = freq(attr) / freq_max, where
+// freq(attr) is the fastest rate any task requests for it (piggybacked
+// slower tasks ride along, Sec. 6.3).
+#pragma once
+
+#include "planner/attr_specs.h"
+#include "task/task_manager.h"
+
+namespace remo {
+
+AttrSpecTable derive_attr_specs(const TaskManager& tasks, bool aggregation_aware,
+                                bool frequency_aware);
+
+}  // namespace remo

@@ -1,0 +1,112 @@
+#include "extensions/reliability.h"
+
+#include <algorithm>
+
+#include "common/sorted_vector.h"
+
+namespace remo {
+
+AttrId ReliabilityRewriter::fresh_alias(AttrId original,
+                                        ReliabilityRewriteResult& out) {
+  const AttrId alias = next_alias_++;
+  out.alias_of[alias] = original;
+  return alias;
+}
+
+ReliabilityRewriteResult ReliabilityRewriter::rewrite(
+    const std::vector<MonitoringTask>& tasks) {
+  ReliabilityRewriteResult out;
+  for (const auto& task : tasks) {
+    switch (task.reliability) {
+      case ReliabilityMode::kNone: {
+        out.tasks.push_back(task);
+        break;
+      }
+      case ReliabilityMode::kSSDP: {
+        // Replica 1 is the original task itself.
+        MonitoringTask base = task;
+        base.reliability = ReliabilityMode::kNone;
+        out.tasks.push_back(base);
+        // Replicas 2..r use alias attributes; all copies of one attribute
+        // (original + aliases) are pairwise conflicting.
+        std::vector<std::vector<AttrId>> copies;  // per original attr
+        copies.reserve(task.attrs.size());
+        for (AttrId a : task.attrs) copies.push_back({a});
+        for (std::uint32_t r = 2; r <= std::max<std::uint32_t>(task.replicas, 1);
+             ++r) {
+          MonitoringTask replica = base;
+          replica.attrs.clear();
+          for (std::size_t i = 0; i < task.attrs.size(); ++i) {
+            const AttrId alias = fresh_alias(task.attrs[i], out);
+            replica.attrs.push_back(alias);
+            copies[i].push_back(alias);
+          }
+          sort_unique(replica.attrs);
+          out.tasks.push_back(std::move(replica));
+        }
+        for (const auto& group : copies)
+          for (std::size_t i = 0; i < group.size(); ++i)
+            for (std::size_t j = i + 1; j < group.size(); ++j)
+              out.conflicts.forbid(group[i], group[j]);
+        break;
+      }
+      case ReliabilityMode::kDSDP: {
+        if (task.identical_groups.empty() || task.attrs.empty()) {
+          MonitoringTask base = task;
+          base.reliability = ReliabilityMode::kNone;
+          out.tasks.push_back(std::move(base));
+          break;
+        }
+        // k = min |N(v_i)| bounds how many distinct-source replicas exist.
+        std::size_t k = task.identical_groups.front().size();
+        for (const auto& g : task.identical_groups) k = std::min(k, g.size());
+        k = std::min<std::size_t>(k, std::max<std::uint32_t>(task.replicas, 1));
+        // DSDP is defined for a single metric observed by node groups; for
+        // multi-attribute tasks we replicate each attribute the same way.
+        std::vector<std::vector<AttrId>> copies;
+        copies.reserve(task.attrs.size());
+        for (AttrId a : task.attrs) copies.push_back({a});
+        for (std::size_t r = 0; r < k; ++r) {
+          MonitoringTask replica;
+          replica.frequency = task.frequency;
+          replica.aggregation = task.aggregation;
+          replica.top_k = task.top_k;
+          for (const auto& g : task.identical_groups)
+            replica.nodes.push_back(g[r]);
+          sort_unique(replica.nodes);
+          for (std::size_t i = 0; i < task.attrs.size(); ++i) {
+            const AttrId id =
+                r == 0 ? task.attrs[i] : fresh_alias(task.attrs[i], out);
+            replica.attrs.push_back(id);
+            if (r > 0) copies[i].push_back(id);
+          }
+          sort_unique(replica.attrs);
+          out.tasks.push_back(std::move(replica));
+        }
+        for (const auto& group : copies)
+          for (std::size_t i = 0; i < group.size(); ++i)
+            for (std::size_t j = i + 1; j < group.size(); ++j)
+              out.conflicts.forbid(group[i], group[j]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void ReliabilityRewriter::register_aliases(
+    SystemModel& system, const std::unordered_map<AttrId, AttrId>& alias_of) {
+  for (NodeId n = 1; n <= system.num_nodes(); ++n) {
+    std::vector<AttrId> attrs = system.observable(n);
+    bool changed = false;
+    for (const auto& [alias, original] : alias_of) {
+      if (set_contains(system.observable(n), original)) {
+        attrs.push_back(alias);
+        changed = true;
+      }
+    }
+    if (changed) system.set_observable(n, std::move(attrs));
+  }
+}
+
+}  // namespace remo

@@ -1,0 +1,55 @@
+// Reliability enhancement by task rewriting (Sec. 6.2). REMO's distinct
+// trick is that replication needs no planner changes: rewrite the tasks
+// (attribute aliases for SSDP, per-replica source sets for DSDP) and add
+// conflict constraints so replicas can never share a tree — the partition
+// search then automatically delivers each copy over a different path.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "cost/system_model.h"
+#include "partition/partition.h"
+#include "task/task.h"
+
+namespace remo {
+
+struct ReliabilityRewriteResult {
+  /// The expanded task list: originals (reliability cleared) + replicas.
+  std::vector<MonitoringTask> tasks;
+  /// Alias/replica attributes that must not share a tree.
+  ConflictConstraints conflicts;
+  /// alias attribute -> original attribute (aliases carry the same values).
+  std::unordered_map<AttrId, AttrId> alias_of;
+};
+
+class ReliabilityRewriter {
+ public:
+  /// Alias attribute ids are allocated from `first_alias_id` upward; pick
+  /// it above every real attribute id.
+  explicit ReliabilityRewriter(AttrId first_alias_id)
+      : next_alias_(first_alias_id) {}
+
+  /// Rewrites all tasks. Non-replicated tasks pass through unchanged.
+  ///
+  /// SSDP: for each replica r >= 2 a clone task is emitted whose attributes
+  /// are fresh aliases of the originals; original + aliases are pairwise
+  /// conflicting.
+  ///
+  /// DSDP: the task must carry identical_groups; replica r collects an
+  /// alias from the r-th node of every group (k = min group size bounds
+  /// the usable replicas).
+  ReliabilityRewriteResult rewrite(const std::vector<MonitoringTask>& tasks);
+
+  /// Makes every alias observable wherever its original is, so the task
+  /// manager's observability filter admits the rewritten tasks.
+  static void register_aliases(SystemModel& system,
+                               const std::unordered_map<AttrId, AttrId>& alias_of);
+
+ private:
+  AttrId fresh_alias(AttrId original, ReliabilityRewriteResult& out);
+
+  AttrId next_alias_;
+};
+
+}  // namespace remo

@@ -1,0 +1,75 @@
+// Guided partition augmentation (Sec. 3.1.1): enumerate the neighboring
+// solutions of a partition (one merge or one split away) and rank them by
+// the estimated reduction in total capacity usage, so the planner can
+// evaluate only the most promising few with (expensive) resource-aware
+// tree construction.
+//
+// The exact gain formula lives in the paper's online appendix, which is
+// not part of the provided text; the estimates here implement what the
+// body specifies — "the estimated reduction in the total capacity usage
+// that would result from using the new partition":
+//
+//   merge(A_i, A_j):  every node monitored by both trees sends (and its
+//     parent receives) one message instead of two, saving ~2·C per shared
+//     node per unit time:              g = 2·C·|N_i ∩ N_j|
+//   split(A_i ▷ α):   a split never reduces aggregate usage (it adds
+//     per-message overhead 2·C for every node that monitors α alongside
+//     another attribute of A_i), but it relieves the per-node payload of
+//     an overloaded tree; we rank splits by relieved payload minus added
+//     overhead:                        g = a·Σ_{n∈N_α} depth-free payload
+//                                          − 2·C·|N_α ∩ N_{A_i∖α}|
+//     (payload relieved = values of α no longer relayed in tree i).
+//
+// Positive-gain merges come first; splits matter when the evaluation
+// objective (collected pairs) is capacity-limited, which the planner
+// discovers by evaluating them after the merges.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "partition/partition.h"
+#include "task/pair_set.h"
+
+namespace remo {
+
+enum class AugmentKind : std::uint8_t { kMerge, kSplit };
+
+struct Augmentation {
+  AugmentKind kind = AugmentKind::kMerge;
+  /// Merge: the two set indices. Split: set_a is the set index.
+  std::size_t set_a = 0;
+  std::size_t set_b = 0;
+  /// Split only: the attribute moved into its own set.
+  AttrId attr = 0;
+  /// Estimated total-capacity-usage reduction (higher = more promising).
+  double estimated_gain = 0.0;
+};
+
+/// Applies `aug` to a copy of `p` and returns it.
+Partition apply(const Partition& p, const Augmentation& aug);
+
+/// Estimated gain of merging sets `i` and `j` of `p` (see file comment).
+double estimate_merge_gain(const Partition& p, std::size_t i, std::size_t j,
+                           const PairSet& pairs, const CostModel& cost);
+
+/// Estimated gain of splitting `attr` out of set `i`.
+double estimate_split_gain(const Partition& p, std::size_t i, AttrId attr,
+                           const PairSet& pairs, const CostModel& cost);
+
+/// All neighboring solutions of `p` (every legal merge and split, minus
+/// those blocked by `conflicts`), ranked by decreasing estimated gain.
+/// `max_candidates` truncates the list (0 = no limit).
+///
+/// `set_bonus` (optional, one entry per partition set) is added to the
+/// estimate of every candidate touching that set. The planner passes the
+/// capacity value of each tree's *uncollected* pairs here, so operations
+/// involving starved trees — whose reshaping can recover real coverage,
+/// not just shave overhead — are evaluated first.
+std::vector<Augmentation> ranked_augmentations(
+    const Partition& p, const PairSet& pairs, const CostModel& cost,
+    const ConflictConstraints& conflicts, std::size_t max_candidates = 0,
+    const std::vector<double>* set_bonus = nullptr);
+
+}  // namespace remo

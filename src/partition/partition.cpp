@@ -1,0 +1,134 @@
+#include "partition/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/sorted_vector.h"
+
+namespace remo {
+
+Partition::Partition(std::vector<std::vector<AttrId>> sets) {
+  for (auto& s : sets) {
+    sort_unique(s);
+    if (!s.empty()) sets_.push_back(std::move(s));
+  }
+  std::size_t total = 0;
+  for (const auto& s : sets_) total += s.size();
+  if (universe().size() != total)
+    throw std::invalid_argument("partition sets overlap");
+}
+
+Partition Partition::singleton(const std::vector<AttrId>& universe) {
+  Partition p;
+  p.sets_.reserve(universe.size());
+  for (AttrId a : universe) p.sets_.push_back({a});
+  return p;
+}
+
+Partition Partition::one_set(const std::vector<AttrId>& universe) {
+  Partition p;
+  if (!universe.empty()) {
+    auto u = universe;
+    sort_unique(u);
+    p.sets_.push_back(std::move(u));
+  }
+  return p;
+}
+
+std::vector<AttrId> Partition::universe() const {
+  std::vector<AttrId> all;
+  for (const auto& s : sets_) all.insert(all.end(), s.begin(), s.end());
+  sort_unique(all);
+  return all;
+}
+
+std::size_t Partition::set_of(AttrId attr) const {
+  for (std::size_t i = 0; i < sets_.size(); ++i)
+    if (set_contains(sets_[i], attr)) return i;
+  return sets_.size();
+}
+
+void Partition::merge(std::size_t i, std::size_t j) {
+  if (i == j || i >= sets_.size() || j >= sets_.size())
+    throw std::out_of_range("bad merge indices");
+  if (i > j) std::swap(i, j);
+  sets_[i] = set_union(sets_[i], sets_[j]);
+  sets_.erase(sets_.begin() + static_cast<std::ptrdiff_t>(j));
+}
+
+void Partition::split(std::size_t i, AttrId attr) {
+  if (i >= sets_.size()) throw std::out_of_range("bad split index");
+  auto& s = sets_[i];
+  if (s.size() < 2) throw std::invalid_argument("cannot split a singleton set");
+  if (!set_erase(s, attr)) throw std::invalid_argument("attr not in set");
+  sets_.push_back({attr});
+}
+
+bool Partition::valid() const {
+  std::size_t total = 0;
+  for (const auto& s : sets_) {
+    if (s.empty() || !is_sorted_unique(s)) return false;
+    total += s.size();
+  }
+  return universe().size() == total;
+}
+
+bool Partition::valid_over(const std::vector<AttrId>& u) const {
+  if (!valid()) return false;
+  auto mine = universe();
+  auto theirs = u;
+  sort_unique(theirs);
+  return mine == theirs;
+}
+
+std::vector<std::vector<AttrId>> Partition::canonical() const {
+  auto out = sets_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Partition::to_string() const {
+  std::string s;
+  for (const auto& set : canonical()) {
+    s += '{';
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      if (i) s += ',';
+      s += std::to_string(set[i]);
+    }
+    s += '}';
+  }
+  return s;
+}
+
+void ConflictConstraints::forbid(AttrId a, AttrId b) {
+  if (a == b) throw std::invalid_argument("cannot forbid an attr with itself");
+  if (a > b) std::swap(a, b);
+  set_insert(pairs_, std::make_pair(a, b));
+}
+
+bool ConflictConstraints::conflicts(AttrId a, AttrId b) const {
+  if (a > b) std::swap(a, b);
+  return set_contains(pairs_, std::make_pair(a, b));
+}
+
+bool ConflictConstraints::blocks_merge(const std::vector<AttrId>& x,
+                                       const std::vector<AttrId>& y) const {
+  if (pairs_.empty()) return false;
+  for (const auto& [a, b] : pairs_) {
+    const bool a_in_x = set_contains(x, a), a_in_y = set_contains(y, a);
+    const bool b_in_x = set_contains(x, b), b_in_y = set_contains(y, b);
+    if ((a_in_x || a_in_y) && (b_in_x || b_in_y)) return true;
+  }
+  return false;
+}
+
+bool ConflictConstraints::satisfied_by(const Partition& p) const {
+  if (pairs_.empty()) return true;
+  for (const auto& [a, b] : pairs_) {
+    const auto ia = p.set_of(a);
+    if (ia < p.num_sets() && ia == p.set_of(b)) return false;
+  }
+  return true;
+}
+
+}  // namespace remo

@@ -1,0 +1,99 @@
+#include "planner/export.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace remo {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+std::string attr_list(const std::vector<AttrId>& attrs) {
+  std::string s;
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    if (i) s += ',';
+    s += std::to_string(attrs[i]);
+  }
+  return s;
+}
+
+std::vector<NodeId> sorted_members(const MonitoringTree& tree) {
+  auto members = tree.members();
+  std::sort(members.begin(), members.end());
+  return members;
+}
+
+}  // namespace
+
+std::string to_dot(const Topology& topology) {
+  std::string out;
+  out += "digraph remo_topology {\n";
+  out += "  rankdir=BT;\n";
+  out += "  collector [label=\"collector\", shape=doublecircle];\n";
+  for (std::size_t k = 0; k < topology.entries().size(); ++k) {
+    const auto& entry = topology.entries()[k];
+    appendf(out, "  subgraph cluster_%zu {\n", k);
+    appendf(out, "    label=\"tree %zu: {%s}\";\n", k,
+            attr_list(entry.attrs).c_str());
+    for (NodeId n : sorted_members(entry.tree)) {
+      appendf(out, "    t%zu_n%u [label=\"n%u\\n%.1f/%.1f\"];\n", k, n, n,
+              entry.tree.usage(n), entry.tree.avail(n));
+    }
+    out += "  }\n";
+    for (NodeId n : sorted_members(entry.tree)) {
+      const NodeId parent = entry.tree.parent(n);
+      if (parent == kCollectorId)
+        appendf(out, "  t%zu_n%u -> collector [label=\"%.0f\"];\n", k, n,
+                entry.tree.payload(n));
+      else
+        appendf(out, "  t%zu_n%u -> t%zu_n%u [label=\"%.0f\"];\n", k, n, k,
+                parent, entry.tree.payload(n));
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_json(const Topology& topology) {
+  std::string out;
+  out += "{\n";
+  appendf(out, "  \"trees\": %zu,\n", topology.num_trees());
+  appendf(out, "  \"total_pairs\": %zu,\n", topology.total_pairs());
+  appendf(out, "  \"collected_pairs\": %zu,\n", topology.collected_pairs());
+  appendf(out, "  \"coverage\": %.4f,\n", topology.coverage());
+  appendf(out, "  \"message_volume\": %.2f,\n", topology.total_cost());
+  out += "  \"forest\": [\n";
+  for (std::size_t k = 0; k < topology.entries().size(); ++k) {
+    const auto& entry = topology.entries()[k];
+    out += "    {\n";
+    out += "      \"attrs\": [" + attr_list(entry.attrs) + "],\n";
+    appendf(out, "      \"offered_pairs\": %zu,\n", entry.offered_pairs);
+    appendf(out, "      \"collected_pairs\": %zu,\n", entry.collected_pairs);
+    appendf(out, "      \"height\": %zu,\n", entry.tree.height());
+    out += "      \"members\": [";
+    const auto members = sorted_members(entry.tree);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i) out += ", ";
+      appendf(out, "{\"node\": %u, \"parent\": %u, \"payload\": %.2f}",
+              members[i], entry.tree.parent(members[i]),
+              entry.tree.payload(members[i]));
+    }
+    out += "]\n";
+    out += k + 1 < topology.entries().size() ? "    },\n" : "    }\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace remo

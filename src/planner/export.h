@@ -1,0 +1,21 @@
+// Human-readable exports of a planned topology: Graphviz DOT for
+// visualizing the forest, and a compact JSON summary for dashboards and
+// external tooling. Pure functions of the topology — no I/O here.
+#pragma once
+
+#include <string>
+
+#include "planner/topology.h"
+
+namespace remo {
+
+/// Graphviz DOT: one cluster per monitoring tree, the collector shared.
+/// Edge labels carry the message payload (weighted values per epoch);
+/// node labels carry usage/capacity.
+std::string to_dot(const Topology& topology);
+
+/// Compact JSON: per-tree attribute sets, member/parent arrays, loads, and
+/// the topology-level totals. Stable field order, no external dependency.
+std::string to_json(const Topology& topology);
+
+}  // namespace remo

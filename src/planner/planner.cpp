@@ -1,0 +1,204 @@
+#include "planner/planner.h"
+
+#include <algorithm>
+
+#include "common/sorted_vector.h"
+
+namespace remo {
+
+namespace {
+constexpr double kCostEps = 1e-9;
+}
+
+const char* to_string(PartitionScheme s) noexcept {
+  switch (s) {
+    case PartitionScheme::kSingletonSet:
+      return "SINGLETON-SET";
+    case PartitionScheme::kOneSet:
+      return "ONE-SET";
+    case PartitionScheme::kRemo:
+      return "REMO";
+  }
+  return "?";
+}
+
+PlanScore score_of(const Topology& topo) {
+  return PlanScore{topo.collected_pairs(), topo.total_cost()};
+}
+
+bool improves(const PlanScore& a, const PlanScore& b) {
+  if (a.collected != b.collected) return a.collected > b.collected;
+  return a.cost + kCostEps < b.cost;
+}
+
+std::vector<Augmentation> rank_topology_augmentations(
+    const Topology& topo, const PairSet& pairs, const CostModel& cost,
+    const ConflictConstraints& conflicts, std::size_t max_candidates,
+    const std::vector<bool>* must_involve, bool starvation_bonus) {
+  const auto& entries = topo.entries();
+  const std::size_t k = entries.size();
+  auto involved = [&](std::size_t i) {
+    return must_involve == nullptr || (i < must_involve->size() && (*must_involve)[i]);
+  };
+  std::vector<double> starved(k), collected(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    starved[i] = static_cast<double>(entries[i].offered_pairs -
+                                     entries[i].collected_pairs);
+    collected[i] = static_cast<double>(entries[i].collected_pairs);
+  }
+
+  const Partition p = topo.partition();  // sets in entry order
+  std::vector<Augmentation> out;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      if (!involved(i) && !involved(j)) continue;
+      if (conflicts.blocks_merge(p.set(i), p.set(j))) continue;
+      Augmentation a;
+      a.kind = AugmentKind::kMerge;
+      a.set_a = i;
+      a.set_b = j;
+      const double recoverable =
+          starvation_bonus
+              ? std::min(starved[i] + starved[j], collected[i] + collected[j])
+              : 0.0;
+      a.estimated_gain = estimate_merge_gain(p, i, j, pairs, cost) +
+                         cost.per_message * recoverable;
+      out.push_back(a);
+    }
+    if (involved(i) && p.set(i).size() >= 2) {
+      for (AttrId attr : p.set(i)) {
+        Augmentation a;
+        a.kind = AugmentKind::kSplit;
+        a.set_a = i;
+        a.attr = attr;
+        // A split's upside is letting starved members deliver a subset of
+        // their attributes; it needs starvation, not released capacity.
+        a.estimated_gain =
+            estimate_split_gain(p, i, attr, pairs, cost) +
+            (starvation_bonus ? cost.per_message * starved[i] : 0.0);
+        out.push_back(a);
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Augmentation& a, const Augmentation& b) {
+                     return a.estimated_gain > b.estimated_gain;
+                   });
+  if (max_candidates > 0 && out.size() > max_candidates) out.resize(max_candidates);
+  return out;
+}
+
+Topology Planner::build_for_partition(const PairSet& pairs, const Partition& p) const {
+  return build_topology(*system_, pairs, p, options_.attr_specs, options_.allocation,
+                        options_.tree);
+}
+
+bool Planner::improve_once(Topology& topo, const PairSet& pairs) const {
+  const Partition p = topo.partition();  // sets in entry order
+  const auto candidates = rank_topology_augmentations(
+      topo, pairs, system_->cost(), options_.conflicts, options_.max_candidates,
+      nullptr, options_.starvation_ranking);
+  const PlanScore current = score_of(topo);
+  // Evaluate the whole (truncated) candidate list and keep the best
+  // improvement: under tight capacities the estimates are noisy enough
+  // that first-improvement can latch onto a marginal merge and converge
+  // prematurely.
+  Topology best;
+  PlanScore best_score = current;
+  bool found = false;
+  for (const auto& aug : candidates) {
+    std::vector<std::size_t> victims;
+    std::vector<std::vector<AttrId>> new_sets;
+    if (aug.kind == AugmentKind::kMerge) {
+      victims = {aug.set_a, aug.set_b};
+      new_sets = {set_union(p.set(aug.set_a), p.set(aug.set_b))};
+    } else {
+      victims = {aug.set_a};
+      auto rest = set_difference(p.set(aug.set_a), std::vector<AttrId>{aug.attr});
+      new_sets = {std::move(rest), {aug.attr}};
+    }
+    Topology candidate = rebuild_trees(topo, *system_, pairs, victims, new_sets,
+                                       options_.attr_specs, options_.allocation,
+                                       options_.tree);
+    ++last_evaluations_;
+    if (improves(score_of(candidate), best_score)) {
+      best_score = score_of(candidate);
+      best = std::move(candidate);
+      found = true;
+      if (!options_.best_of_candidates) break;  // first-improvement mode
+    }
+  }
+
+  // Escape hatch from capacity-hogging layouts: when no augmentation
+  // improves, try a full fair-share re-layout of the unchanged partition
+  // before declaring convergence. This frees shared capacity that an
+  // early-built tree hoarded (demand-driven allocation is
+  // first-come-first-served) without changing the partition. Evaluated
+  // only as a fallback — a full forest build per iteration would dominate
+  // planning time.
+  if (!found && options_.relayout_escape) {
+    Topology relayout = build_for_partition(pairs, p);
+    ++last_evaluations_;
+    if (improves(score_of(relayout), best_score)) {
+      best_score = score_of(relayout);
+      best = std::move(relayout);
+      found = true;
+    }
+  }
+
+  if (found) topo = std::move(best);
+  return found;
+}
+
+Topology Planner::plan(const PairSet& pairs) const {
+  last_evaluations_ = 0;
+  const auto universe = pairs.attribute_universe();
+  Partition initial = options_.partition_scheme == PartitionScheme::kOneSet
+                          ? Partition::one_set(universe)
+                          : Partition::singleton(universe);
+  Topology topo = build_for_partition(pairs, initial);
+  ++last_evaluations_;
+  if (options_.partition_scheme != PartitionScheme::kRemo) return topo;
+
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter)
+    if (!improve_once(topo, pairs)) break;
+
+  // The search hill-climbs from SINGLETON-SET; the opposite endpoint of
+  // the partition lattice is cheap to evaluate directly and guards against
+  // the climb stalling in a local optimum below ONE-SET (both endpoints
+  // are members of the search space, so REMO dominates both baselines by
+  // construction). With conflict constraints the coarsest legal partition
+  // is the greedy coloring instead (one group per "path" for SSDP/DSDP).
+  if (options_.endpoint_guard && !universe.empty()) {
+    Partition coarse = options_.conflicts.empty()
+                           ? Partition::one_set(universe)
+                           : [&] {
+                               std::vector<std::vector<AttrId>> groups;
+                               for (AttrId a : universe) {
+                                 bool placed = false;
+                                 for (auto& g : groups) {
+                                   bool ok = true;
+                                   for (AttrId b : g)
+                                     if (options_.conflicts.conflicts(a, b)) ok = false;
+                                   if (ok) {
+                                     g.push_back(a);
+                                     placed = true;
+                                     break;
+                                   }
+                                 }
+                                 if (!placed) groups.push_back({a});
+                               }
+                               return Partition(std::move(groups));
+                             }();
+    Topology coarse_topo = build_for_partition(pairs, coarse);
+    ++last_evaluations_;
+    if (improves(score_of(coarse_topo), score_of(topo))) {
+      topo = std::move(coarse_topo);
+      for (std::size_t iter = 0; iter < options_.max_iterations; ++iter)
+        if (!improve_once(topo, pairs)) break;
+    }
+  }
+  return topo;
+}
+
+}  // namespace remo

@@ -1,0 +1,110 @@
+// A monitoring topology: the forest of monitoring trees the planner
+// produces for one attribute partition, with global per-node capacity
+// accounting across trees (a node may appear in several trees, Sec. 2.3).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "cost/system_model.h"
+#include "partition/partition.h"
+#include "planner/attr_specs.h"
+#include "task/pair_set.h"
+#include "tree/builder.h"
+#include "tree/monitoring_tree.h"
+
+namespace remo {
+
+/// How a node's capacity is divided among the trees it participates in
+/// (Sec. 5.2). All schemes are additionally hard-capped by the node's
+/// remaining capacity so the global constraint Σ_k usage_k(i) ≤ b_i holds
+/// no matter what the advisory share says.
+enum class AllocationScheme : std::uint8_t {
+  kUniform,       ///< equal share per candidate tree
+  kProportional,  ///< share proportional to the tree's candidate-set size
+  kOnDemand,      ///< all remaining capacity, trees built in given order
+  kOrdered,       ///< on-demand, trees built smallest candidate set first
+};
+
+const char* to_string(AllocationScheme s) noexcept;
+
+struct TreeEntry {
+  std::vector<AttrId> attrs;  // sorted; the partition set this tree delivers
+  MonitoringTree tree;
+  std::size_t offered_pairs = 0;    // pairs candidates could contribute
+  std::size_t collected_pairs = 0;  // pairs actually included
+};
+
+/// A (child -> parent) monitoring link; the same link may exist in several
+/// trees, hence the multiset semantics in edge-diff accounting.
+struct TopologyEdge {
+  NodeId child = kNoNode;
+  NodeId parent = kNoNode;
+  friend constexpr bool operator==(const TopologyEdge&, const TopologyEdge&) = default;
+  friend constexpr auto operator<=>(const TopologyEdge&, const TopologyEdge&) = default;
+};
+
+class Topology {
+ public:
+  Topology() = default;
+
+  const std::vector<TreeEntry>& entries() const noexcept { return entries_; }
+  std::vector<TreeEntry>& mutable_entries() noexcept { return entries_; }
+  std::size_t num_trees() const noexcept { return entries_.size(); }
+
+  std::size_t total_pairs() const noexcept { return total_pairs_; }
+  void set_total_pairs(std::size_t n) noexcept { total_pairs_ = n; }
+
+  std::size_t collected_pairs() const;
+  /// Fraction of requested node-attribute pairs delivered to the collector
+  /// — the evaluation metric of Sec. 7 ("percentage of collected values").
+  double coverage() const;
+  /// Σ over trees of Σ member send costs: monitoring message volume per
+  /// unit time (C_cur / C_adj in the Sec. 4.2 throttle).
+  Capacity total_cost() const;
+  std::size_t total_messages() const;
+
+  /// Node's combined usage across all trees (including the collector's).
+  Capacity node_usage(NodeId id) const;
+  /// b_i minus combined usage — the on-demand budget for a (re)build.
+  Capacity remaining(NodeId id, const SystemModel& system) const;
+
+  /// The attribute partition implied by the entries.
+  Partition partition() const;
+
+  /// All (child -> parent) links over all trees, sorted (multiset).
+  std::vector<TopologyEdge> edges() const;
+
+  /// Every tree satisfies its capacity constraints and global per-node
+  /// usage never exceeds system capacity.
+  bool validate(const SystemModel& system) const;
+
+ private:
+  std::vector<TreeEntry> entries_;
+  std::size_t total_pairs_ = 0;
+};
+
+/// Number of links that must be torn down or established to turn `before`
+/// into `after` (multiset symmetric difference of edges) — the adaptation
+/// message volume M_adapt of Sec. 4.2.
+std::size_t edge_diff(const Topology& before, const Topology& after);
+
+/// Build the complete forest for `partition`. Tree build order follows the
+/// allocation scheme (kOrdered sorts by ascending candidate-set size).
+Topology build_topology(const SystemModel& system, const PairSet& pairs,
+                        const Partition& partition, const AttrSpecTable& specs,
+                        AllocationScheme allocation, const TreeBuildOptions& tree_opts);
+
+/// Rebuild only the trees at `victim_indices`, replacing them with trees
+/// for `new_sets` (the resource-aware evaluation step of Sec. 3.2: "builds
+/// trees for nodes affected by m"). Budgets are the nodes' remaining
+/// capacity with the victims removed, advisory-capped per `allocation`.
+/// Returns the modified topology; `topo` itself is untouched.
+Topology rebuild_trees(const Topology& topo, const SystemModel& system,
+                       const PairSet& pairs, const std::vector<std::size_t>& victim_indices,
+                       const std::vector<std::vector<AttrId>>& new_sets,
+                       const AttrSpecTable& specs, AllocationScheme allocation,
+                       const TreeBuildOptions& tree_opts);
+
+}  // namespace remo

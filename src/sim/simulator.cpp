@@ -1,0 +1,259 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/stats.h"
+
+namespace remo {
+
+namespace {
+
+struct Relayed {
+  std::uint32_t pair = 0;   // global pair index
+  double value = 0.0;
+  std::uint64_t origin = 0; // epoch the value was observed
+};
+
+struct SimNode {
+  NodeId id = kNoNode;
+  NodeId parent = kNoNode;
+  std::size_t depth = 0;
+  /// (global pair index, attr position in tree) for locally observed pairs.
+  std::vector<std::pair<std::uint32_t, std::size_t>> locals;
+  /// Relay buffer keyed by pair index: newest value wins.
+  std::unordered_map<std::uint32_t, Relayed> buffer;
+};
+
+struct SimTree {
+  /// Members ordered by increasing depth: parents emit before children, so
+  /// a value advances one hop per epoch (store-and-forward).
+  std::vector<SimNode> nodes;
+  /// Send period per tree-attribute position (from frequency weights).
+  std::vector<std::uint64_t> period;
+  /// node id -> index into `nodes`.
+  std::unordered_map<NodeId, std::size_t> index;
+};
+
+}  // namespace
+
+SimReport simulate(const SystemModel& system, const Topology& topology,
+                   const PairSet& pairs, ValueSource& source,
+                   const SimConfig& config) {
+  SimReport report;
+  report.epochs = config.epochs;
+  report.total_pairs = pairs.total_pairs();
+
+  // ---- global pair indexing -------------------------------------------
+  const auto all_pairs = pairs.all_pairs();
+  std::unordered_map<NodeAttrPair, std::uint32_t> pair_index;
+  pair_index.reserve(all_pairs.size());
+  for (std::uint32_t i = 0; i < all_pairs.size(); ++i)
+    pair_index.emplace(all_pairs[i], i);
+
+  // Collector view: last delivered value per pair, seeded with the
+  // deployment-time snapshot (truth before the first epoch).
+  std::vector<double> view(all_pairs.size());
+  for (std::uint32_t i = 0; i < all_pairs.size(); ++i)
+    view[i] = source.value(all_pairs[i].node, all_pairs[i].attr);
+
+  // ---- static per-tree structures --------------------------------------
+  std::vector<SimTree> trees;
+  trees.reserve(topology.entries().size());
+  for (const auto& entry : topology.entries()) {
+    SimTree st;
+    const auto& specs = entry.tree.attr_specs();
+    st.period.resize(specs.size());
+    for (std::size_t m = 0; m < specs.size(); ++m) {
+      const double w = std::clamp(specs[m].weight, 1e-6, 1.0);
+      st.period[m] = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::llround(1.0 / w)));
+    }
+    for (NodeId n : entry.tree.members()) {
+      SimNode sn;
+      sn.id = n;
+      sn.parent = entry.tree.parent(n);
+      sn.depth = entry.tree.depth(n);
+      const auto& local = entry.tree.local_counts(n);
+      for (std::size_t m = 0; m < specs.size(); ++m) {
+        if (local[m] == 0) continue;
+        auto it = pair_index.find(NodeAttrPair{n, specs[m].attr});
+        if (it != pair_index.end()) sn.locals.emplace_back(it->second, m);
+        report.planned_pairs += local[m];
+      }
+      st.nodes.push_back(std::move(sn));
+    }
+    std::stable_sort(st.nodes.begin(), st.nodes.end(),
+                     [](const SimNode& a, const SimNode& b) {
+                       if (a.depth != b.depth) return a.depth < b.depth;
+                       return a.id < b.id;
+                     });
+    for (std::size_t i = 0; i < st.nodes.size(); ++i) st.index[st.nodes[i].id] = i;
+    trees.push_back(std::move(st));
+  }
+
+  // ---- run ---------------------------------------------------------------
+  std::vector<double> used(system.num_vertices(), 0.0);
+  RunningStats node_util, collector_util;
+  double max_util = 0.0;
+  std::vector<double> errors;  // pooled over sampled epochs (for p95)
+  RunningStats err_stats;
+  std::vector<double> pair_err_sum(
+      config.collect_pair_errors ? all_pairs.size() : 0, 0.0);
+  std::size_t deliveries = 0;
+  std::uint64_t sampled_epochs = 0;
+  std::vector<bool> down(system.num_vertices(), false);
+  const CostModel& cost = system.cost();
+
+  for (std::uint64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    source.advance(epoch);
+    std::fill(used.begin(), used.end(), 0.0);
+    const bool sampling = epoch >= config.warmup;
+
+    // Apply the outage schedule; a node going down loses its relay buffers.
+    for (const auto& f : config.failures) {
+      if (f.node >= down.size()) continue;
+      const bool is_down = epoch >= f.at_epoch && epoch < f.recover_epoch;
+      if (is_down && !down[f.node]) {
+        down[f.node] = true;
+        for (auto& st : trees) {
+          auto it = st.index.find(f.node);
+          if (it != st.index.end()) st.nodes[it->second].buffer.clear();
+        }
+      } else if (!is_down && down[f.node]) {
+        down[f.node] = false;
+      }
+    }
+
+    // Rotate tree processing order so contended capacity is shared fairly.
+    const std::size_t nt = trees.size();
+    for (std::size_t k = 0; k < nt; ++k) {
+      SimTree& st = trees[(k + epoch) % nt];
+      for (SimNode& sn : st.nodes) {
+        if (down[sn.id]) continue;  // a down node sends nothing
+        // Assemble the outgoing payload: fresh locals first, then relayed
+        // child values (oldest first) — locals have priority under trim.
+        std::vector<Relayed> payload;
+        payload.reserve(sn.locals.size() + sn.buffer.size());
+        for (const auto& [pidx, m] : sn.locals) {
+          if (epoch % st.period[m] != 0) continue;
+          const auto& p = all_pairs[pidx];
+          payload.push_back({pidx, source.value(p.node, p.attr), epoch});
+        }
+        const std::size_t num_locals = payload.size();
+        std::vector<Relayed> relays;
+        relays.reserve(sn.buffer.size());
+        for (const auto& [pidx, r] : sn.buffer) relays.push_back(r);
+        std::sort(relays.begin(), relays.end(), [](const Relayed& a, const Relayed& b) {
+          if (a.origin != b.origin) return a.origin < b.origin;
+          return a.pair < b.pair;
+        });
+        payload.insert(payload.end(), relays.begin(), relays.end());
+        sn.buffer.clear();
+        if (payload.empty()) continue;
+        if (down[sn.parent]) {
+          // The parent is unreachable: the whole message is lost (the
+          // sender still pays for the attempt).
+          const double lost_cost =
+              cost.per_message + cost.per_value * static_cast<double>(payload.size());
+          used[sn.id] += lost_cost;
+          report.values_dropped += payload.size();
+          continue;
+        }
+
+        std::size_t fit = payload.size();
+        if (config.enforce_capacity) {
+          const double remaining =
+              std::min(system.capacity(sn.id) - used[sn.id],
+                       system.capacity(sn.parent) - used[sn.parent]);
+          const double x = (remaining - cost.per_message) / cost.per_value;
+          fit = x <= 0 ? 0
+                       : std::min<std::size_t>(payload.size(),
+                                               static_cast<std::size_t>(x));
+        }
+        if (fit == 0) {
+          // Whole message deferred: re-buffer the relayed values; local
+          // values are regenerated next epoch anyway.
+          for (std::size_t i = num_locals; i < payload.size(); ++i)
+            sn.buffer.emplace(payload[i].pair, payload[i]);
+          report.values_dropped += num_locals;
+          continue;
+        }
+        report.values_dropped += payload.size() - fit;
+
+        const double msg_cost =
+            cost.per_message + cost.per_value * static_cast<double>(fit);
+        used[sn.id] += msg_cost;
+        used[sn.parent] += msg_cost;
+        ++report.messages_sent;
+        report.values_sent += fit;
+
+        for (std::size_t i = 0; i < fit; ++i) {
+          const Relayed& r = payload[i];
+          if (sn.parent == kCollectorId) {
+            view[r.pair] = r.value;
+            if (sampling) ++deliveries;
+            if (config.on_delivery)
+              config.on_delivery(all_pairs[r.pair], epoch, r.value);
+          } else {
+            // Parent buffers for next epoch; a newer value for the same
+            // pair supersedes (the older one is effectively dropped).
+            auto pit = st.index.find(sn.parent);
+            if (pit != st.index.end()) {
+              auto& pbuf = st.nodes[pit->second].buffer;
+              auto [it, inserted] = pbuf.emplace(r.pair, r);
+              if (!inserted) {
+                if (it->second.origin < r.origin) it->second = r;
+                ++report.values_dropped;
+              }
+            }
+          }
+        }
+      }
+    }
+
+    if (config.on_epoch_end) config.on_epoch_end(epoch);
+    if (sampling) {
+      ++sampled_epochs;
+      for (std::uint32_t i = 0; i < all_pairs.size(); ++i) {
+        const double truth = source.value(all_pairs[i].node, all_pairs[i].attr);
+        const double err = std::abs(view[i] - truth) /
+                           std::max(std::abs(truth), config.error_floor);
+        err_stats.add(err);
+        errors.push_back(err);
+        if (config.collect_pair_errors) pair_err_sum[i] += err;
+      }
+      double epoch_util_sum = 0.0;
+      for (NodeId n = 1; n < system.num_vertices(); ++n) {
+        const double u = used[n] / std::max(system.capacity(n), 1e-9);
+        epoch_util_sum += u;
+        max_util = std::max(max_util, u);
+      }
+      node_util.add(epoch_util_sum / static_cast<double>(system.num_nodes()));
+      collector_util.add(used[kCollectorId] /
+                         std::max(system.capacity(kCollectorId), 1e-9));
+    }
+  }
+
+  report.avg_percent_error = err_stats.mean() * 100.0;
+  report.p95_percent_error = percentile(std::move(errors), 95.0) * 100.0;
+  report.delivered_ratio =
+      report.planned_pairs == 0 || sampled_epochs == 0
+          ? 0.0
+          : static_cast<double>(deliveries) /
+                (static_cast<double>(report.planned_pairs) *
+                 static_cast<double>(sampled_epochs));
+  report.avg_node_utilization = node_util.mean();
+  report.max_node_utilization = max_util;
+  report.collector_utilization = collector_util.mean();
+  if (config.collect_pair_errors && sampled_epochs > 0) {
+    report.pair_mean_error.resize(all_pairs.size());
+    for (std::uint32_t i = 0; i < all_pairs.size(); ++i)
+      report.pair_mean_error[i] =
+          100.0 * pair_err_sum[i] / static_cast<double>(sampled_epochs);
+  }
+  return report;
+}
+
+}  // namespace remo

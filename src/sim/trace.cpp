@@ -1,0 +1,83 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace remo {
+
+void Trace::add(NodeAttrPair pair, std::uint64_t epoch, double value) {
+  auto [it, inserted] = series_[pair].insert_or_assign(epoch, value);
+  (void)it;
+  if (inserted) ++samples_;
+  last_epoch_ = std::max(last_epoch_, epoch);
+}
+
+std::optional<double> Trace::value_at(NodeAttrPair pair,
+                                      std::uint64_t epoch) const {
+  auto sit = series_.find(pair);
+  if (sit == series_.end()) return std::nullopt;
+  const auto& points = sit->second;
+  auto it = points.upper_bound(epoch);
+  if (it == points.begin()) return std::nullopt;  // nothing at/before epoch
+  --it;
+  return it->second;
+}
+
+std::string Trace::serialize() const {
+  std::string out = "# remo trace: epoch node attr value\n";
+  char line[96];
+  for (const auto& [pair, points] : series_) {
+    for (const auto& [epoch, value] : points) {
+      std::snprintf(line, sizeof line, "%llu %u %u %.17g\n",
+                    static_cast<unsigned long long>(epoch), pair.node, pair.attr,
+                    value);
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::optional<Trace> Trace::parse(const std::string& text, std::string* error) {
+  Trace trace;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::istringstream line(raw);
+    unsigned long long epoch = 0;
+    unsigned node = 0, attr = 0;
+    double value = 0.0;
+    if (!(line >> epoch)) continue;  // blank line
+    if (!(line >> node >> attr >> value)) {
+      if (error) *error = "line " + std::to_string(line_no) + ": malformed sample";
+      return std::nullopt;
+    }
+    std::string extra;
+    if (line >> extra) {
+      if (error)
+        *error = "line " + std::to_string(line_no) + ": trailing tokens";
+      return std::nullopt;
+    }
+    trace.add({static_cast<NodeId>(node), static_cast<AttrId>(attr)},
+              static_cast<std::uint64_t>(epoch), value);
+  }
+  return trace;
+}
+
+RecordingSource::RecordingSource(ValueSource& inner, const PairSet& pairs)
+    : inner_(inner), pairs_(pairs.all_pairs()) {}
+
+void RecordingSource::advance(std::uint64_t epoch) {
+  inner_.advance(epoch);
+  for (const auto& pair : pairs_)
+    trace_.add(pair, epoch, inner_.value(pair.node, pair.attr));
+}
+
+double RecordingSource::value(NodeId node, AttrId attr) const {
+  return inner_.value(node, attr);
+}
+
+}  // namespace remo

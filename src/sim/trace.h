@@ -1,0 +1,82 @@
+// Value traces: record the ground-truth stream of any ValueSource and
+// replay it later — byte-identical inputs across schemes, machines, and
+// runs, and a path to feeding *real* captured monitoring data through the
+// simulator. Text format, one sample per line:
+//
+//     <epoch> <node> <attr> <value>
+//
+// with '#' comments. Samples may arrive in any order; replay returns, for
+// each pair, the latest sample at or before the current epoch (values hold
+// between updates).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/value_source.h"
+
+namespace remo {
+
+class Trace {
+ public:
+  void add(NodeAttrPair pair, std::uint64_t epoch, double value);
+  std::size_t size() const noexcept { return samples_; }
+  bool empty() const noexcept { return samples_ == 0; }
+  /// Largest epoch recorded (0 if empty).
+  std::uint64_t last_epoch() const noexcept { return last_epoch_; }
+
+  /// Latest value at or before `epoch`; nullopt before the first sample.
+  std::optional<double> value_at(NodeAttrPair pair, std::uint64_t epoch) const;
+
+  std::string serialize() const;
+  /// Parses the text format; returns nullopt (with `error` set, if given)
+  /// on malformed input.
+  static std::optional<Trace> parse(const std::string& text,
+                                    std::string* error = nullptr);
+
+  bool operator==(const Trace&) const = default;
+
+ private:
+  // Per pair: epoch -> value (ordered for value_at lookups).
+  std::map<NodeAttrPair, std::map<std::uint64_t, double>> series_;
+  std::size_t samples_ = 0;
+  std::uint64_t last_epoch_ = 0;
+};
+
+/// Wraps a live source, recording every registered pair's value each
+/// epoch. Use as the simulation's source; harvest trace() afterwards.
+class RecordingSource : public ValueSource {
+ public:
+  RecordingSource(ValueSource& inner, const PairSet& pairs);
+
+  void advance(std::uint64_t epoch) override;
+  double value(NodeId node, AttrId attr) const override;
+
+  const Trace& trace() const noexcept { return trace_; }
+
+ private:
+  ValueSource& inner_;
+  std::vector<NodeAttrPair> pairs_;
+  Trace trace_;
+};
+
+/// Replays a trace as a ValueSource. Pairs absent from the trace read 0.
+class TraceSource : public ValueSource {
+ public:
+  explicit TraceSource(Trace trace) : trace_(std::move(trace)) {}
+
+  void advance(std::uint64_t epoch) override { epoch_ = epoch; }
+  double value(NodeId node, AttrId attr) const override {
+    return trace_.value_at({node, attr}, epoch_).value_or(0.0);
+  }
+
+  const Trace& trace() const noexcept { return trace_; }
+
+ private:
+  Trace trace_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace remo

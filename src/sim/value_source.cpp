@@ -1,0 +1,57 @@
+#include "sim/value_source.h"
+
+#include <algorithm>
+
+namespace remo {
+
+RandomWalkSource::RandomWalkSource(const PairSet& pairs, std::uint64_t seed,
+                                   double start, double sigma, double floor)
+    : rng_(seed), sigma_(sigma), floor_(floor) {
+  for (const auto& p : pairs.all_pairs())
+    values_.emplace(p, std::max(floor_, start + 10.0 * rng_.normal()));
+}
+
+void RandomWalkSource::advance(std::uint64_t /*epoch*/) {
+  for (auto& [pair, v] : values_)
+    v = std::max(floor_, v + sigma_ * rng_.normal());
+}
+
+double RandomWalkSource::value(NodeId node, AttrId attr) const {
+  auto it = values_.find(NodeAttrPair{node, attr});
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+BurstySource::BurstySource(const PairSet& pairs, std::uint64_t seed, double baseline,
+                           double sigma, double burst_probability,
+                           double burst_factor, double decay)
+    : rng_(seed),
+      baseline_(baseline),
+      sigma_(sigma),
+      burst_probability_(burst_probability),
+      burst_factor_(burst_factor),
+      decay_(decay) {
+  for (const auto& p : pairs.all_pairs()) {
+    State s;
+    s.value = std::max(1.0, baseline_ + 10.0 * rng_.normal());
+    states_.emplace(p, s);
+  }
+}
+
+void BurstySource::advance(std::uint64_t /*epoch*/) {
+  for (auto& [pair, s] : states_) {
+    // Mean-reverting base walk plus a decaying burst component.
+    s.value += sigma_ * rng_.normal() + 0.05 * (baseline_ - s.value);
+    s.burst *= decay_;
+    if (rng_.bernoulli(burst_probability_))
+      s.burst += baseline_ * (burst_factor_ - 1.0) * rng_.uniform(0.5, 1.0);
+    s.value = std::max(1.0, s.value);
+  }
+}
+
+double BurstySource::value(NodeId node, AttrId attr) const {
+  auto it = states_.find(NodeAttrPair{node, attr});
+  if (it == states_.end()) return 0.0;
+  return it->second.value + it->second.burst;
+}
+
+}  // namespace remo

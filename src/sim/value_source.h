@@ -1,0 +1,72 @@
+// Ground-truth attribute value generation for the simulator. Every
+// node-attribute pair is a continuously changing variable that outputs a
+// new value each unit of time (Sec. 2.3); the collector's view lags by
+// delivery latency and loses updates to drops, which is what the Fig. 8
+// percentage-error experiments measure.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "task/pair_set.h"
+
+namespace remo {
+
+class ValueSource {
+ public:
+  virtual ~ValueSource() = default;
+  /// Advances all pairs to `epoch` (called once per epoch, increasing).
+  virtual void advance(std::uint64_t epoch) = 0;
+  /// Current ground-truth value of (node, attr).
+  virtual double value(NodeId node, AttrId attr) const = 0;
+};
+
+/// Geometric-ish random walk, clamped positive: v += sigma * N(0,1),
+/// clamped to [floor, +inf). Smooth drift — the "performance counter"
+/// regime.
+class RandomWalkSource : public ValueSource {
+ public:
+  RandomWalkSource(const PairSet& pairs, std::uint64_t seed, double start = 100.0,
+                   double sigma = 2.0, double floor = 1.0);
+
+  void advance(std::uint64_t epoch) override;
+  double value(NodeId node, AttrId attr) const override;
+
+ private:
+  std::unordered_map<NodeAttrPair, double> values_;
+  Rng rng_;
+  double sigma_;
+  double floor_;
+};
+
+/// Random walk plus occasional multiplicative bursts and decay back toward
+/// a baseline — the "highly bursty workloads" of stream processing systems
+/// (Sec. 1). Burstiness makes staleness expensive, which is exactly what
+/// separates topologies in the percentage-error metric.
+class BurstySource : public ValueSource {
+ public:
+  BurstySource(const PairSet& pairs, std::uint64_t seed, double baseline = 100.0,
+               double sigma = 1.0, double burst_probability = 0.02,
+               double burst_factor = 3.0, double decay = 0.9);
+
+  void advance(std::uint64_t epoch) override;
+  double value(NodeId node, AttrId attr) const override;
+
+ private:
+  struct State {
+    double value = 0.0;
+    double burst = 0.0;  // additive burst component, decays geometrically
+  };
+  std::unordered_map<NodeAttrPair, State> states_;
+  Rng rng_;
+  double baseline_;
+  double sigma_;
+  double burst_probability_;
+  double burst_factor_;
+  double decay_;
+};
+
+}  // namespace remo

@@ -1,0 +1,129 @@
+#include "streamapp/stream_app.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/sorted_vector.h"
+
+namespace remo {
+
+StreamApplication::StreamApplication(SystemModel& system, StreamAppConfig config,
+                                     std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  const std::size_t layers = std::max<std::size_t>(config_.num_layers, 2);
+  ops_.resize(config_.num_operators);
+
+  // Shuffled round-robin placement over the monitoring nodes.
+  std::vector<NodeId> placement = system.monitoring_nodes();
+  rng_.shuffle(placement);
+
+  // Layer sizes: a wider ingest layer, then roughly even.
+  std::vector<std::size_t> layer_of(ops_.size());
+  for (std::size_t i = 0; i < ops_.size(); ++i)
+    layer_of[i] = i * layers / ops_.size();
+
+  std::vector<std::vector<std::size_t>> by_layer(layers);
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    Operator& op = ops_[i];
+    op.node = placement[i % placement.size()];
+    op.layer = layer_of[i];
+    op.op_class = rng_.below(config_.num_classes);
+    op.capacity = config_.base_rate * rng_.uniform(1.2, 3.0);
+    op.selectivity = rng_.uniform(0.5, 1.2);
+    by_layer[op.layer].push_back(i);
+  }
+  // Wire each non-source operator to 1-3 upstream operators in the
+  // previous non-empty layer.
+  for (std::size_t l = 1; l < layers; ++l) {
+    std::size_t prev = l;
+    while (prev > 0 && by_layer[--prev].empty()) {
+    }
+    if (by_layer[prev].empty()) continue;
+    for (std::size_t idx : by_layer[l]) {
+      const auto fan_in = static_cast<std::size_t>(rng_.range(1, 3));
+      for (std::size_t f = 0; f < fan_in; ++f)
+        ops_[idx].upstream.push_back(
+            by_layer[prev][rng_.below(by_layer[prev].size())]);
+      sort_unique(ops_[idx].upstream);
+    }
+  }
+
+  // Register exposure: node observes attribute (class, metric) iff it
+  // hosts an operator of that class.
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const Operator& op = ops_[i];
+    for (std::uint32_t m = 0; m < kMetricsPerOperator; ++m) {
+      const AttrId attr =
+          static_cast<AttrId>(op.op_class) * kMetricsPerOperator + m;
+      exposure_[NodeAttrPair{op.node, attr}].push_back(i);
+    }
+  }
+  std::unordered_map<NodeId, std::vector<AttrId>> observable;
+  for (const auto& [pair, idxs] : exposure_) observable[pair.node].push_back(pair.attr);
+  for (auto& [node, attrs] : observable) system.set_observable(node, std::move(attrs));
+
+  advance(0);  // establish an initial steady-ish state
+}
+
+void StreamApplication::advance(std::uint64_t /*epoch*/) {
+  // Process layer by layer so tuples flow one full pass per epoch.
+  for (auto& op : ops_) {
+    if (op.layer == 0) {
+      // Bursty external ingest.
+      op.burst *= config_.burst_decay;
+      if (rng_.bernoulli(config_.burst_probability))
+        op.burst += config_.base_rate * (config_.burst_magnitude - 1.0) *
+                    rng_.uniform(0.5, 1.0);
+      op.in_rate = std::max(
+          0.0, config_.base_rate * rng_.uniform(0.8, 1.2) + op.burst);
+    } else {
+      double in = 0.0;
+      for (std::size_t u : op.upstream) in += ops_[u].out_rate;
+      op.in_rate = in / std::max<std::size_t>(op.upstream.size(), 1);
+    }
+    const double offered = op.queue + op.in_rate;
+    op.processed = std::min(offered, op.capacity);
+    op.queue = offered - op.processed;
+    // Bounded queue: beyond 10x capacity, tuples drop (load shedding).
+    const double limit = 10.0 * op.capacity;
+    op.dropped = std::max(0.0, op.queue - limit);
+    op.queue = std::min(op.queue, limit);
+    op.out_rate = op.processed * op.selectivity;
+  }
+}
+
+double StreamApplication::metric_of(const Operator& op, Metric m) const {
+  switch (m) {
+    case kInRate:
+      return op.in_rate;
+    case kOutRate:
+      return op.out_rate;
+    case kQueueLen:
+      return op.queue;
+    case kUtilization:
+      return 100.0 * op.processed / std::max(op.capacity, 1e-9);
+    case kDropRate:
+      return op.dropped;
+    case kSelectivity:
+      return 100.0 * op.selectivity;
+    case kMemory:
+      // Memory tracks queue occupancy plus a per-operator constant.
+      return 64.0 + 0.5 * op.queue;
+    case kCpu:
+      return 5.0 + 90.0 * op.processed / std::max(op.capacity, 1e-9);
+    case kMetricsPerOperator:
+      break;
+  }
+  return 0.0;
+}
+
+double StreamApplication::value(NodeId node, AttrId attr) const {
+  auto it = exposure_.find(NodeAttrPair{node, attr});
+  if (it == exposure_.end()) return 0.0;
+  const auto metric = static_cast<Metric>(attr % kMetricsPerOperator);
+  double sum = 0.0;
+  for (std::size_t idx : it->second) sum += metric_of(ops_[idx], metric);
+  return sum / static_cast<double>(it->second.size());
+}
+
+}  // namespace remo

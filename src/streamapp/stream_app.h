@@ -1,0 +1,103 @@
+// A synthetic distributed stream-processing application — the stand-in for
+// IBM System S / YieldMonitor in the paper's real-system experiments (see
+// DESIGN.md, substitutions table).
+//
+// The application is a layered operator dataflow graph deployed across the
+// monitoring nodes: source operators ingest a bursty external workload;
+// downstream operators process, queue, and forward tuples. Every operator
+// exposes per-epoch metrics (input/output rate, queue occupancy,
+// utilization, drops, ...) exactly like the per-element "data rate and
+// buffer occupancy" diagnostics the paper motivates (Sec. 1). Node-level
+// attributes aggregate the metrics of the operators placed on the node, so
+// each node observes the 30-50 attributes of the paper's deployment and
+// their values are bursty and cross-correlated through the dataflow —
+// which is what makes collector-side staleness measurable as percentage
+// error (Fig. 8).
+//
+// The application implements ValueSource, so it plugs straight into the
+// simulator.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "cost/system_model.h"
+#include "sim/value_source.h"
+
+namespace remo {
+
+struct StreamAppConfig {
+  /// Operators (application processes); ~1 per node in the paper's app.
+  std::size_t num_operators = 200;
+  /// Dataflow layers (sources are layer 0, sinks the last).
+  std::size_t num_layers = 5;
+  /// Operator classes; attribute ids are class * kMetricsPerOperator + m,
+  /// so the attribute universe has num_classes * kMetricsPerOperator types.
+  std::size_t num_classes = 6;
+  /// External ingest rate at the sources (tuples/epoch).
+  double base_rate = 100.0;
+  /// Probability that a source bursts in a given epoch.
+  double burst_probability = 0.05;
+  /// Burst multiplier on the ingest rate.
+  double burst_magnitude = 3.0;
+  /// Geometric decay of an active burst.
+  double burst_decay = 0.85;
+};
+
+class StreamApplication : public ValueSource {
+ public:
+  /// Per-operator metrics exposed as attributes.
+  enum Metric : std::uint32_t {
+    kInRate = 0,
+    kOutRate,
+    kQueueLen,
+    kUtilization,
+    kDropRate,
+    kSelectivity,
+    kMemory,
+    kCpu,
+    kMetricsPerOperator,  // count marker
+  };
+
+  /// Places operators on `system`'s nodes (round-robin over a shuffled
+  /// node order) and registers the induced observable attributes.
+  StreamApplication(SystemModel& system, StreamAppConfig config, std::uint64_t seed);
+
+  void advance(std::uint64_t epoch) override;
+  double value(NodeId node, AttrId attr) const override;
+
+  /// Attribute universe size: num_classes * kMetricsPerOperator.
+  std::size_t attr_universe() const noexcept {
+    return config_.num_classes * kMetricsPerOperator;
+  }
+  std::size_t num_operators() const noexcept { return ops_.size(); }
+
+ private:
+  struct Operator {
+    NodeId node = kNoNode;
+    std::size_t layer = 0;
+    std::size_t op_class = 0;
+    double capacity = 0.0;     // tuples/epoch it can process
+    double selectivity = 1.0;  // output tuples per input tuple
+    std::vector<std::size_t> upstream;
+    // Live state:
+    double queue = 0.0;
+    double in_rate = 0.0;
+    double out_rate = 0.0;
+    double processed = 0.0;
+    double dropped = 0.0;
+    double burst = 0.0;  // sources only
+  };
+
+  double metric_of(const Operator& op, Metric m) const;
+
+  StreamAppConfig config_;
+  Rng rng_;
+  std::vector<Operator> ops_;
+  /// (node, attr) -> operator indices contributing to that attribute.
+  std::unordered_map<NodeAttrPair, std::vector<std::size_t>> exposure_;
+};
+
+}  // namespace remo

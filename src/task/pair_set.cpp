@@ -1,0 +1,82 @@
+#include "task/pair_set.h"
+
+#include "common/sorted_vector.h"
+
+namespace remo {
+
+bool PairSet::add(NodeId node, AttrId attr) {
+  if (set_insert(by_node_.at(node), attr)) {
+    ++total_;
+    return true;
+  }
+  return false;
+}
+
+bool PairSet::remove(NodeId node, AttrId attr) {
+  if (set_erase(by_node_.at(node), attr)) {
+    --total_;
+    return true;
+  }
+  return false;
+}
+
+bool PairSet::contains(NodeId node, AttrId attr) const {
+  return set_contains(by_node_.at(node), attr);
+}
+
+std::vector<AttrId> PairSet::attribute_universe() const {
+  std::vector<AttrId> all;
+  for (const auto& attrs : by_node_) all.insert(all.end(), attrs.begin(), attrs.end());
+  sort_unique(all);
+  return all;
+}
+
+std::vector<NodeId> PairSet::nodes_with(AttrId attr) const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < by_node_.size(); ++n)
+    if (set_contains(by_node_[n], attr)) out.push_back(n);
+  return out;
+}
+
+std::vector<NodeId> PairSet::nodes_with_any(const std::vector<AttrId>& attrs) const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < by_node_.size(); ++n)
+    if (sets_intersect(by_node_[n], attrs)) out.push_back(n);
+  return out;
+}
+
+std::size_t PairSet::count_at(NodeId node, const std::vector<AttrId>& attrs) const {
+  return intersection_size(by_node_.at(node), attrs);
+}
+
+std::vector<NodeAttrPair> PairSet::all_pairs() const {
+  std::vector<NodeAttrPair> out;
+  out.reserve(total_);
+  for (NodeId n = 0; n < by_node_.size(); ++n)
+    for (AttrId a : by_node_[n]) out.push_back({n, a});
+  return out;
+}
+
+std::vector<AttrId> PairSetDelta::affected_attrs() const {
+  std::vector<AttrId> out;
+  out.reserve(added.size() + removed.size());
+  for (const auto& p : added) out.push_back(p.attr);
+  for (const auto& p : removed) out.push_back(p.attr);
+  sort_unique(out);
+  return out;
+}
+
+PairSetDelta diff(const PairSet& before, const PairSet& after) {
+  PairSetDelta d;
+  const std::size_t n = std::max(before.num_vertices(), after.num_vertices());
+  static const std::vector<AttrId> kEmpty;
+  for (NodeId node = 0; node < n; ++node) {
+    const auto& b = node < before.num_vertices() ? before.attrs_of(node) : kEmpty;
+    const auto& a = node < after.num_vertices() ? after.attrs_of(node) : kEmpty;
+    for (AttrId attr : set_difference(a, b)) d.added.push_back({node, attr});
+    for (AttrId attr : set_difference(b, a)) d.removed.push_back({node, attr});
+  }
+  return d;
+}
+
+}  // namespace remo

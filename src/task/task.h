@@ -1,0 +1,63 @@
+// Monitoring tasks (Definition 1): t = (A_t, N_t) collects the values of
+// every attribute in A_t from every node in N_t, at a given frequency,
+// optionally under in-network aggregation and/or reliability replication.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace remo {
+
+/// In-network aggregation type for a task (Sec. 6.1). kHolistic means no
+/// aggregation: every individual value travels to the collector.
+enum class AggType : std::uint8_t {
+  kHolistic,
+  kSum,
+  kMax,
+  kMin,
+  kCount,
+  kAvg,
+  kTopK,
+  kDistinct,
+};
+
+const char* to_string(AggType t) noexcept;
+
+/// Reliability mode requested for a task (Sec. 6.2).
+enum class ReliabilityMode : std::uint8_t {
+  kNone,
+  /// Same source, different paths: duplicate delivery of each value
+  /// through `replicas` disjoint trees.
+  kSSDP,
+  /// Different sources, different paths: the value is observable at
+  /// several nodes; collect it from `replicas` distinct ones.
+  kDSDP,
+};
+
+const char* to_string(ReliabilityMode m) noexcept;
+
+struct MonitoringTask {
+  TaskId id = 0;
+  /// Attributes to collect (sorted, unique — enforced by TaskManager).
+  std::vector<AttrId> attrs;
+  /// Nodes to collect from (sorted, unique — enforced by TaskManager).
+  std::vector<NodeId> nodes;
+  /// Collection frequency in updates per unit time; 1.0 = every epoch.
+  /// Heterogeneous frequencies are handled per Sec. 6.3 (piggybacking).
+  double frequency = 1.0;
+  AggType aggregation = AggType::kHolistic;
+  /// k parameter for kTopK aggregation.
+  std::uint32_t top_k = 10;
+  ReliabilityMode reliability = ReliabilityMode::kNone;
+  /// Number of disjoint delivery paths for SSDP/DSDP (>= 2 to be useful).
+  std::uint32_t replicas = 2;
+  /// DSDP only (Sec. 6.2): N_identical — groups of nodes observing the
+  /// same value; the rewriter draws one source per group per replica.
+  std::vector<std::vector<NodeId>> identical_groups;
+
+  bool operator==(const MonitoringTask&) const = default;
+};
+
+}  // namespace remo

@@ -1,0 +1,105 @@
+#include "task/task_manager.h"
+
+#include <algorithm>
+
+#include "common/sorted_vector.h"
+
+namespace remo {
+
+const char* to_string(AggType t) noexcept {
+  switch (t) {
+    case AggType::kHolistic:
+      return "HOLISTIC";
+    case AggType::kSum:
+      return "SUM";
+    case AggType::kMax:
+      return "MAX";
+    case AggType::kMin:
+      return "MIN";
+    case AggType::kCount:
+      return "COUNT";
+    case AggType::kAvg:
+      return "AVG";
+    case AggType::kTopK:
+      return "TOPK";
+    case AggType::kDistinct:
+      return "DISTINCT";
+  }
+  return "?";
+}
+
+const char* to_string(ReliabilityMode m) noexcept {
+  switch (m) {
+    case ReliabilityMode::kNone:
+      return "NONE";
+    case ReliabilityMode::kSSDP:
+      return "SSDP";
+    case ReliabilityMode::kDSDP:
+      return "DSDP";
+  }
+  return "?";
+}
+
+TaskId TaskManager::add_task(MonitoringTask t) {
+  t.id = next_id_++;
+  sort_unique(t.attrs);
+  sort_unique(t.nodes);
+  const TaskId id = t.id;
+  tasks_.emplace(id, std::move(t));
+  return id;
+}
+
+bool TaskManager::remove_task(TaskId id) { return tasks_.erase(id) > 0; }
+
+bool TaskManager::modify_task(MonitoringTask t) {
+  auto it = tasks_.find(t.id);
+  if (it == tasks_.end()) return false;
+  sort_unique(t.attrs);
+  sort_unique(t.nodes);
+  it->second = std::move(t);
+  return true;
+}
+
+const MonitoringTask* TaskManager::find(TaskId id) const {
+  auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+void TaskManager::expand_into(const MonitoringTask& t, PairSet& out) const {
+  for (NodeId n : t.nodes) {
+    if (n >= out.num_vertices() || n == kCollectorId) continue;
+    for (AttrId a : t.attrs) {
+      if (filter_observable_ && !system_->observes(n, a)) continue;
+      out.add(n, a);
+    }
+  }
+}
+
+PairSet TaskManager::dedup(std::size_t num_vertices) const {
+  PairSet out(num_vertices);
+  for (const auto& [id, t] : tasks_) expand_into(t, out);
+  return out;
+}
+
+std::map<NodeAttrPair, double> TaskManager::pair_frequencies(const PairSet& pairs) const {
+  std::map<NodeAttrPair, double> freq;
+  for (const auto& [id, t] : tasks_) {
+    for (NodeId n : t.nodes) {
+      if (n >= pairs.num_vertices()) continue;
+      for (AttrId a : t.attrs) {
+        if (!pairs.contains(n, a)) continue;
+        auto [it, inserted] = freq.emplace(NodeAttrPair{n, a}, t.frequency);
+        if (!inserted) it->second = std::max(it->second, t.frequency);
+      }
+    }
+  }
+  return freq;
+}
+
+std::size_t TaskManager::raw_pair_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, t] : tasks_) n += t.attrs.size() * t.nodes.size();
+  return n;
+}
+
+}  // namespace remo

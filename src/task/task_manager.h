@@ -1,0 +1,59 @@
+// The task manager (Sec. 2.2): accepts monitoring tasks, removes
+// duplicated node-attribute pairs across tasks, and exposes the deduped
+// pair set to the planner. Also tracks per-pair update frequencies (the
+// maximum across tasks requesting the pair) for the Sec. 6.3 extension.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cost/system_model.h"
+#include "task/pair_set.h"
+#include "task/task.h"
+
+namespace remo {
+
+class TaskManager {
+ public:
+  /// `filter_observable`: drop (i, j) pairs where node i cannot observe
+  /// attribute j in `system` (Definition 1 requires A_t ⊆ ∪ A_i; concrete
+  /// pairs only make sense where the attribute is observable).
+  explicit TaskManager(const SystemModel* system = nullptr,
+                       bool filter_observable = true)
+      : system_(system), filter_observable_(filter_observable && system != nullptr) {}
+
+  /// Adds a task; assigns and returns its id (overwriting t.id).
+  TaskId add_task(MonitoringTask t);
+  /// Removes a task; returns false if the id is unknown.
+  bool remove_task(TaskId id);
+  /// Replaces the task with `t.id`; returns false if the id is unknown.
+  bool modify_task(MonitoringTask t);
+
+  const MonitoringTask* find(TaskId id) const;
+  const std::map<TaskId, MonitoringTask>& tasks() const noexcept { return tasks_; }
+  std::size_t num_tasks() const noexcept { return tasks_.size(); }
+
+  /// The deduplicated pair set over all current tasks — the planner input.
+  /// `num_vertices` sizes the node-id space (monitoring nodes + collector).
+  PairSet dedup(std::size_t num_vertices) const;
+
+  /// Update frequency per pair: the maximum frequency over all tasks that
+  /// request the pair (a faster task subsumes slower ones for delivery).
+  /// Keyed like the pair set; pairs absent from `pairs` are skipped.
+  std::map<NodeAttrPair, double> pair_frequencies(const PairSet& pairs) const;
+
+  /// How many raw (taskwise) pairs the current tasks request, before
+  /// deduplication — used to report dedup savings.
+  std::size_t raw_pair_count() const;
+
+ private:
+  void expand_into(const MonitoringTask& t, PairSet& out) const;
+
+  const SystemModel* system_;
+  bool filter_observable_;
+  std::map<TaskId, MonitoringTask> tasks_;
+  TaskId next_id_ = 1;
+};
+
+}  // namespace remo

@@ -1,0 +1,129 @@
+#include "task/workload.h"
+
+#include <algorithm>
+
+#include "common/sorted_vector.h"
+
+namespace remo {
+
+WorkloadGenerator::WorkloadGenerator(const SystemModel& system, WorkloadConfig config,
+                                     std::uint64_t seed)
+    : system_(system), config_(config), rng_(seed) {}
+
+MonitoringTask WorkloadGenerator::make_task(std::size_t num_attrs,
+                                            std::size_t num_nodes) {
+  MonitoringTask t;
+  num_nodes = std::min(num_nodes, system_.num_nodes());
+  auto picks = rng_.sample(static_cast<std::uint32_t>(system_.num_nodes()),
+                           static_cast<std::uint32_t>(num_nodes));
+  t.nodes.reserve(picks.size());
+  for (auto p : picks) t.nodes.push_back(static_cast<NodeId>(p + 1));  // skip collector
+  sort_unique(t.nodes);
+
+  if (config_.draw_from_observable) {
+    std::vector<AttrId> pool;
+    for (NodeId n : t.nodes) {
+      const auto& obs = system_.observable(n);
+      pool.insert(pool.end(), obs.begin(), obs.end());
+    }
+    sort_unique(pool);
+    if (!pool.empty()) {
+      num_attrs = std::min(num_attrs, pool.size());
+      auto idx = rng_.sample(static_cast<std::uint32_t>(pool.size()),
+                             static_cast<std::uint32_t>(num_attrs));
+      t.attrs.reserve(idx.size());
+      for (auto i : idx) t.attrs.push_back(pool[i]);
+    }
+  } else {
+    num_attrs = std::min(num_attrs, config_.attr_universe);
+    auto idx = rng_.sample(static_cast<std::uint32_t>(config_.attr_universe),
+                           static_cast<std::uint32_t>(num_attrs));
+    t.attrs.assign(idx.begin(), idx.end());
+  }
+  sort_unique(t.attrs);
+  return t;
+}
+
+std::vector<MonitoringTask> WorkloadGenerator::small_tasks(std::size_t count) {
+  std::vector<MonitoringTask> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto na = static_cast<std::size_t>(rng_.range(
+        static_cast<std::int64_t>(config_.small_attrs_min),
+        static_cast<std::int64_t>(config_.small_attrs_max)));
+    const auto nn = static_cast<std::size_t>(rng_.range(
+        static_cast<std::int64_t>(config_.small_nodes_min),
+        static_cast<std::int64_t>(config_.small_nodes_max)));
+    out.push_back(make_task(na, nn));
+  }
+  return out;
+}
+
+std::vector<MonitoringTask> WorkloadGenerator::large_tasks(std::size_t count) {
+  std::vector<MonitoringTask> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // "either involves many nodes or many attributes": alternate the
+    // stressed dimension so a batch exercises both.
+    const bool many_nodes = rng_.bernoulli(0.5);
+    const auto na = many_nodes
+                        ? static_cast<std::size_t>(rng_.range(
+                              static_cast<std::int64_t>(config_.small_attrs_min),
+                              static_cast<std::int64_t>(config_.small_attrs_max)))
+                        : static_cast<std::size_t>(rng_.range(
+                              static_cast<std::int64_t>(config_.large_attrs_min),
+                              static_cast<std::int64_t>(config_.large_attrs_max)));
+    const auto nn = many_nodes
+                        ? static_cast<std::size_t>(rng_.range(
+                              static_cast<std::int64_t>(config_.large_nodes_min),
+                              static_cast<std::int64_t>(config_.large_nodes_max)))
+                        : static_cast<std::size_t>(rng_.range(
+                              static_cast<std::int64_t>(config_.small_nodes_min),
+                              static_cast<std::int64_t>(config_.small_nodes_max)));
+    out.push_back(make_task(na, nn));
+  }
+  return out;
+}
+
+UpdateBatchStats apply_update_batch(TaskManager& manager, const SystemModel& system,
+                                    std::size_t attr_universe, Rng& rng,
+                                    double node_fraction, double attr_fraction) {
+  UpdateBatchStats stats;
+  const auto num_nodes = system.num_nodes();
+  const auto picked_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(num_nodes) * node_fraction));
+  auto raw = rng.sample(static_cast<std::uint32_t>(num_nodes),
+                        static_cast<std::uint32_t>(picked_count));
+  std::vector<NodeId> picked;
+  picked.reserve(raw.size());
+  for (auto p : raw) picked.push_back(static_cast<NodeId>(p + 1));
+  sort_unique(picked);
+
+  // Collect the modifications first: mutating while iterating the task map
+  // would invalidate the iteration order guarantees we rely on.
+  std::vector<MonitoringTask> modified;
+  for (const auto& [id, t] : manager.tasks()) {
+    if (!sets_intersect(t.nodes, picked) || t.attrs.empty()) continue;
+    MonitoringTask nt = t;
+    const auto replace_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(nt.attrs.size()) * attr_fraction));
+    auto victim_idx = rng.sample(static_cast<std::uint32_t>(nt.attrs.size()),
+                                 static_cast<std::uint32_t>(replace_count));
+    std::sort(victim_idx.begin(), victim_idx.end(), std::greater<>());
+    for (auto vi : victim_idx) nt.attrs.erase(nt.attrs.begin() + vi);
+    std::size_t replaced = 0;
+    std::size_t attempts = 0;
+    while (replaced < replace_count && attempts < replace_count * 8) {
+      ++attempts;
+      const auto a = static_cast<AttrId>(rng.below(attr_universe));
+      if (set_insert(nt.attrs, a)) ++replaced;
+    }
+    stats.attrs_replaced += replaced;
+    ++stats.tasks_modified;
+    modified.push_back(std::move(nt));
+  }
+  for (auto& nt : modified) manager.modify_task(std::move(nt));
+  return stats;
+}
+
+}  // namespace remo

@@ -1,0 +1,49 @@
+// Funnel functions (Sec. 6.1): fnl_i^m(g_m, n_m) — the number of outgoing
+// values a node emits for metric m given aggregation type g_m and n_m
+// incoming (local + children) values. Holistic collection is the identity
+// funnel; algebraic aggregates collapse to one value; TOP-k caps at k;
+// DISTINCT uses the holistic upper bound exactly as the paper does.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "task/task.h"
+
+namespace remo {
+
+class FunnelSpec {
+ public:
+  constexpr FunnelSpec() = default;
+  constexpr explicit FunnelSpec(AggType type, std::uint32_t k = 10)
+      : type_(type), k_(k) {}
+
+  constexpr AggType type() const noexcept { return type_; }
+  constexpr std::uint32_t k() const noexcept { return k_; }
+
+  /// Outgoing value count for n incoming values.
+  constexpr std::uint32_t operator()(std::uint32_t n) const noexcept {
+    switch (type_) {
+      case AggType::kHolistic:
+      case AggType::kDistinct:  // data-dependent; holistic upper bound (Sec. 6.1)
+        return n;
+      case AggType::kSum:
+      case AggType::kMax:
+      case AggType::kMin:
+      case AggType::kCount:
+      case AggType::kAvg:
+        return n > 0 ? 1u : 0u;
+      case AggType::kTopK:
+        return std::min(n, k_);
+    }
+    return n;
+  }
+
+  constexpr bool operator==(const FunnelSpec&) const = default;
+
+ private:
+  AggType type_ = AggType::kHolistic;
+  std::uint32_t k_ = 10;
+};
+
+}  // namespace remo

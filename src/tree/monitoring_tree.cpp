@@ -1,0 +1,430 @@
+#include "tree/monitoring_tree.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <stdexcept>
+
+namespace remo {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+MonitoringTree::MonitoringTree(std::vector<TreeAttrSpec> attrs,
+                               Capacity collector_avail, CostModel cost)
+    : attrs_(std::move(attrs)), cost_(cost) {
+  Vertex root;
+  root.parent = kNoNode;
+  root.local.assign(attrs_.size(), 0);
+  root.in.assign(attrs_.size(), 0);
+  root.avail = collector_avail;
+  vertices_.emplace(kCollectorId, std::move(root));
+}
+
+std::vector<AttrId> MonitoringTree::attr_ids() const {
+  std::vector<AttrId> ids;
+  ids.reserve(attrs_.size());
+  for (const auto& s : attrs_) ids.push_back(s.attr);
+  return ids;
+}
+
+const MonitoringTree::Vertex& MonitoringTree::vat(NodeId id) const {
+  auto it = vertices_.find(id);
+  if (it == vertices_.end()) throw std::out_of_range("node not in tree");
+  return it->second;
+}
+
+MonitoringTree::Vertex& MonitoringTree::vat(NodeId id) {
+  auto it = vertices_.find(id);
+  if (it == vertices_.end()) throw std::out_of_range("node not in tree");
+  return it->second;
+}
+
+double MonitoringTree::weighted_out(const std::vector<std::uint32_t>& in) const {
+  double y = 0.0;
+  for (std::size_t m = 0; m < attrs_.size(); ++m)
+    y += attrs_[m].weight * static_cast<double>(attrs_[m].funnel(in[m]));
+  return y;
+}
+
+std::vector<std::uint32_t> MonitoringTree::out_of(
+    const std::vector<std::uint32_t>& in) const {
+  std::vector<std::uint32_t> out(in.size());
+  for (std::size_t m = 0; m < attrs_.size(); ++m) out[m] = attrs_[m].funnel(in[m]);
+  return out;
+}
+
+std::vector<NodeId> MonitoringTree::members() const {
+  std::vector<NodeId> out;
+  out.reserve(vertices_.size() - 1);
+  for (const auto& [id, v] : vertices_)
+    if (id != kCollectorId) out.push_back(id);
+  return out;
+}
+
+NodeId MonitoringTree::parent(NodeId id) const { return vat(id).parent; }
+
+const std::vector<NodeId>& MonitoringTree::children(NodeId id) const {
+  return vat(id).children;
+}
+
+std::size_t MonitoringTree::depth(NodeId id) const {
+  std::size_t d = 0;
+  NodeId cur = id;
+  while (cur != kCollectorId) {
+    cur = vat(cur).parent;
+    ++d;
+  }
+  return d;
+}
+
+std::size_t MonitoringTree::height() const {
+  // BFS from the root; O(n).
+  std::size_t h = 0;
+  std::deque<std::pair<NodeId, std::size_t>> q{{kCollectorId, 0}};
+  while (!q.empty()) {
+    auto [id, d] = q.front();
+    q.pop_front();
+    h = std::max(h, d);
+    for (NodeId c : vat(id).children) q.emplace_back(c, d + 1);
+  }
+  return h;
+}
+
+std::vector<NodeId> MonitoringTree::branch_nodes(NodeId r) const {
+  std::vector<NodeId> out;
+  std::deque<NodeId> q{r};
+  while (!q.empty()) {
+    NodeId id = q.front();
+    q.pop_front();
+    out.push_back(id);
+    for (NodeId c : vat(id).children) q.push_back(c);
+  }
+  return out;
+}
+
+bool MonitoringTree::in_subtree(NodeId id, NodeId r) const {
+  NodeId cur = id;
+  while (true) {
+    if (cur == r) return true;
+    if (cur == kCollectorId) return false;
+    cur = vat(cur).parent;
+  }
+}
+
+double MonitoringTree::payload(NodeId id) const {
+  return id == kCollectorId ? 0.0 : vat(id).y;
+}
+
+Capacity MonitoringTree::send_cost(NodeId id) const {
+  if (id == kCollectorId) return 0.0;
+  return cost_.per_message + cost_.per_value * vat(id).y;
+}
+
+Capacity MonitoringTree::usage(NodeId id) const {
+  const Vertex& v = vat(id);
+  return (id == kCollectorId ? 0.0 : send_cost(id)) + v.recv;
+}
+
+Capacity MonitoringTree::avail(NodeId id) const { return vat(id).avail; }
+
+void MonitoringTree::set_avail(NodeId id, Capacity avail) {
+  if (avail + 1e-9 < usage(id))
+    throw std::invalid_argument("set_avail below current usage");
+  vat(id).avail = avail;
+}
+
+const std::vector<std::uint32_t>& MonitoringTree::in_counts(NodeId id) const {
+  return vat(id).in;
+}
+
+std::vector<std::uint32_t> MonitoringTree::out_counts(NodeId id) const {
+  return out_of(vat(id).in);
+}
+
+const std::vector<std::uint32_t>& MonitoringTree::local_counts(NodeId id) const {
+  return vat(id).local;
+}
+
+std::size_t MonitoringTree::collected_pairs() const {
+  std::size_t total = 0;
+  for (const auto& [id, v] : vertices_) {
+    if (id == kCollectorId) continue;
+    for (auto x : v.local) total += x;
+  }
+  return total;
+}
+
+Capacity MonitoringTree::total_cost() const {
+  Capacity total = 0;
+  for (const auto& [id, v] : vertices_)
+    if (id != kCollectorId) total += send_cost(id);
+  return total;
+}
+
+bool MonitoringTree::feasible_add(NodeId parent,
+                                  const std::vector<std::uint32_t>& child_out,
+                                  double child_u, NodeId* blocker) const {
+  std::vector<std::int64_t> delta(child_out.begin(), child_out.end());
+  return feasible_walk(parent, std::move(delta), child_u, blocker);
+}
+
+bool MonitoringTree::feasible_walk(NodeId parent, std::vector<std::int64_t> delta,
+                                   Capacity recv_delta, NodeId* blocker) const {
+  NodeId q = parent;
+  while (true) {
+    const Vertex& qv = vat(q);
+    if (q == kCollectorId) {
+      if (usage(q) + recv_delta > qv.avail + kEps) {
+        if (blocker) *blocker = q;
+        return false;
+      }
+      return true;
+    }
+    // New in-counts and the resulting payload change at q.
+    double new_y = 0.0;
+    std::vector<std::int64_t> next_delta(attrs_.size());
+    for (std::size_t m = 0; m < attrs_.size(); ++m) {
+      const auto old_in = qv.in[m];
+      const auto new_in = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(old_in) + delta[m]);
+      const auto old_out = attrs_[m].funnel(old_in);
+      const auto new_out = attrs_[m].funnel(new_in);
+      next_delta[m] =
+          static_cast<std::int64_t>(new_out) - static_cast<std::int64_t>(old_out);
+      new_y += attrs_[m].weight * static_cast<double>(new_out);
+    }
+    const double dy = new_y - qv.y;
+    if (usage(q) + recv_delta + cost_.per_value * dy > qv.avail + kEps) {
+      if (blocker) *blocker = q;
+      return false;
+    }
+    bool changed = false;
+    for (auto d : next_delta)
+      if (d != 0) changed = true;
+    if (!changed && dy == 0.0) return true;  // ancestors unaffected
+    recv_delta = cost_.per_value * dy;
+    delta = std::move(next_delta);
+    q = qv.parent;
+  }
+}
+
+void MonitoringTree::propagate(NodeId parent,
+                               const std::vector<std::uint32_t>& child_out,
+                               int sign) {
+  std::vector<std::int64_t> delta(attrs_.size());
+  for (std::size_t m = 0; m < attrs_.size(); ++m)
+    delta[m] = sign * static_cast<std::int64_t>(child_out[m]);
+  propagate_delta(parent, std::move(delta));
+}
+
+void MonitoringTree::propagate_delta(NodeId parent, std::vector<std::int64_t> delta) {
+  NodeId q = parent;
+  while (true) {
+    Vertex& qv = vat(q);
+    std::vector<std::int64_t> next_delta(attrs_.size());
+    bool changed = false;
+    for (std::size_t m = 0; m < attrs_.size(); ++m) {
+      const auto old_out = attrs_[m].funnel(qv.in[m]);
+      const auto new_in =
+          static_cast<std::int64_t>(qv.in[m]) + delta[m];
+      qv.in[m] = static_cast<std::uint32_t>(new_in);
+      const auto new_out = attrs_[m].funnel(qv.in[m]);
+      next_delta[m] =
+          static_cast<std::int64_t>(new_out) - static_cast<std::int64_t>(old_out);
+      if (next_delta[m] != 0) changed = true;
+    }
+    const double old_y = qv.y;
+    qv.y = weighted_out(qv.in);
+    // q's message grew/shrank: its parent's cached receive load follows.
+    if (q != kCollectorId && qv.parent != kNoNode)
+      vat(qv.parent).recv += cost_.per_value * (qv.y - old_y);
+    if (q == kCollectorId || !changed) return;
+    delta = std::move(next_delta);
+    q = qv.parent;
+  }
+}
+
+bool MonitoringTree::can_attach(const BuildItem& item, NodeId parent,
+                                NodeId* blocker) const {
+  if (item.local.size() != attrs_.size())
+    throw std::invalid_argument("BuildItem count vector size mismatch");
+  if (contains(item.id) || !contains(parent)) return false;
+  const auto out = out_of(item.local);
+  const double y = weighted_out(item.local);
+  const Capacity u = cost_.per_message + cost_.per_value * y;
+  if (u > item.avail + kEps) {
+    if (blocker) *blocker = item.id;
+    return false;
+  }
+  return feasible_add(parent, out, u, blocker);
+}
+
+void MonitoringTree::attach(const BuildItem& item, NodeId parent) {
+  if (!can_attach(item, parent)) std::abort();  // callers must check first
+  Vertex v;
+  v.parent = parent;
+  v.local = item.local;
+  v.in = item.local;
+  v.avail = item.avail;
+  v.y = weighted_out(v.in);
+  const auto out = out_of(v.in);
+  const Capacity u = cost_.per_message + cost_.per_value * v.y;
+  vertices_.emplace(item.id, std::move(v));
+  Vertex& pv = vat(parent);
+  pv.children.push_back(item.id);
+  pv.recv += u;
+  propagate(parent, out, +1);
+}
+
+bool MonitoringTree::can_move_branch(NodeId r, NodeId new_parent, NodeId* blocker) {
+  if (!contains(r) || !contains(new_parent)) return false;
+  if (in_subtree(new_parent, r)) return false;  // would create a cycle
+  const NodeId old_parent = vat(r).parent;
+  if (old_parent == new_parent) return false;
+  // Temporarily unlink, test, relink. Restoring is exact because the
+  // branch's internal state never changes.
+  const auto out = out_counts(r);
+  const Capacity u = send_cost(r);
+  {
+    Vertex& opv = vat(old_parent);
+    opv.children.erase(std::find(opv.children.begin(), opv.children.end(), r));
+    opv.recv -= u;
+  }
+  propagate(old_parent, out, -1);
+  const bool ok = feasible_add(new_parent, out, u, blocker);
+  propagate(old_parent, out, +1);
+  {
+    Vertex& opv = vat(old_parent);
+    opv.children.push_back(r);
+    opv.recv += u;
+  }
+  return ok;
+}
+
+bool MonitoringTree::move_branch(NodeId r, NodeId new_parent) {
+  if (!contains(r) || !contains(new_parent)) return false;
+  if (in_subtree(new_parent, r)) return false;
+  const NodeId old_parent = vat(r).parent;
+  if (old_parent == new_parent) return false;
+  const auto out = out_counts(r);
+  const Capacity u = send_cost(r);
+  {
+    Vertex& opv = vat(old_parent);
+    opv.children.erase(std::find(opv.children.begin(), opv.children.end(), r));
+    opv.recv -= u;
+  }
+  propagate(old_parent, out, -1);
+  if (!feasible_add(new_parent, out, u, nullptr)) {
+    propagate(old_parent, out, +1);
+    Vertex& opv = vat(old_parent);
+    opv.children.push_back(r);
+    opv.recv += u;
+    return false;
+  }
+  propagate(new_parent, out, +1);
+  Vertex& npv = vat(new_parent);
+  npv.children.push_back(r);
+  npv.recv += u;
+  vat(r).parent = new_parent;
+  return true;
+}
+
+std::vector<BuildItem> MonitoringTree::detach_branch(NodeId r) {
+  const auto nodes = branch_nodes(r);
+  const NodeId old_parent = vat(r).parent;
+  const auto out = out_counts(r);
+  {
+    Vertex& opv = vat(old_parent);
+    opv.children.erase(std::find(opv.children.begin(), opv.children.end(), r));
+    opv.recv -= send_cost(r);
+  }
+  propagate(old_parent, out, -1);
+  std::vector<BuildItem> items;
+  items.reserve(nodes.size());
+  for (NodeId id : nodes) {
+    const Vertex& v = vat(id);
+    items.push_back(BuildItem{id, v.local, v.avail});
+  }
+  for (NodeId id : nodes) vertices_.erase(id);
+  return items;
+}
+
+bool MonitoringTree::can_update_local(
+    NodeId id, const std::vector<std::uint32_t>& new_local) const {
+  if (new_local.size() != attrs_.size())
+    throw std::invalid_argument("local count vector size mismatch");
+  if (!contains(id) || id == kCollectorId) return false;
+  const Vertex& v = vat(id);
+  std::vector<std::uint32_t> new_in(attrs_.size());
+  std::vector<std::int64_t> out_delta(attrs_.size());
+  for (std::size_t m = 0; m < attrs_.size(); ++m) {
+    new_in[m] = v.in[m] - v.local[m] + new_local[m];
+    out_delta[m] = static_cast<std::int64_t>(attrs_[m].funnel(new_in[m])) -
+                   static_cast<std::int64_t>(attrs_[m].funnel(v.in[m]));
+  }
+  const double dy = weighted_out(new_in) - v.y;
+  // Only the node's own send cost changes locally; receives are untouched.
+  if (usage(id) + cost_.per_value * dy > v.avail + kEps) return false;
+  return feasible_walk(v.parent, std::move(out_delta), cost_.per_value * dy,
+                       nullptr);
+}
+
+bool MonitoringTree::update_local(NodeId id,
+                                  const std::vector<std::uint32_t>& new_local) {
+  if (!can_update_local(id, new_local)) return false;
+  Vertex& v = vat(id);
+  std::vector<std::int64_t> out_delta(attrs_.size());
+  const auto old_out = out_of(v.in);
+  const double old_y = v.y;
+  for (std::size_t m = 0; m < attrs_.size(); ++m)
+    v.in[m] = v.in[m] - v.local[m] + new_local[m];
+  v.local = new_local;
+  v.y = weighted_out(v.in);
+  const auto new_out = out_of(v.in);
+  for (std::size_t m = 0; m < attrs_.size(); ++m)
+    out_delta[m] = static_cast<std::int64_t>(new_out[m]) -
+                   static_cast<std::int64_t>(old_out[m]);
+  vat(v.parent).recv += cost_.per_value * (v.y - old_y);
+  propagate_delta(v.parent, std::move(out_delta));
+  return true;
+}
+
+bool MonitoringTree::validate() const {
+  // Parent/child symmetry and acyclicity via BFS from the collector.
+  std::size_t seen = 0;
+  std::deque<NodeId> q{kCollectorId};
+  std::unordered_map<NodeId, bool> visited;
+  while (!q.empty()) {
+    NodeId id = q.front();
+    q.pop_front();
+    if (visited[id]) return false;  // cycle or duplicate child link
+    visited[id] = true;
+    ++seen;
+    for (NodeId c : vat(id).children) {
+      if (!contains(c) || vat(c).parent != id) return false;
+      q.push_back(c);
+    }
+  }
+  if (seen != vertices_.size()) return false;  // unreachable vertices
+
+  // Recompute in-counts bottom-up and check caches + capacity.
+  for (const auto& [id, v] : vertices_) {
+    if (v.local.size() != attrs_.size() || v.in.size() != attrs_.size()) return false;
+    std::vector<std::uint32_t> expect = v.local;
+    for (NodeId c : v.children) {
+      const auto out = out_of(vat(c).in);
+      for (std::size_t m = 0; m < attrs_.size(); ++m) expect[m] += out[m];
+    }
+    if (expect != v.in) return false;
+    if (std::abs(weighted_out(v.in) - v.y) > 1e-6) return false;
+    double expect_recv = 0.0;
+    for (NodeId c : v.children) expect_recv += send_cost(c);
+    if (std::abs(expect_recv - v.recv) > 1e-6) return false;
+    if (usage(id) > v.avail + 1e-6) return false;
+  }
+  return true;
+}
+
+}  // namespace remo

@@ -1,0 +1,188 @@
+// A single monitoring tree (Sec. 2.3 / 3.2): the central collector (node 0)
+// is the root; every member node periodically sends one update message to
+// its parent carrying its locally observed values plus everything its
+// children sent, for the attributes this tree delivers.
+//
+// Load model (Problem Statement 2, extended with funnels from Sec. 6.1):
+//   in_i[m]  = local_i[m] + Σ_{p(j)=i} out_j[m]      per-metric value counts
+//   out_i[m] = fnl^m(in_i[m])                        funnel-adjusted output
+//   y_i      = Σ_m w_m · out_i[m]                    weighted payload
+//   u_i      = C + a · y_i                           message (send) cost
+//   usage_i  = u_i + Σ_{p(j)=i} u_j  ≤  avail_i      (collector: receive only)
+// where w_m = freq_m / freq_max is the heterogeneous-update-frequency
+// weight of Sec. 6.3 (1.0 for uniform frequencies).
+//
+// All mutating operations maintain these quantities incrementally and never
+// leave the tree in a capacity-violating state: feasibility is checked
+// before any change is applied.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "cost/cost_model.h"
+#include "tree/funnel.h"
+
+namespace remo {
+
+/// One attribute delivered by a tree, with its funnel and frequency weight.
+struct TreeAttrSpec {
+  AttrId attr = 0;
+  FunnelSpec funnel{AggType::kHolistic};
+  double weight = 1.0;
+
+  bool operator==(const TreeAttrSpec&) const = default;
+};
+
+/// A node offered to a tree builder: its per-attribute local value counts
+/// (aligned with the tree's attribute order) and the capacity allocated to
+/// this tree.
+struct BuildItem {
+  NodeId id = kNoNode;
+  std::vector<std::uint32_t> local;
+  Capacity avail = 0;
+
+  /// Total local values (unweighted).
+  std::uint32_t local_total() const noexcept {
+    std::uint32_t s = 0;
+    for (auto v : local) s += v;
+    return s;
+  }
+};
+
+class MonitoringTree {
+ public:
+  MonitoringTree(std::vector<TreeAttrSpec> attrs, Capacity collector_avail,
+                 CostModel cost);
+
+  // ---- structure ----------------------------------------------------
+  const std::vector<TreeAttrSpec>& attr_specs() const noexcept { return attrs_; }
+  /// Attribute ids in tree order.
+  std::vector<AttrId> attr_ids() const;
+  std::size_t num_attrs() const noexcept { return attrs_.size(); }
+  const CostModel& cost() const noexcept { return cost_; }
+
+  bool contains(NodeId id) const { return vertices_.count(id) != 0; }
+  /// Member monitoring nodes (excludes the collector), unsorted.
+  std::vector<NodeId> members() const;
+  /// Number of member monitoring nodes (excludes the collector).
+  std::size_t size() const noexcept { return vertices_.size() - 1; }
+  bool empty() const noexcept { return size() == 0; }
+
+  NodeId parent(NodeId id) const;
+  const std::vector<NodeId>& children(NodeId id) const;
+  /// Depth of `id`; the collector has depth 0.
+  std::size_t depth(NodeId id) const;
+  /// Max depth over members (0 for an empty tree).
+  std::size_t height() const;
+  /// `r` plus all its descendants, in BFS order.
+  std::vector<NodeId> branch_nodes(NodeId r) const;
+  /// True iff `id` is in the subtree rooted at `r` (inclusive).
+  bool in_subtree(NodeId id, NodeId r) const;
+
+  // ---- loads ---------------------------------------------------------
+  /// Weighted payload y_i of the message `id` sends (0 for the collector).
+  double payload(NodeId id) const;
+  /// Send cost u_i = C + a·y_i (0 for the collector, which sends nothing).
+  Capacity send_cost(NodeId id) const;
+  /// usage_i = u_i + Σ_{children j} u_j; collector: Σ u_j only.
+  Capacity usage(NodeId id) const;
+  Capacity avail(NodeId id) const;
+  Capacity slack(NodeId id) const { return avail(id) - usage(id); }
+  /// Re-caps a vertex's capacity allocation (used by the adaptive planner
+  /// to bind in-place patches to the node's *global* remaining budget).
+  /// Must not go below current usage — that would invalidate the tree.
+  void set_avail(NodeId id, Capacity avail);
+  /// Per-metric incoming counts (aligned with attr_specs()).
+  const std::vector<std::uint32_t>& in_counts(NodeId id) const;
+  /// Per-metric outgoing counts out_i[m] = fnl^m(in_i[m]).
+  std::vector<std::uint32_t> out_counts(NodeId id) const;
+  /// Local (x_i) per-metric counts.
+  const std::vector<std::uint32_t>& local_counts(NodeId id) const;
+  /// Total local values over members: the node-attribute pairs this tree
+  /// collects (the planner's objective contribution).
+  std::size_t collected_pairs() const;
+  /// Σ_i u_i over members: total message volume per unit time (C_cur /
+  /// C_adj in the Sec. 4.2 throttle formula).
+  Capacity total_cost() const;
+  /// One message per member per unit time.
+  std::size_t total_messages() const noexcept { return size(); }
+
+  // ---- mutation --------------------------------------------------------
+  /// Can `item` be attached under `parent` without violating any capacity?
+  /// On failure and if `blocker` is non-null, stores the first node whose
+  /// constraint would be violated (a "congested node", Definition 4).
+  bool can_attach(const BuildItem& item, NodeId parent,
+                  NodeId* blocker = nullptr) const;
+  /// Attach; aborts the process if infeasible (callers check first).
+  void attach(const BuildItem& item, NodeId parent);
+
+  /// Can the branch rooted at `r` be re-parented under `new_parent`?
+  /// `new_parent` must not be inside the branch.
+  bool can_move_branch(NodeId r, NodeId new_parent, NodeId* blocker = nullptr);
+  /// Re-parent branch `r` under `new_parent`; returns false (tree
+  /// unchanged) if infeasible.
+  bool move_branch(NodeId r, NodeId new_parent);
+
+  /// Remove the branch rooted at `r`; returns the removed nodes as build
+  /// items (BFS order: parents before children).
+  std::vector<BuildItem> detach_branch(NodeId r);
+
+  /// Can member `id`'s local counts be replaced by `new_local` without
+  /// violating any capacity (decreases are always feasible)?
+  bool can_update_local(NodeId id, const std::vector<std::uint32_t>& new_local) const;
+  /// Replace member `id`'s local counts in place, keeping its position and
+  /// children (the minimal-change operation behind DIRECT-APPLY task
+  /// updates). Returns false — tree unchanged — if infeasible.
+  bool update_local(NodeId id, const std::vector<std::uint32_t>& new_local);
+
+  /// Exhaustive invariant re-check (for tests): recomputes counts bottom-up
+  /// and verifies cached values, parent/child symmetry, acyclicity, and
+  /// capacity constraints. Returns false on any violation.
+  bool validate() const;
+
+ private:
+  struct Vertex {
+    NodeId parent = kNoNode;
+    std::vector<NodeId> children;
+    std::vector<std::uint32_t> local;  // x_i per metric
+    std::vector<std::uint32_t> in;     // in_i per metric
+    double y = 0.0;                    // cached weighted payload
+    double recv = 0.0;                 // cached Σ_{children c} u_c
+    Capacity avail = 0;
+  };
+
+  const Vertex& vat(NodeId id) const;
+  Vertex& vat(NodeId id);
+  double weighted_out(const std::vector<std::uint32_t>& in) const;
+  std::vector<std::uint32_t> out_of(const std::vector<std::uint32_t>& in) const;
+
+  /// Feasibility walk for adding count-delta `delta_out` as a *new* child
+  /// message of cost `child_u` under `parent`. Simulates the upward
+  /// propagation without mutating. `extra_at_parent`: cost already freed or
+  /// spent at the parent in the same composite operation (used by move).
+  bool feasible_add(NodeId parent, const std::vector<std::uint32_t>& child_out,
+                    double child_u, NodeId* blocker) const;
+
+  /// Generalized upward feasibility walk: would adding `delta` to
+  /// `parent`'s in-counts plus `recv_delta` to its receive cost overload
+  /// any ancestor?
+  bool feasible_walk(NodeId parent, std::vector<std::int64_t> delta,
+                     Capacity recv_delta, NodeId* blocker) const;
+
+  /// Apply (sign=+1) or undo (sign=-1) the upward propagation of a child
+  /// message with out-vector `child_out` joining/leaving `parent`.
+  void propagate(NodeId parent, const std::vector<std::uint32_t>& child_out,
+                 int sign);
+  /// Signed-delta variant of propagate().
+  void propagate_delta(NodeId parent, std::vector<std::int64_t> delta);
+
+  std::vector<TreeAttrSpec> attrs_;
+  CostModel cost_;
+  std::unordered_map<NodeId, Vertex> vertices_;
+};
+
+}  // namespace remo

@@ -1,0 +1,176 @@
+#include "collector/alerts.h"
+
+#include <gtest/gtest.h>
+
+namespace remo {
+namespace {
+
+struct Recorder {
+  std::vector<Alert> alerts;
+  AlertEngine::Callback callback() {
+    return [this](const Alert& a) { alerts.push_back(a); };
+  }
+};
+
+TEST(Alerts, PerNodeThresholdFires) {
+  AlertEngine engine;
+  Recorder rec;
+  engine.add_rule({.attr = 0, .op = AlertOp::kGreater, .threshold = 90.0},
+                  rec.callback());
+  engine.on_value({1, 0}, 5, 80.0);
+  EXPECT_TRUE(rec.alerts.empty());
+  engine.on_value({1, 0}, 6, 95.0);
+  ASSERT_EQ(rec.alerts.size(), 1u);
+  EXPECT_EQ(rec.alerts[0].node, 1u);
+  EXPECT_EQ(rec.alerts[0].epoch, 6u);
+  EXPECT_DOUBLE_EQ(rec.alerts[0].value, 95.0);
+}
+
+TEST(Alerts, AttributeFiltered) {
+  AlertEngine engine;
+  Recorder rec;
+  engine.add_rule({.attr = 3, .op = AlertOp::kGreater, .threshold = 0.0},
+                  rec.callback());
+  engine.on_value({1, 0}, 1, 100.0);  // different attribute
+  EXPECT_TRUE(rec.alerts.empty());
+}
+
+TEST(Alerts, OperatorsWork) {
+  AlertEngine engine;
+  Recorder rec;
+  engine.add_rule({.attr = 0, .op = AlertOp::kLess, .threshold = 10.0},
+                  rec.callback());
+  engine.add_rule({.attr = 0, .op = AlertOp::kGreaterEq, .threshold = 50.0},
+                  rec.callback());
+  engine.add_rule({.attr = 0, .op = AlertOp::kLessEq, .threshold = 5.0},
+                  rec.callback());
+  engine.on_value({1, 0}, 1, 5.0);  // trips <10, <=5, not >=50
+  EXPECT_EQ(rec.alerts.size(), 2u);
+  engine.on_value({2, 0}, 1, 50.0);  // trips >=50
+  EXPECT_EQ(rec.alerts.size(), 3u);
+}
+
+TEST(Alerts, DebounceRequiresConsecutiveBreaches) {
+  AlertEngine engine;
+  Recorder rec;
+  engine.add_rule({.attr = 0,
+                   .op = AlertOp::kGreater,
+                   .threshold = 50.0,
+                   .min_consecutive = 3},
+                  rec.callback());
+  engine.on_value({1, 0}, 1, 60.0);
+  engine.on_value({1, 0}, 2, 60.0);
+  engine.on_value({1, 0}, 3, 40.0);  // streak broken
+  engine.on_value({1, 0}, 4, 60.0);
+  engine.on_value({1, 0}, 5, 60.0);
+  EXPECT_TRUE(rec.alerts.empty());
+  engine.on_value({1, 0}, 6, 60.0);  // third consecutive
+  ASSERT_EQ(rec.alerts.size(), 1u);
+  EXPECT_EQ(rec.alerts[0].epoch, 6u);
+}
+
+TEST(Alerts, PersistentBreachFiresOnceUntilCleared) {
+  AlertEngine engine;
+  Recorder rec;
+  engine.add_rule({.attr = 0, .op = AlertOp::kGreater, .threshold = 50.0},
+                  rec.callback());
+  for (std::uint64_t e = 1; e <= 10; ++e) engine.on_value({1, 0}, e, 99.0);
+  EXPECT_EQ(rec.alerts.size(), 1u);
+  engine.on_value({1, 0}, 11, 10.0);  // clears
+  engine.on_value({1, 0}, 12, 99.0);  // re-arms and fires again
+  EXPECT_EQ(rec.alerts.size(), 2u);
+}
+
+TEST(Alerts, NodesTrackedIndependently) {
+  AlertEngine engine;
+  Recorder rec;
+  engine.add_rule({.attr = 0,
+                   .op = AlertOp::kGreater,
+                   .threshold = 50.0,
+                   .min_consecutive = 2},
+                  rec.callback());
+  engine.on_value({1, 0}, 1, 60.0);
+  engine.on_value({2, 0}, 1, 60.0);
+  EXPECT_TRUE(rec.alerts.empty());  // each node has streak 1
+  engine.on_value({2, 0}, 2, 60.0);
+  ASSERT_EQ(rec.alerts.size(), 1u);
+  EXPECT_EQ(rec.alerts[0].node, 2u);
+}
+
+TEST(Alerts, FleetScopesUseStoreSnapshots) {
+  TimeSeriesStore store(8);
+  AlertEngine engine(&store);
+  Recorder avg_rec, max_rec, min_rec;
+  engine.add_rule({.attr = 0,
+                   .op = AlertOp::kGreater,
+                   .threshold = 50.0,
+                   .scope = AlertScope::kFleetAvg},
+                  avg_rec.callback());
+  engine.add_rule({.attr = 0,
+                   .op = AlertOp::kGreater,
+                   .threshold = 90.0,
+                   .scope = AlertScope::kFleetMax},
+                  max_rec.callback());
+  engine.add_rule({.attr = 0,
+                   .op = AlertOp::kLess,
+                   .threshold = 5.0,
+                   .scope = AlertScope::kFleetMin},
+                  min_rec.callback());
+  store.record({1, 0}, 10, 95.0);
+  store.record({2, 0}, 10, 20.0);
+  engine.end_epoch(10);
+  EXPECT_EQ(avg_rec.alerts.size(), 1u);  // avg 57.5 > 50
+  EXPECT_EQ(max_rec.alerts.size(), 1u);  // max 95 > 90
+  EXPECT_TRUE(min_rec.alerts.empty());   // min 20 not < 5
+  EXPECT_EQ(avg_rec.alerts[0].node, kNoNode);
+  EXPECT_DOUBLE_EQ(avg_rec.alerts[0].value, 57.5);
+}
+
+TEST(Alerts, FleetStalenessExcludesDeadNodes) {
+  TimeSeriesStore store(8);
+  AlertEngine engine(&store);
+  Recorder rec;
+  engine.add_rule({.attr = 0,
+                   .op = AlertOp::kLess,
+                   .threshold = 10.0,
+                   .scope = AlertScope::kFleetMin,
+                   .max_staleness = 5},
+                  rec.callback());
+  store.record({1, 0}, 1, 2.0);    // will be stale at epoch 20
+  store.record({2, 0}, 20, 50.0);  // fresh and healthy
+  engine.end_epoch(20);
+  EXPECT_TRUE(rec.alerts.empty());  // stale node 1 must not pin the min
+}
+
+TEST(Alerts, FleetWithoutStoreIsNoop) {
+  AlertEngine engine(nullptr);
+  Recorder rec;
+  engine.add_rule({.attr = 0,
+                   .op = AlertOp::kGreater,
+                   .threshold = 0.0,
+                   .scope = AlertScope::kFleetAvg},
+                  rec.callback());
+  engine.end_epoch(1);
+  EXPECT_TRUE(rec.alerts.empty());
+}
+
+TEST(Alerts, RemoveRuleStopsFiring) {
+  AlertEngine engine;
+  Recorder rec;
+  const RuleId id = engine.add_rule(
+      {.attr = 0, .op = AlertOp::kGreater, .threshold = 0.0}, rec.callback());
+  EXPECT_TRUE(engine.remove_rule(id));
+  EXPECT_FALSE(engine.remove_rule(id));
+  engine.on_value({1, 0}, 1, 100.0);
+  EXPECT_TRUE(rec.alerts.empty());
+  EXPECT_EQ(engine.alerts_fired(), 0u);
+}
+
+TEST(Alerts, EnumNames) {
+  EXPECT_STREQ(to_string(AlertOp::kGreater), ">");
+  EXPECT_STREQ(to_string(AlertOp::kLessEq), "<=");
+  EXPECT_STREQ(to_string(AlertScope::kFleetAvg), "FLEET-AVG");
+}
+
+}  // namespace
+}  // namespace remo

@@ -1,0 +1,127 @@
+#include "collector/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace remo {
+namespace {
+
+constexpr NodeAttrPair kP{1, 0};
+
+TEST(TimeSeries, EmptyStore) {
+  TimeSeriesStore store(4);
+  EXPECT_EQ(store.num_pairs(), 0u);
+  EXPECT_FALSE(store.latest(kP).has_value());
+  EXPECT_TRUE(store.range(kP, 0, 100).empty());
+  EXPECT_EQ(store.window(kP, 0, 100).count, 0u);
+  EXPECT_FALSE(store.staleness(kP, 5).has_value());
+}
+
+TEST(TimeSeries, ZeroCapacityRejected) {
+  EXPECT_THROW(TimeSeriesStore{0}, std::invalid_argument);
+}
+
+TEST(TimeSeries, RecordAndLatest) {
+  TimeSeriesStore store(4);
+  store.record(kP, 1, 10.0);
+  store.record(kP, 3, 30.0);
+  const auto head = store.latest(kP);
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->epoch, 3u);
+  EXPECT_DOUBLE_EQ(head->value, 30.0);
+  EXPECT_EQ(store.num_pairs(), 1u);
+  EXPECT_EQ(store.total_samples(), 2u);
+}
+
+TEST(TimeSeries, SameEpochOverwrites) {
+  TimeSeriesStore store(4);
+  store.record(kP, 2, 10.0);
+  store.record(kP, 2, 12.0);  // replica path delivers again
+  EXPECT_DOUBLE_EQ(store.latest(kP)->value, 12.0);
+  EXPECT_EQ(store.total_samples(), 1u);
+  EXPECT_EQ(store.range(kP, 0, 10).size(), 1u);
+}
+
+TEST(TimeSeries, RingEvictsOldest) {
+  TimeSeriesStore store(3);
+  for (std::uint64_t e = 1; e <= 5; ++e)
+    store.record(kP, e, static_cast<double>(e) * 10.0);
+  const auto all = store.range(kP, 0, 100);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].epoch, 3u);  // oldest retained
+  EXPECT_EQ(all[1].epoch, 4u);
+  EXPECT_EQ(all[2].epoch, 5u);
+  EXPECT_EQ(store.latest(kP)->epoch, 5u);
+  EXPECT_EQ(store.total_samples(), 5u);  // lifetime count
+}
+
+TEST(TimeSeries, RangeFilters) {
+  TimeSeriesStore store(8);
+  for (std::uint64_t e = 1; e <= 6; ++e)
+    store.record(kP, e, static_cast<double>(e));
+  const auto mid = store.range(kP, 2, 4);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.front().epoch, 2u);
+  EXPECT_EQ(mid.back().epoch, 4u);
+  EXPECT_TRUE(store.range(kP, 7, 9).empty());
+}
+
+TEST(TimeSeries, WindowAggregates) {
+  TimeSeriesStore store(8);
+  store.record(kP, 1, 5.0);
+  store.record(kP, 2, 1.0);
+  store.record(kP, 3, 3.0);
+  const auto agg = store.window(kP, 1, 3);
+  EXPECT_EQ(agg.count, 3u);
+  EXPECT_DOUBLE_EQ(agg.min, 1.0);
+  EXPECT_DOUBLE_EQ(agg.max, 5.0);
+  EXPECT_DOUBLE_EQ(agg.sum, 9.0);
+  EXPECT_DOUBLE_EQ(agg.avg(), 3.0);
+}
+
+TEST(TimeSeries, SnapshotAcrossNodes) {
+  TimeSeriesStore store(4);
+  store.record({1, 7}, 10, 4.0);
+  store.record({2, 7}, 10, 8.0);
+  store.record({3, 7}, 2, 100.0);  // stale node
+  store.record({4, 9}, 10, 50.0);  // different attribute
+  const auto fresh = store.snapshot(7, /*min_epoch=*/5);
+  EXPECT_EQ(fresh.count, 2u);
+  EXPECT_DOUBLE_EQ(fresh.min, 4.0);
+  EXPECT_DOUBLE_EQ(fresh.max, 8.0);
+  EXPECT_DOUBLE_EQ(fresh.avg(), 6.0);
+  const auto all = store.snapshot(7, 0);
+  EXPECT_EQ(all.count, 3u);
+  EXPECT_DOUBLE_EQ(all.max, 100.0);
+}
+
+TEST(TimeSeries, Staleness) {
+  TimeSeriesStore store(4);
+  store.record(kP, 10, 1.0);
+  EXPECT_EQ(store.staleness(kP, 10).value(), 0u);
+  EXPECT_EQ(store.staleness(kP, 17).value(), 7u);
+}
+
+TEST(TimeSeries, Clear) {
+  TimeSeriesStore store(4);
+  store.record(kP, 1, 1.0);
+  store.clear();
+  EXPECT_EQ(store.num_pairs(), 0u);
+  EXPECT_EQ(store.total_samples(), 0u);
+  EXPECT_FALSE(store.latest(kP).has_value());
+}
+
+TEST(TimeSeries, ManyPairsIndependentRings) {
+  TimeSeriesStore store(2);
+  for (NodeId n = 1; n <= 50; ++n)
+    for (std::uint64_t e = 1; e <= 4; ++e)
+      store.record({n, 0}, e, static_cast<double>(n));
+  EXPECT_EQ(store.num_pairs(), 50u);
+  for (NodeId n = 1; n <= 50; ++n) {
+    const auto r = store.range({n, 0}, 0, 10);
+    ASSERT_EQ(r.size(), 2u) << n;
+    EXPECT_DOUBLE_EQ(r[0].value, static_cast<double>(n));
+  }
+}
+
+}  // namespace
+}  // namespace remo

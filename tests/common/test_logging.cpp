@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace remo {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }  // default
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST_F(LoggingTest, MacrosRunAtEveryLevel) {
+  // The macros must be safe to execute whatever the level (suppressed
+  // levels short-circuit without evaluating the stream).
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kOff}) {
+    set_log_level(level);
+    REMO_DEBUG() << "debug " << 1;
+    REMO_INFO() << "info " << 2.5;
+    REMO_WARN() << "warn " << "text";
+    REMO_ERROR() << "error";
+  }
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, SuppressedLevelSkipsEvaluation) {
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return 42;
+  };
+  REMO_DEBUG() << count();
+  EXPECT_EQ(evaluations, 0);  // stream expression never ran
+  set_log_level(LogLevel::kDebug);
+  REMO_ERROR() << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, MacroIsStatementSafe) {
+  // Must behave as a single statement in unbraced control flow.
+  set_log_level(LogLevel::kOff);
+  if (false)
+    REMO_WARN() << "never";
+  else
+    REMO_WARN() << "taken";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace remo

@@ -1,0 +1,114 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace remo {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng{7};
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng{7};
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo_seen |= v == -2;
+    hi_seen |= v == 2;
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{3};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{5};
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng{9};
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, SampleDistinctAndInRange) {
+  Rng rng{11};
+  for (std::uint32_t n : {10u, 100u, 1000u}) {
+    for (std::uint32_t k : {1u, 5u, n / 2, n}) {
+      auto s = rng.sample(n, k);
+      EXPECT_EQ(s.size(), k);
+      std::set<std::uint32_t> uniq(s.begin(), s.end());
+      EXPECT_EQ(uniq.size(), k);
+      for (auto v : s) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(Rng, SampleKLargerThanNClamps) {
+  Rng rng{11};
+  EXPECT_EQ(rng.sample(5, 50).size(), 5u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng{13};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a{17};
+  Rng child = a.fork();
+  EXPECT_NE(a(), child());
+}
+
+}  // namespace
+}  // namespace remo

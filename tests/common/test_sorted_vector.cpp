@@ -1,0 +1,97 @@
+#include "common/sorted_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace remo {
+namespace {
+
+using V = std::vector<int>;
+
+TEST(SortedVector, SortUnique) {
+  V v{3, 1, 2, 3, 1};
+  sort_unique(v);
+  EXPECT_EQ(v, (V{1, 2, 3}));
+}
+
+TEST(SortedVector, SortUniqueEmpty) {
+  V v;
+  sort_unique(v);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SortedVector, IsSortedUnique) {
+  EXPECT_TRUE(is_sorted_unique(V{}));
+  EXPECT_TRUE(is_sorted_unique(V{5}));
+  EXPECT_TRUE(is_sorted_unique(V{1, 2, 9}));
+  EXPECT_FALSE(is_sorted_unique(V{1, 1}));
+  EXPECT_FALSE(is_sorted_unique(V{2, 1}));
+}
+
+TEST(SortedVector, InsertEraseContains) {
+  V v;
+  EXPECT_TRUE(set_insert(v, 5));
+  EXPECT_TRUE(set_insert(v, 1));
+  EXPECT_FALSE(set_insert(v, 5));  // duplicate
+  EXPECT_EQ(v, (V{1, 5}));
+  EXPECT_TRUE(set_contains(v, 1));
+  EXPECT_FALSE(set_contains(v, 2));
+  EXPECT_TRUE(set_erase(v, 1));
+  EXPECT_FALSE(set_erase(v, 1));
+  EXPECT_EQ(v, (V{5}));
+}
+
+TEST(SortedVector, UnionIntersectionDifference) {
+  const V a{1, 3, 5, 7};
+  const V b{3, 4, 5};
+  EXPECT_EQ(set_union(a, b), (V{1, 3, 4, 5, 7}));
+  EXPECT_EQ(set_intersection(a, b), (V{3, 5}));
+  EXPECT_EQ(set_difference(a, b), (V{1, 7}));
+  EXPECT_EQ(set_difference(b, a), (V{4}));
+}
+
+TEST(SortedVector, EmptyOperands) {
+  const V a{1, 2};
+  const V e;
+  EXPECT_EQ(set_union(a, e), a);
+  EXPECT_EQ(set_intersection(a, e), e);
+  EXPECT_EQ(set_difference(a, e), a);
+  EXPECT_EQ(set_difference(e, a), e);
+}
+
+TEST(SortedVector, IntersectionSizeAndIntersect) {
+  const V a{1, 3, 5};
+  const V b{2, 3, 4, 5};
+  EXPECT_EQ(intersection_size(a, b), 2u);
+  EXPECT_TRUE(sets_intersect(a, b));
+  EXPECT_FALSE(sets_intersect(V{1, 2}, V{3, 4}));
+  EXPECT_EQ(intersection_size(V{1, 2}, V{3, 4}), 0u);
+}
+
+TEST(SortedVector, Subset) {
+  EXPECT_TRUE(is_subset(V{}, V{1}));
+  EXPECT_TRUE(is_subset(V{1, 3}, V{1, 2, 3}));
+  EXPECT_FALSE(is_subset(V{1, 4}, V{1, 2, 3}));
+}
+
+TEST(SortedVector, AlgebraIdentitiesRandomized) {
+  // |A| + |B| = |A ∪ B| + |A ∩ B|, and A = (A∖B) ∪ (A∩B).
+  Rng rng{99};
+  for (int trial = 0; trial < 50; ++trial) {
+    V a, b;
+    for (int i = 0; i < 30; ++i) {
+      if (rng.bernoulli(0.4)) a.push_back(i);
+      if (rng.bernoulli(0.4)) b.push_back(i);
+    }
+    const auto u = set_union(a, b);
+    const auto x = set_intersection(a, b);
+    EXPECT_EQ(a.size() + b.size(), u.size() + x.size());
+    EXPECT_EQ(set_union(set_difference(a, b), x), a);
+    EXPECT_EQ(intersection_size(a, b), x.size());
+    EXPECT_EQ(sets_intersect(a, b), !x.empty());
+  }
+}
+
+}  // namespace
+}  // namespace remo

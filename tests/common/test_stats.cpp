@@ -1,0 +1,105 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace remo {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MergeEqualsPooled) {
+  RunningStats a, b, pooled;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    pooled.add(i);
+  }
+  for (int i = 100; i < 120; ++i) {
+    b.add(i);
+    pooled.add(i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mean(), pooled.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(a.max(), pooled.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(Percentile, Basics) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0}, 0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0}, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 50), 2.5);  // interpolation
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(percentile({9, 1, 5}, 50), 5.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3}, -10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3}, 200), 3.0);
+}
+
+TEST(MeanOf, Basics) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2, 4, 6}), 4.0);
+}
+
+TEST(JainFairness, PerfectBalance) {
+  EXPECT_DOUBLE_EQ(jain_fairness({5, 5, 5, 5}), 1.0);
+}
+
+TEST(JainFairness, WorstCase) {
+  // All load on one of n nodes -> 1/n.
+  EXPECT_NEAR(jain_fairness({10, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(JainFairness, EdgeCases) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0, 0}), 1.0);
+}
+
+}  // namespace
+}  // namespace remo

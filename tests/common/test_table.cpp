@@ -1,0 +1,57 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace remo {
+namespace {
+
+TEST(Table, AlignsColumnsAndUnderlinesHeader) {
+  Table t({"name", "value"});
+  t.row().add("x").add(1.5, 1);
+  t.row().add("longer").add(22.25, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("22.25"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+  // Every line should be terminated.
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(Table, NumericFormatting) {
+  Table t({"v"});
+  t.row().add(3.14159, 3);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(Table, IntegerOverloads) {
+  Table t({"a", "b", "c"});
+  t.row().add(42).add(std::size_t{7}).add(-3);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+  EXPECT_NE(os.str().find("-3"), std::string::npos);
+}
+
+TEST(Table, AddWithoutRowStartsOne) {
+  Table t({"a"});
+  t.add("first");
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, ShortRowsPrintSafely) {
+  Table t({"a", "b"});
+  t.row().add("only-a");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only-a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace remo

@@ -1,0 +1,129 @@
+#include "core/scenario_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "task/task_manager.h"
+
+namespace remo {
+namespace {
+
+TEST(ScenarioRanges, NodeRangeForms) {
+  EXPECT_EQ(detail::parse_node_range("5"), (std::vector<NodeId>{5}));
+  EXPECT_EQ(detail::parse_node_range("1-4"), (std::vector<NodeId>{1, 2, 3, 4}));
+  EXPECT_EQ(detail::parse_node_range("1-3,7,9-10"),
+            (std::vector<NodeId>{1, 2, 3, 7, 9, 10}));
+  EXPECT_EQ(detail::parse_node_range("3,1,3"), (std::vector<NodeId>{1, 3}));
+}
+
+TEST(ScenarioRanges, NodeRangeErrors) {
+  EXPECT_FALSE(detail::parse_node_range("").has_value());
+  EXPECT_FALSE(detail::parse_node_range("a").has_value());
+  EXPECT_FALSE(detail::parse_node_range("5-2").has_value());
+  EXPECT_FALSE(detail::parse_node_range("1,,3").has_value());
+  EXPECT_FALSE(detail::parse_node_range("1-").has_value());
+}
+
+TEST(ScenarioRanges, AggNames) {
+  EXPECT_EQ(detail::parse_agg("max"), AggType::kMax);
+  EXPECT_EQ(detail::parse_agg("MAX"), AggType::kMax);
+  EXPECT_EQ(detail::parse_agg("topk"), AggType::kTopK);
+  EXPECT_EQ(detail::parse_agg("holistic"), AggType::kHolistic);
+  EXPECT_FALSE(detail::parse_agg("median").has_value());
+}
+
+TEST(ScenarioParser, MinimalSystem) {
+  const auto r = parse_scenario("system nodes=4 capacity=50\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.scenario->system.num_nodes(), 4u);
+  EXPECT_DOUBLE_EQ(r.scenario->system.capacity(1), 50.0);
+  EXPECT_DOUBLE_EQ(r.scenario->system.capacity(kCollectorId), 50.0);
+  EXPECT_TRUE(r.scenario->tasks.empty());
+}
+
+TEST(ScenarioParser, FullScenario) {
+  const std::string text = R"(
+# A small deployment
+system nodes=8 capacity=60 collector=240 C=12 a=0.5
+observe 1-8 0,1,2
+capacity 7-8 30
+task attrs=0,1 nodes=1-8
+task attrs=2 nodes=1-4 freq=0.25 agg=max
+task attrs=0 nodes=5-8 reliability=ssdp replicas=3
+)";
+  const auto r = parse_scenario(text);
+  ASSERT_TRUE(r.ok()) << r.error;
+  const auto& s = *r.scenario;
+  EXPECT_DOUBLE_EQ(s.system.capacity(kCollectorId), 240.0);
+  EXPECT_DOUBLE_EQ(s.system.cost().per_message, 12.0);
+  EXPECT_DOUBLE_EQ(s.system.cost().per_value, 0.5);
+  EXPECT_DOUBLE_EQ(s.system.capacity(7), 30.0);
+  EXPECT_DOUBLE_EQ(s.system.capacity(6), 60.0);
+  EXPECT_TRUE(s.system.observes(3, 2));
+  ASSERT_EQ(s.tasks.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.tasks[1].frequency, 0.25);
+  EXPECT_EQ(s.tasks[1].aggregation, AggType::kMax);
+  EXPECT_EQ(s.tasks[2].reliability, ReliabilityMode::kSSDP);
+  EXPECT_EQ(s.tasks[2].replicas, 3u);
+}
+
+TEST(ScenarioParser, ObserveMergesAcrossDirectives) {
+  const auto r = parse_scenario(
+      "system nodes=2 capacity=10\nobserve 1 0\nobserve 1 1,2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.scenario->system.observable(1), (std::vector<AttrId>{0, 1, 2}));
+}
+
+TEST(ScenarioParser, ErrorsCarryLineNumbers) {
+  const auto missing = parse_scenario("observe 1 0\n");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_NE(missing.error.find("line 1"), std::string::npos);
+
+  const auto dup = parse_scenario(
+      "system nodes=2 capacity=10\nsystem nodes=3 capacity=10\n");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_NE(dup.error.find("line 2"), std::string::npos);
+  EXPECT_NE(dup.error.find("duplicate"), std::string::npos);
+}
+
+TEST(ScenarioParser, RejectsBadDirectivesAndValues) {
+  const char* bad[] = {
+      "system nodes=0 capacity=10\n",
+      "system nodes=2\n",
+      "system nodes=2 capacity=10\nfrobnicate 1 2\n",
+      "system nodes=2 capacity=10\nobserve 0 1\n",       // collector id
+      "system nodes=2 capacity=10\nobserve 9 1\n",       // out of range
+      "system nodes=2 capacity=10\ntask attrs=0\n",      // missing nodes
+      "system nodes=2 capacity=10\ntask attrs=0 nodes=1 freq=2\n",
+      "system nodes=2 capacity=10\ntask attrs=0 nodes=1 agg=median\n",
+      "system nodes=2 capacity=10\ntask attrs=0 nodes=1 replicas=1\n",
+      "system nodes=2 capacity=10\ntask attrs=0 nodes=1 reliability=magic\n",
+      "",
+  };
+  for (const char* text : bad) {
+    const auto r = parse_scenario(text);
+    EXPECT_FALSE(r.ok()) << "accepted: " << text;
+    EXPECT_FALSE(r.error.empty());
+  }
+}
+
+TEST(ScenarioParser, CommentsAndBlankLinesIgnored) {
+  const auto r = parse_scenario(
+      "\n# comment only\nsystem nodes=2 capacity=10  # trailing\n\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+}
+
+TEST(ScenarioParser, ParsedScenarioIsPlannable) {
+  const auto r = parse_scenario(R"(
+system nodes=6 capacity=80 collector=300
+observe 1-6 0,1
+task attrs=0,1 nodes=1-6
+)");
+  ASSERT_TRUE(r.ok()) << r.error;
+  TaskManager manager(&r.scenario->system);
+  for (auto t : r.scenario->tasks) manager.add_task(std::move(t));
+  const PairSet pairs = manager.dedup(r.scenario->system.num_vertices());
+  EXPECT_EQ(pairs.total_pairs(), 12u);
+}
+
+}  // namespace
+}  // namespace remo

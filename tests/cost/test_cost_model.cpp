@@ -1,0 +1,56 @@
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace remo {
+namespace {
+
+TEST(CostModel, MessageCostIsAffine) {
+  CostModel m{10.0, 0.5};
+  EXPECT_DOUBLE_EQ(m.message_cost(0), 10.0);
+  EXPECT_DOUBLE_EQ(m.message_cost(1), 10.5);
+  EXPECT_DOUBLE_EQ(m.message_cost(100), 60.0);
+}
+
+TEST(CostModel, EmptyMessageStillCostsOverhead) {
+  // The core observation of Fig. 2: overhead is per message, not per value.
+  CostModel m{78.0, 4.0};  // TCP/IP header vs integer payload (Sec. 2.3)
+  EXPECT_DOUBLE_EQ(m.message_cost(0), 78.0);
+  EXPECT_GT(m.message_cost(0), 0.0);
+}
+
+TEST(CostModel, OverheadRatio) {
+  EXPECT_DOUBLE_EQ((CostModel{20.0, 1.0}.overhead_ratio()), 20.0);
+  EXPECT_DOUBLE_EQ((CostModel{10.0, 4.0}.overhead_ratio()), 2.5);
+  EXPECT_DOUBLE_EQ((CostModel{10.0, 0.0}.overhead_ratio()), 0.0);
+}
+
+TEST(CostModel, BatchingAmortizesOverhead) {
+  // One message with 2x values is cheaper than two messages with x each —
+  // the whole reason merging trees helps (Sec. 1).
+  CostModel m{20.0, 1.0};
+  for (std::size_t x : {1u, 10u, 100u})
+    EXPECT_LT(m.message_cost(2 * x), 2 * m.message_cost(x));
+}
+
+TEST(CostModel, ValuesForOverheadFraction) {
+  CostModel m{20.0, 1.0};
+  // At x values, overhead fraction = C / (C + a·x); solve for 50%: x = 20.
+  EXPECT_DOUBLE_EQ(m.values_for_overhead_fraction(0.5), 20.0);
+  const double x10 = m.values_for_overhead_fraction(0.1);
+  EXPECT_NEAR(m.per_message / m.message_cost(static_cast<std::size_t>(x10)), 0.1,
+              1e-3);
+}
+
+TEST(CostModel, PaperCalibration) {
+  // Fig. 2 reports ~6% root CPU at 16 messages and ~68% at 256: linear in
+  // message count. Calibrate C to the 16-node point and check the
+  // 256-node prediction lands near the measurement.
+  const double c = 6.0 / 16.0;  // % CPU per message
+  CostModel m{c, (1.4 - 0.2) / 255.0};
+  const double predicted_256 = 256 * m.per_message;
+  EXPECT_NEAR(predicted_256, 68.0, 68.0 * 0.45);
+}
+
+}  // namespace
+}  // namespace remo

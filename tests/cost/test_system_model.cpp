@@ -1,0 +1,80 @@
+#include "cost/system_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/sorted_vector.h"
+
+namespace remo {
+namespace {
+
+TEST(SystemModel, ConstructionBasics) {
+  SystemModel s(10, 50.0);
+  EXPECT_EQ(s.num_nodes(), 10u);
+  EXPECT_EQ(s.num_vertices(), 11u);
+  for (NodeId n = 0; n <= 10; ++n) EXPECT_DOUBLE_EQ(s.capacity(n), 50.0);
+}
+
+TEST(SystemModel, ZeroNodesRejected) {
+  EXPECT_THROW(SystemModel(0, 1.0), std::invalid_argument);
+}
+
+TEST(SystemModel, CapacitySetters) {
+  SystemModel s(3, 10.0);
+  s.set_capacity(2, 99.0);
+  s.set_collector_capacity(500.0);
+  EXPECT_DOUBLE_EQ(s.capacity(2), 99.0);
+  EXPECT_DOUBLE_EQ(s.capacity(kCollectorId), 500.0);
+  EXPECT_DOUBLE_EQ(s.capacity(1), 10.0);
+}
+
+TEST(SystemModel, ObservableSortedAndDeduped) {
+  SystemModel s(2, 10.0);
+  s.set_observable(1, {5, 1, 5, 3});
+  EXPECT_EQ(s.observable(1), (std::vector<AttrId>{1, 3, 5}));
+  EXPECT_TRUE(s.observes(1, 3));
+  EXPECT_FALSE(s.observes(1, 2));
+  EXPECT_FALSE(s.observes(2, 3));
+}
+
+TEST(SystemModel, MonitoringNodesExcludeCollector) {
+  SystemModel s(4, 10.0);
+  const auto nodes = s.monitoring_nodes();
+  EXPECT_EQ(nodes, (std::vector<NodeId>{1, 2, 3, 4}));
+}
+
+TEST(SystemModel, RandomAttributeAssignment) {
+  SystemModel s(50, 10.0);
+  Rng rng{21};
+  s.assign_random_attributes(30, 8, rng);
+  for (NodeId n = 1; n <= 50; ++n) {
+    const auto& attrs = s.observable(n);
+    EXPECT_EQ(attrs.size(), 8u);
+    EXPECT_TRUE(is_sorted_unique(attrs));
+    for (AttrId a : attrs) EXPECT_LT(a, 30u);
+  }
+  EXPECT_TRUE(s.observable(kCollectorId).empty());
+}
+
+TEST(SystemModel, AttrsPerNodeClampedToUniverse) {
+  SystemModel s(3, 10.0);
+  Rng rng{21};
+  s.assign_random_attributes(5, 50, rng);
+  for (NodeId n = 1; n <= 3; ++n) EXPECT_EQ(s.observable(n).size(), 5u);
+}
+
+TEST(SystemModel, PerturbCapacitiesStaysInBand) {
+  SystemModel s(20, 100.0);
+  Rng rng{33};
+  s.perturb_capacities(0.5, 1.5, rng);
+  bool changed = false;
+  for (NodeId n = 1; n <= 20; ++n) {
+    EXPECT_GE(s.capacity(n), 50.0 - 1e-9);
+    EXPECT_LE(s.capacity(n), 150.0 + 1e-9);
+    changed |= s.capacity(n) != 100.0;
+  }
+  EXPECT_TRUE(changed);
+  EXPECT_DOUBLE_EQ(s.capacity(kCollectorId), 100.0);  // collector untouched
+}
+
+}  // namespace
+}  // namespace remo

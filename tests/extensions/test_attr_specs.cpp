@@ -1,0 +1,132 @@
+#include "extensions/attr_spec_derivation.h"
+
+#include <gtest/gtest.h>
+
+#include "planner/planner.h"
+
+namespace remo {
+namespace {
+
+const CostModel kCost{10.0, 1.0};
+
+MonitoringTask task(std::vector<AttrId> attrs, std::vector<NodeId> nodes,
+                    AggType agg = AggType::kHolistic, double freq = 1.0) {
+  MonitoringTask t;
+  t.attrs = std::move(attrs);
+  t.nodes = std::move(nodes);
+  t.aggregation = agg;
+  t.frequency = freq;
+  return t;
+}
+
+TEST(AttrSpecTable, DefaultsAreHolisticWeightOne) {
+  AttrSpecTable s;
+  EXPECT_EQ(s.funnel(42).type(), AggType::kHolistic);
+  EXPECT_DOUBLE_EQ(s.weight(42), 1.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(AttrSpecTable, TreeSpecCombinesBoth) {
+  AttrSpecTable s;
+  s.set_funnel(1, FunnelSpec{AggType::kMax});
+  s.set_weight(1, 0.25);
+  const auto spec = s.tree_spec(1);
+  EXPECT_EQ(spec.attr, 1u);
+  EXPECT_EQ(spec.funnel.type(), AggType::kMax);
+  EXPECT_DOUBLE_EQ(spec.weight, 0.25);
+}
+
+TEST(DeriveAttrSpecs, AggregationAgreementProducesFunnel) {
+  TaskManager m;
+  m.add_task(task({1}, {1, 2}, AggType::kMax));
+  m.add_task(task({1}, {3}, AggType::kMax));
+  const auto specs = derive_attr_specs(m, true, false);
+  EXPECT_EQ(specs.funnel(1).type(), AggType::kMax);
+}
+
+TEST(DeriveAttrSpecs, AggregationDisagreementFallsBackToHolistic) {
+  TaskManager m;
+  m.add_task(task({1}, {1}, AggType::kMax));
+  m.add_task(task({1}, {2}, AggType::kSum));
+  const auto specs = derive_attr_specs(m, true, false);
+  EXPECT_EQ(specs.funnel(1).type(), AggType::kHolistic);
+}
+
+TEST(DeriveAttrSpecs, TopKWithDifferentKConflicts) {
+  TaskManager m;
+  MonitoringTask a = task({1}, {1}, AggType::kTopK);
+  a.top_k = 5;
+  MonitoringTask b = task({1}, {2}, AggType::kTopK);
+  b.top_k = 10;
+  m.add_task(a);
+  m.add_task(b);
+  EXPECT_EQ(derive_attr_specs(m, true, false).funnel(1).type(),
+            AggType::kHolistic);
+}
+
+TEST(DeriveAttrSpecs, AggregationAwarenessOffIgnoresFunnels) {
+  TaskManager m;
+  m.add_task(task({1}, {1}, AggType::kMax));
+  EXPECT_EQ(derive_attr_specs(m, false, false).funnel(1).type(),
+            AggType::kHolistic);
+}
+
+TEST(DeriveAttrSpecs, FrequencyWeightsAreRelativeToFastest) {
+  TaskManager m;
+  m.add_task(task({1}, {1}, AggType::kHolistic, 1.0));
+  m.add_task(task({2}, {1}, AggType::kHolistic, 0.25));
+  const auto specs = derive_attr_specs(m, false, true);
+  EXPECT_DOUBLE_EQ(specs.weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(specs.weight(2), 0.25);
+}
+
+TEST(DeriveAttrSpecs, SharedAttrTakesFastestFrequency) {
+  TaskManager m;
+  m.add_task(task({1}, {1}, AggType::kHolistic, 0.25));
+  m.add_task(task({1}, {2}, AggType::kHolistic, 1.0));
+  EXPECT_DOUBLE_EQ(derive_attr_specs(m, false, true).weight(1), 1.0);
+}
+
+TEST(DeriveAttrSpecs, AggregationAwarePlanningCollectsMore) {
+  // MAX aggregation collapses relayed payload, so an aggregation-aware
+  // plan fits more pairs under the same capacities (Fig. 12a's mechanism).
+  SystemModel system(40, 40.0, kCost);
+  system.set_collector_capacity(70.0);
+  TaskManager manager(&system, /*filter_observable=*/false);
+  std::vector<NodeId> nodes;
+  for (NodeId n = 1; n <= 40; ++n) nodes.push_back(n);
+  manager.add_task(task({1, 2}, nodes, AggType::kMax));
+  const PairSet pairs = manager.dedup(system.num_vertices());
+
+  PlannerOptions plain;
+  PlannerOptions aware;
+  aware.attr_specs = derive_attr_specs(manager, true, false);
+  const auto plain_topo = Planner(system, plain).plan(pairs);
+  const auto aware_topo = Planner(system, aware).plan(pairs);
+  EXPECT_GT(aware_topo.collected_pairs(), plain_topo.collected_pairs());
+  EXPECT_TRUE(aware_topo.validate(system));
+}
+
+TEST(DeriveAttrSpecs, FrequencyAwarePlanningCollectsMore) {
+  // Half-rate attributes cost half the payload; the aware planner can pack
+  // more of them per tree.
+  SystemModel system(40, 36.0, kCost);
+  system.set_collector_capacity(60.0);
+  TaskManager manager(&system, /*filter_observable=*/false);
+  std::vector<NodeId> nodes;
+  for (NodeId n = 1; n <= 40; ++n) nodes.push_back(n);
+  manager.add_task(task({1}, nodes, AggType::kHolistic, 1.0));
+  manager.add_task(task({2, 3}, nodes, AggType::kHolistic, 0.25));
+  const PairSet pairs = manager.dedup(system.num_vertices());
+
+  PlannerOptions plain;
+  PlannerOptions aware;
+  aware.attr_specs = derive_attr_specs(manager, false, true);
+  const auto plain_topo = Planner(system, plain).plan(pairs);
+  const auto aware_topo = Planner(system, aware).plan(pairs);
+  EXPECT_GE(aware_topo.collected_pairs(), plain_topo.collected_pairs());
+  EXPECT_TRUE(aware_topo.validate(system));
+}
+
+}  // namespace
+}  // namespace remo

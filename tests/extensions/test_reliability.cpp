@@ -1,0 +1,136 @@
+#include "extensions/reliability.h"
+
+#include <gtest/gtest.h>
+
+#include "planner/planner.h"
+#include "task/task_manager.h"
+
+namespace remo {
+namespace {
+
+const CostModel kCost{10.0, 1.0};
+
+MonitoringTask ssdp_task(std::vector<AttrId> attrs, std::vector<NodeId> nodes,
+                         std::uint32_t replicas = 2) {
+  MonitoringTask t;
+  t.attrs = std::move(attrs);
+  t.nodes = std::move(nodes);
+  t.reliability = ReliabilityMode::kSSDP;
+  t.replicas = replicas;
+  return t;
+}
+
+TEST(Reliability, PassThroughForPlainTasks) {
+  ReliabilityRewriter rw(1000);
+  MonitoringTask t;
+  t.attrs = {1};
+  t.nodes = {1, 2};
+  const auto r = rw.rewrite({t});
+  ASSERT_EQ(r.tasks.size(), 1u);
+  EXPECT_TRUE(r.conflicts.empty());
+  EXPECT_TRUE(r.alias_of.empty());
+}
+
+TEST(Reliability, SsdpCreatesAliasReplicas) {
+  ReliabilityRewriter rw(1000);
+  const auto r = rw.rewrite({ssdp_task({1, 2}, {1, 2, 3}, 2)});
+  ASSERT_EQ(r.tasks.size(), 2u);
+  EXPECT_EQ(r.tasks[0].attrs, (std::vector<AttrId>{1, 2}));
+  // Replica task collects aliases from the same nodes.
+  EXPECT_EQ(r.tasks[1].nodes, r.tasks[0].nodes);
+  EXPECT_EQ(r.tasks[1].attrs.size(), 2u);
+  for (AttrId a : r.tasks[1].attrs) {
+    EXPECT_GE(a, 1000u);
+    EXPECT_TRUE(r.alias_of.count(a));
+  }
+}
+
+TEST(Reliability, SsdpConflictsForbidSameTree) {
+  ReliabilityRewriter rw(1000);
+  const auto r = rw.rewrite({ssdp_task({1}, {1, 2}, 3)});
+  ASSERT_EQ(r.tasks.size(), 3u);
+  // Original + 2 aliases: all 3 pairwise conflicting -> 3 pairs.
+  EXPECT_EQ(r.conflicts.size(), 3u);
+  const AttrId a1 = r.tasks[1].attrs[0];
+  const AttrId a2 = r.tasks[2].attrs[0];
+  EXPECT_TRUE(r.conflicts.conflicts(1, a1));
+  EXPECT_TRUE(r.conflicts.conflicts(1, a2));
+  EXPECT_TRUE(r.conflicts.conflicts(a1, a2));
+}
+
+TEST(Reliability, DsdpDrawsDistinctSources) {
+  ReliabilityRewriter rw(1000);
+  MonitoringTask t;
+  t.attrs = {7};
+  t.reliability = ReliabilityMode::kDSDP;
+  t.replicas = 2;
+  t.identical_groups = {{1, 2}, {3, 4}, {5, 6}};
+  const auto r = rw.rewrite({t});
+  ASSERT_EQ(r.tasks.size(), 2u);
+  EXPECT_EQ(r.tasks[0].nodes, (std::vector<NodeId>{1, 3, 5}));
+  EXPECT_EQ(r.tasks[1].nodes, (std::vector<NodeId>{2, 4, 6}));
+  EXPECT_EQ(r.tasks[0].attrs, (std::vector<AttrId>{7}));
+  EXPECT_NE(r.tasks[1].attrs[0], 7u);  // alias
+  EXPECT_TRUE(r.conflicts.conflicts(7, r.tasks[1].attrs[0]));
+}
+
+TEST(Reliability, DsdpReplicasBoundedByMinGroup) {
+  ReliabilityRewriter rw(1000);
+  MonitoringTask t;
+  t.attrs = {7};
+  t.reliability = ReliabilityMode::kDSDP;
+  t.replicas = 5;
+  t.identical_groups = {{1, 2, 3}, {4, 5}};  // k = 2
+  EXPECT_EQ(rw.rewrite({t}).tasks.size(), 2u);
+}
+
+TEST(Reliability, DsdpWithoutGroupsDegradesGracefully) {
+  ReliabilityRewriter rw(1000);
+  MonitoringTask t;
+  t.attrs = {7};
+  t.nodes = {1};
+  t.reliability = ReliabilityMode::kDSDP;
+  const auto r = rw.rewrite({t});
+  ASSERT_EQ(r.tasks.size(), 1u);
+  EXPECT_EQ(r.tasks[0].reliability, ReliabilityMode::kNone);
+}
+
+TEST(Reliability, RegisterAliasesExtendsObservability) {
+  SystemModel system(3, 100.0, kCost);
+  system.set_observable(1, {1});
+  system.set_observable(2, {2});
+  std::unordered_map<AttrId, AttrId> aliases{{1000, 1}};
+  ReliabilityRewriter::register_aliases(system, aliases);
+  EXPECT_TRUE(system.observes(1, 1000));
+  EXPECT_FALSE(system.observes(2, 1000));
+}
+
+TEST(Reliability, EndToEndSsdpPlanUsesDisjointPaths) {
+  // Full pipeline: rewrite -> register aliases -> dedup -> plan. Every
+  // attribute and its alias must land in different trees.
+  SystemModel system(12, 300.0, kCost);
+  system.set_collector_capacity(600.0);
+  for (NodeId n = 1; n <= 12; ++n) system.set_observable(n, {1, 2});
+  ReliabilityRewriter rw(1000);
+  std::vector<NodeId> all_nodes;
+  for (NodeId n = 1; n <= 12; ++n) all_nodes.push_back(n);
+  const auto r = rw.rewrite({ssdp_task({1, 2}, all_nodes, 2)});
+  ReliabilityRewriter::register_aliases(system, r.alias_of);
+
+  TaskManager manager(&system);
+  for (auto t : r.tasks) manager.add_task(std::move(t));
+  const PairSet pairs = manager.dedup(system.num_vertices());
+  EXPECT_EQ(pairs.total_pairs(), 12u * 4u);  // 2 attrs x 2 copies x 12 nodes
+
+  PlannerOptions o;
+  o.conflicts = r.conflicts;
+  Planner planner(system, o);
+  const auto topo = planner.plan(pairs);
+  const Partition p = topo.partition();
+  for (const auto& [alias, orig] : r.alias_of)
+    EXPECT_NE(p.set_of(alias), p.set_of(orig));
+  EXPECT_TRUE(topo.validate(system));
+}
+
+}  // namespace
+}  // namespace remo

@@ -1,0 +1,158 @@
+// Integration tests: the full REMO pipeline — tasks -> task manager ->
+// planner -> topology -> simulator — plus cross-module invariants on
+// realistic (small) instances of the paper's scenarios.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adapt/adaptive_planner.h"
+#include "extensions/attr_spec_derivation.h"
+#include "planner/planner.h"
+#include "sim/simulator.h"
+#include "streamapp/stream_app.h"
+#include "task/workload.h"
+
+namespace remo {
+namespace {
+
+const CostModel kCost{10.0, 1.0};
+
+TEST(EndToEnd, TasksToSimulatedCollection) {
+  SystemModel system(50, 150.0, kCost);
+  system.set_collector_capacity(500.0);
+  Rng rng{1};
+  system.assign_random_attributes(30, 10, rng);
+
+  WorkloadGenerator gen(system, WorkloadConfig{.attr_universe = 30}, 2);
+  TaskManager manager(&system);
+  for (auto& t : gen.small_tasks(25)) manager.add_task(std::move(t));
+  const PairSet pairs = manager.dedup(system.num_vertices());
+  ASSERT_GT(pairs.total_pairs(), 0u);
+
+  Planner planner(system, PlannerOptions{});
+  const Topology topo = planner.plan(pairs);
+  ASSERT_TRUE(topo.validate(system));
+
+  RandomWalkSource src(pairs, 3);
+  SimConfig cfg;
+  cfg.epochs = 80;
+  const auto report = simulate(system, topo, pairs, src, cfg);
+  // Whatever the planner says it covers must actually be deliverable.
+  EXPECT_EQ(report.planned_pairs, topo.collected_pairs());
+  EXPECT_GT(report.delivered_ratio, 0.95);
+}
+
+TEST(EndToEnd, StreamAppPipeline) {
+  SystemModel system(40, 200.0, kCost);
+  system.set_collector_capacity(800.0);
+  StreamApplication app(system, StreamAppConfig{.num_operators = 80}, 4);
+
+  WorkloadGenerator gen(
+      system, WorkloadConfig{.attr_universe = app.attr_universe()}, 5);
+  TaskManager manager(&system);
+  for (auto& t : gen.small_tasks(20)) manager.add_task(std::move(t));
+  const PairSet pairs = manager.dedup(system.num_vertices());
+  ASSERT_GT(pairs.total_pairs(), 0u);
+
+  const Topology topo = Planner(system, PlannerOptions{}).plan(pairs);
+  SimConfig cfg;
+  cfg.epochs = 100;
+  const auto report = simulate(system, topo, pairs, app, cfg);
+  EXPECT_TRUE(std::isfinite(report.avg_percent_error));
+  EXPECT_GT(report.messages_sent, 0u);
+}
+
+TEST(EndToEnd, AdaptationThenSimulation) {
+  SystemModel system(40, 120.0, kCost);
+  system.set_collector_capacity(400.0);
+  Rng rng{6};
+  system.assign_random_attributes(20, 8, rng);
+
+  WorkloadGenerator gen(system, WorkloadConfig{.attr_universe = 20}, 7);
+  TaskManager manager(&system);
+  for (auto& t : gen.small_tasks(20)) manager.add_task(std::move(t));
+
+  AdaptivePlanner ap(system, PlannerOptions{}, AdaptScheme::kAdaptive);
+  ap.initialize(manager.dedup(system.num_vertices()), 0.0);
+  Rng churn{8};
+  for (int batch = 1; batch <= 3; ++batch) {
+    apply_update_batch(manager, system, 20, churn);
+    ap.apply_update(manager.dedup(system.num_vertices()), batch * 50.0);
+  }
+  const PairSet pairs = manager.dedup(system.num_vertices());
+  ASSERT_TRUE(ap.topology().validate(system));
+
+  RandomWalkSource src(pairs, 9);
+  SimConfig cfg;
+  cfg.epochs = 60;
+  const auto report = simulate(system, ap.topology(), pairs, src, cfg);
+  EXPECT_GT(report.delivered_ratio, 0.9);
+}
+
+TEST(EndToEnd, DedupSavesTraffic) {
+  // Overlapping tasks: deduplication must shrink the pair set, and the
+  // planner's topology must deliver each pair exactly once per epoch.
+  SystemModel system(20, 1e6, kCost);
+  for (NodeId n = 1; n <= 20; ++n) system.set_observable(n, {0, 1});
+  TaskManager manager(&system);
+  std::vector<NodeId> first_half, all;
+  for (NodeId n = 1; n <= 20; ++n) {
+    all.push_back(n);
+    if (n <= 10) first_half.push_back(n);
+  }
+  MonitoringTask t1;
+  t1.attrs = {0, 1};
+  t1.nodes = all;
+  MonitoringTask t2;
+  t2.attrs = {0};
+  t2.nodes = first_half;
+  manager.add_task(t1);
+  manager.add_task(t2);
+  EXPECT_EQ(manager.raw_pair_count(), 50u);
+  const PairSet pairs = manager.dedup(system.num_vertices());
+  EXPECT_EQ(pairs.total_pairs(), 40u);
+
+  const Topology topo = Planner(system, PlannerOptions{}).plan(pairs);
+  RandomWalkSource src(pairs, 10);
+  SimConfig cfg;
+  cfg.epochs = 50;
+  cfg.warmup = 10;
+  const auto report = simulate(system, topo, pairs, src, cfg);
+  EXPECT_NEAR(report.delivered_ratio, 1.0, 1e-9);
+}
+
+TEST(EndToEnd, FullExtensionStack) {
+  // Aggregation + frequency + reliability all at once, through the
+  // derivation helpers, planner, and validation.
+  SystemModel system(30, 200.0, kCost);
+  system.set_collector_capacity(600.0);
+  for (NodeId n = 1; n <= 30; ++n) system.set_observable(n, {0, 1, 2});
+
+  TaskManager manager(&system);
+  std::vector<NodeId> all;
+  for (NodeId n = 1; n <= 30; ++n) all.push_back(n);
+  MonitoringTask agg;
+  agg.attrs = {0};
+  agg.nodes = all;
+  agg.aggregation = AggType::kMax;
+  MonitoringTask slow;
+  slow.attrs = {1};
+  slow.nodes = all;
+  slow.frequency = 0.25;
+  MonitoringTask plain;
+  plain.attrs = {2};
+  plain.nodes = all;
+  manager.add_task(agg);
+  manager.add_task(slow);
+  manager.add_task(plain);
+
+  PlannerOptions o;
+  o.attr_specs = derive_attr_specs(manager, true, true);
+  const PairSet pairs = manager.dedup(system.num_vertices());
+  const Topology topo = Planner(system, o).plan(pairs);
+  EXPECT_TRUE(topo.validate(system));
+  EXPECT_EQ(topo.collected_pairs(), pairs.total_pairs());
+}
+
+}  // namespace
+}  // namespace remo

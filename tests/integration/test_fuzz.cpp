@@ -1,0 +1,138 @@
+// Randomized end-to-end invariant sweeps: many seeds × several regimes,
+// asserting the properties that must hold for *every* input — topology
+// validity, conservation of pairs, planner dominance over its own
+// baselines, and simulator delivery consistency.
+#include <gtest/gtest.h>
+
+#include "adapt/adaptive_planner.h"
+#include "planner/planner.h"
+#include "sim/simulator.h"
+#include "task/workload.h"
+
+namespace remo {
+namespace {
+
+const CostModel kCost{10.0, 1.0};
+
+struct FuzzCase {
+  std::uint64_t seed;
+  std::size_t nodes;
+  Capacity node_cap;
+  Capacity coll_cap;
+};
+
+class PlannerFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(PlannerFuzz, InvariantsHold) {
+  const auto c = GetParam();
+  SystemModel system(c.nodes, c.node_cap, kCost);
+  system.set_collector_capacity(c.coll_cap);
+  Rng rng{c.seed};
+  system.assign_random_attributes(24, 8, rng);
+  system.perturb_capacities(0.6, 1.4, rng);
+
+  WorkloadGenerator gen(system, WorkloadConfig{.attr_universe = 24}, c.seed + 1);
+  TaskManager manager(&system);
+  for (auto& t : gen.small_tasks(15)) manager.add_task(std::move(t));
+  for (auto& t : gen.large_tasks(5)) manager.add_task(std::move(t));
+  const PairSet pairs = manager.dedup(system.num_vertices());
+  if (pairs.empty()) GTEST_SKIP();
+
+  PlannerOptions o;
+  o.max_candidates = 8;
+  o.max_iterations = 64;
+  const Topology remo = Planner(system, o).plan(pairs);
+
+  // 1. Structural and capacity invariants.
+  ASSERT_TRUE(remo.validate(system));
+  EXPECT_EQ(remo.total_pairs(), pairs.total_pairs());
+  EXPECT_LE(remo.collected_pairs(), remo.total_pairs());
+
+  // 2. Partition exactness: the forest's attribute sets partition the
+  //    requested universe.
+  EXPECT_TRUE(remo.partition().valid_over(pairs.attribute_universe()));
+
+  // 3. Every collected pair is requested, every member contributes only
+  //    attrs it monitors.
+  for (const auto& e : remo.entries())
+    for (NodeId n : e.tree.members()) {
+      const auto& local = e.tree.local_counts(n);
+      for (std::size_t m = 0; m < e.attrs.size(); ++m) {
+        if (local[m] > 0) {
+          EXPECT_TRUE(pairs.contains(n, e.attrs[m]));
+        }
+      }
+    }
+
+  // 4. Dominance over both baselines on the plan objective.
+  PlannerOptions so = o;
+  so.partition_scheme = PartitionScheme::kSingletonSet;
+  PlannerOptions oo = o;
+  oo.partition_scheme = PartitionScheme::kOneSet;
+  const auto singleton = Planner(system, so).plan(pairs);
+  const auto one_set = Planner(system, oo).plan(pairs);
+  EXPECT_GE(remo.collected_pairs(),
+            std::max(singleton.collected_pairs(), one_set.collected_pairs()));
+
+  // 5. What the planner promises, the simulator delivers.
+  RandomWalkSource src(pairs, c.seed + 2);
+  SimConfig sim;
+  sim.epochs = 60;
+  sim.warmup = 20;
+  const auto report = simulate(system, remo, pairs, src, sim);
+  EXPECT_EQ(report.planned_pairs, remo.collected_pairs());
+  EXPECT_GT(report.delivered_ratio, 0.99);
+  EXPECT_LE(report.max_node_utilization, 1.0 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PlannerFuzz,
+    ::testing::Values(FuzzCase{101, 30, 80.0, 400.0},
+                      FuzzCase{102, 30, 80.0, 400.0},
+                      FuzzCase{103, 50, 50.0, 300.0},
+                      FuzzCase{104, 50, 50.0, 1200.0},
+                      FuzzCase{105, 80, 40.0, 2000.0},
+                      FuzzCase{106, 80, 120.0, 600.0},
+                      FuzzCase{107, 40, 35.0, 5000.0},
+                      FuzzCase{108, 40, 200.0, 250.0}));
+
+class AdaptFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdaptFuzz, AdaptationPreservesInvariants) {
+  const std::uint64_t seed = GetParam();
+  SystemModel system(40, 100.0, kCost);
+  system.set_collector_capacity(500.0);
+  Rng rng{seed};
+  system.assign_random_attributes(20, 7, rng);
+
+  TaskManager manager(&system);
+  WorkloadGenerator gen(system, WorkloadConfig{.attr_universe = 20}, seed + 1);
+  for (auto& t : gen.small_tasks(18)) manager.add_task(std::move(t));
+
+  PlannerOptions o;
+  o.max_candidates = 8;
+  o.max_iterations = 32;
+  for (auto scheme : {AdaptScheme::kDirectApply, AdaptScheme::kAdaptive}) {
+    TaskManager churn_manager = manager;  // same starting tasks per scheme
+    AdaptivePlanner planner(system, o, scheme);
+    planner.initialize(churn_manager.dedup(system.num_vertices()), 0.0);
+    Rng churn{seed + 2};
+    for (int batch = 1; batch <= 6; ++batch) {
+      apply_update_batch(churn_manager, system, 20, churn, 0.1, 0.5);
+      const PairSet now = churn_manager.dedup(system.num_vertices());
+      planner.apply_update(now, batch * 20.0);
+      ASSERT_TRUE(planner.topology().validate(system))
+          << to_string(scheme) << " seed " << seed << " batch " << batch;
+      EXPECT_EQ(planner.topology().total_pairs(), now.total_pairs());
+      // The deployed partition must exactly cover the requested universe.
+      EXPECT_TRUE(
+          planner.topology().partition().valid_over(now.attribute_universe()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdaptFuzz,
+                         ::testing::Values(201, 202, 203, 204, 205, 206));
+
+}  // namespace
+}  // namespace remo

@@ -1,0 +1,200 @@
+// Scaled-down versions of the paper's evaluation claims (Sec. 7), asserted
+// as tests so regressions in the heuristics are caught before the full
+// benches run. Each test mirrors one figure's qualitative shape.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "planner/planner.h"
+#include "task/task_manager.h"
+#include "task/workload.h"
+
+namespace remo {
+namespace {
+
+const CostModel kCost{20.0, 1.0};  // C/a = 20 default regime
+
+struct Bench {
+  SystemModel system;
+  PairSet pairs;
+
+  Bench(std::size_t nodes, std::size_t universe, std::size_t per_node,
+        Capacity node_cap, Capacity coll_cap, std::uint64_t seed,
+        std::size_t small_tasks, std::size_t large_tasks)
+      : system(nodes, node_cap, kCost), pairs(0) {
+    system.set_collector_capacity(coll_cap);
+    Rng rng{seed};
+    system.assign_random_attributes(universe, per_node, rng);
+    WorkloadGenerator gen(system, WorkloadConfig{.attr_universe = universe},
+                          seed + 1);
+    TaskManager manager(&system);
+    for (auto& t : gen.small_tasks(small_tasks)) manager.add_task(std::move(t));
+    for (auto& t : gen.large_tasks(large_tasks)) manager.add_task(std::move(t));
+    pairs = manager.dedup(system.num_vertices());
+  }
+
+  double coverage(PartitionScheme scheme) const {
+    PlannerOptions o;
+    o.partition_scheme = scheme;
+    return Planner(system, o).plan(pairs).coverage();
+  }
+
+  double coverage_tree(TreeScheme scheme) const {
+    PlannerOptions o;
+    o.partition_scheme = PartitionScheme::kRemo;
+    o.tree.scheme = scheme;
+    return Planner(system, o).plan(pairs).coverage();
+  }
+};
+
+TEST(PaperShapes, Fig5RemoDominatesBaselines) {
+  // Moderate pressure so coverage < 100% and schemes separate.
+  Bench b(60, 30, 10, 90.0, 250.0, 42, 20, 6);
+  const double remo = b.coverage(PartitionScheme::kRemo);
+  const double singleton = b.coverage(PartitionScheme::kSingletonSet);
+  const double one_set = b.coverage(PartitionScheme::kOneSet);
+  EXPECT_GE(remo, singleton - 1e-9);
+  EXPECT_GE(remo, one_set - 1e-9);
+  EXPECT_LT(std::max({remo, singleton, one_set}), 1.0);  // heavy workload
+}
+
+TEST(PaperShapes, Fig5bSingletonCatchesUpUnderExtremeLoad) {
+  // Under extremely heavy per-node payloads (a node's full attribute
+  // vector no longer fits in one message: C + a·x > b) ONE-SET's
+  // all-or-nothing trees collapse while SINGLETON-SET still delivers a
+  // trickle per tree; REMO must dominate both (Fig. 5b's right edge).
+  SystemModel system(60, 40.0, kCost);
+  system.set_collector_capacity(3000.0);
+  Rng rng{7};
+  system.assign_random_attributes(48, 30, rng);  // payload 30 > (b - C)/a
+  PairSet pairs(61);
+  for (NodeId id = 1; id <= 60; ++id)
+    for (AttrId a : system.observable(id)) pairs.add(id, a);
+  auto coverage = [&](PartitionScheme s) {
+    PlannerOptions o;
+    o.partition_scheme = s;
+    return Planner(system, o).plan(pairs).coverage();
+  };
+  const double singleton = coverage(PartitionScheme::kSingletonSet);
+  const double one_set = coverage(PartitionScheme::kOneSet);
+  const double remo = coverage(PartitionScheme::kRemo);
+  EXPECT_NEAR(one_set, 0.0, 1e-9);  // 20 + 30 > 40: nothing fits
+  EXPECT_GT(singleton, one_set);
+  EXPECT_GE(remo, singleton - 1e-9);
+  // REMO should find mid-granularity sets and clearly beat both endpoints.
+  EXPECT_GT(remo, 2.0 * singleton);
+}
+
+TEST(PaperShapes, Fig6OneSetBetterForSmallTasksSingletonForLarge) {
+  // Small per-node payloads: one message carries everything cheaply, so
+  // ONE-SET >= SINGLETON-SET (which pays C per attribute per node).
+  Bench small(50, 30, 8, 70.0, 800.0, 11, 24, 0);
+  EXPECT_GE(small.coverage(PartitionScheme::kOneSet),
+            small.coverage(PartitionScheme::kSingletonSet) - 0.02);
+  // Huge per-node payloads (C + a·x > b): ONE-SET cannot even send, while
+  // SINGLETON-SET delivers pair by pair.
+  SystemModel system(50, 45.0, kCost);
+  system.set_collector_capacity(2500.0);
+  Rng rng{12};
+  system.assign_random_attributes(40, 30, rng);
+  PairSet pairs(51);
+  for (NodeId id = 1; id <= 50; ++id)
+    for (AttrId a : system.observable(id)) pairs.add(id, a);
+  auto coverage = [&](PartitionScheme s) {
+    PlannerOptions o;
+    o.partition_scheme = s;
+    return Planner(system, o).plan(pairs).coverage();
+  };
+  EXPECT_GE(coverage(PartitionScheme::kSingletonSet),
+            coverage(PartitionScheme::kOneSet) - 0.02);
+}
+
+TEST(PaperShapes, Fig6cSingletonSuffersMostFromPerMessageOverhead) {
+  // Increase C/a: SINGLETON-SET (most trees, most messages) must lose more
+  // coverage than ONE-SET.
+  auto coverage_at = [](double c_over_a, PartitionScheme scheme) {
+    SystemModel system(40, 80.0, CostModel{c_over_a, 1.0});
+    system.set_collector_capacity(240.0);
+    Rng rng{13};
+    system.assign_random_attributes(24, 8, rng);
+    WorkloadGenerator gen(system, WorkloadConfig{.attr_universe = 24}, 14);
+    TaskManager manager(&system);
+    for (auto& t : gen.small_tasks(16)) manager.add_task(std::move(t));
+    const PairSet pairs = manager.dedup(system.num_vertices());
+    PlannerOptions o;
+    o.partition_scheme = scheme;
+    return Planner(system, o).plan(pairs).coverage();
+  };
+  const double s_lo = coverage_at(2.0, PartitionScheme::kSingletonSet);
+  const double s_hi = coverage_at(40.0, PartitionScheme::kSingletonSet);
+  const double o_lo = coverage_at(2.0, PartitionScheme::kOneSet);
+  const double o_hi = coverage_at(40.0, PartitionScheme::kOneSet);
+  const double singleton_drop = s_lo - s_hi;
+  const double one_set_drop = o_lo - o_hi;
+  EXPECT_GT(singleton_drop, 0.0);
+  EXPECT_GE(singleton_drop, one_set_drop - 0.02);
+}
+
+// Fig. 7 regime: many trees per node (singleton partition isolates the
+// tree-construction scheme), a comfortable collector, and node budgets
+// with only modest slack beyond their own sends — so CHAIN's relaying
+// wastes exactly the capacity later trees need (Sec. 7.1: "nodes have to
+// pay high cost for relaying, which seriously degrades the performance of
+// CHAIN when workloads are heavy").
+struct TreeSchemeBench {
+  SystemModel system;
+  PairSet pairs;
+
+  TreeSchemeBench(std::size_t per_node, double slack)
+      : system(60, per_node * kCost.message_cost(1) + slack, kCost), pairs(61) {
+    system.set_collector_capacity(4000.0);
+    Rng rng{3};
+    system.assign_random_attributes(24, per_node, rng);
+    for (NodeId id = 1; id <= 60; ++id)
+      for (AttrId a : system.observable(id)) pairs.add(id, a);
+  }
+
+  double coverage(TreeScheme scheme) const {
+    PlannerOptions o;
+    o.partition_scheme = PartitionScheme::kSingletonSet;
+    o.tree.scheme = scheme;
+    return Planner(system, o).plan(pairs).coverage();
+  }
+};
+
+TEST(PaperShapes, Fig7AdaptiveTreeDominates) {
+  // ADAPTIVE is a heuristic: allow a 1-point tolerance against any single
+  // competitor at a single operating point; the Fig. 7 bench shows the
+  // full sweep.
+  TreeSchemeBench b(8, 10.0);
+  const double adaptive = b.coverage(TreeScheme::kAdaptive);
+  EXPECT_GE(adaptive, b.coverage(TreeScheme::kStar) - 0.01);
+  EXPECT_GE(adaptive, b.coverage(TreeScheme::kChain) - 0.01);
+  EXPECT_GE(adaptive, b.coverage(TreeScheme::kMaxAvb) - 0.01);
+  EXPECT_GT(adaptive, b.coverage(TreeScheme::kChain));  // chain clearly worst
+}
+
+TEST(PaperShapes, Fig7StarBeatsChainUnderHeavyLoad) {
+  // Heavy workload: relay cost kills CHAIN (Sec. 7.1 discussion).
+  TreeSchemeBench b(12, 20.0);
+  EXPECT_GT(b.coverage(TreeScheme::kStar), b.coverage(TreeScheme::kChain));
+}
+
+TEST(PaperShapes, Fig11OrderedAtLeastOnDemandAtLeastOthers) {
+  Bench b(50, 24, 10, 65.0, 180.0, 31, 16, 4);
+  auto coverage_alloc = [&](AllocationScheme a) {
+    PlannerOptions o;
+    o.allocation = a;
+    return Planner(b.system, o).plan(b.pairs).coverage();
+  };
+  const double ordered = coverage_alloc(AllocationScheme::kOrdered);
+  const double on_demand = coverage_alloc(AllocationScheme::kOnDemand);
+  const double uniform = coverage_alloc(AllocationScheme::kUniform);
+  const double proportional = coverage_alloc(AllocationScheme::kProportional);
+  EXPECT_GE(ordered, uniform - 0.03);
+  EXPECT_GE(ordered, proportional - 0.03);
+  EXPECT_GE(on_demand, uniform - 0.03);
+  EXPECT_GE(std::max(ordered, on_demand), std::max(uniform, proportional) - 1e-9);
+}
+
+}  // namespace
+}  // namespace remo

@@ -1,0 +1,133 @@
+#include "partition/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace remo {
+namespace {
+
+TEST(Partition, SingletonScheme) {
+  auto p = Partition::singleton({3, 1, 2});
+  EXPECT_EQ(p.num_sets(), 3u);
+  EXPECT_TRUE(p.valid_over({1, 2, 3}));
+  for (AttrId a : {1u, 2u, 3u}) EXPECT_EQ(p.set(p.set_of(a)).size(), 1u);
+}
+
+TEST(Partition, OneSetScheme) {
+  auto p = Partition::one_set({3, 1, 2});
+  EXPECT_EQ(p.num_sets(), 1u);
+  EXPECT_EQ(p.set(0), (std::vector<AttrId>{1, 2, 3}));
+}
+
+TEST(Partition, EmptyUniverse) {
+  EXPECT_EQ(Partition::singleton({}).num_sets(), 0u);
+  EXPECT_EQ(Partition::one_set({}).num_sets(), 0u);
+  EXPECT_TRUE(Partition{}.valid());
+}
+
+TEST(Partition, ConstructorSortsAndDropsEmpties) {
+  Partition p({{2, 1}, {}, {3}});
+  EXPECT_EQ(p.num_sets(), 2u);
+  EXPECT_EQ(p.set(0), (std::vector<AttrId>{1, 2}));
+}
+
+TEST(Partition, ConstructorRejectsOverlap) {
+  EXPECT_THROW(Partition({{1, 2}, {2, 3}}), std::invalid_argument);
+}
+
+TEST(Partition, MergeUnionsSets) {
+  Partition p({{1}, {2}, {3}});
+  p.merge(0, 2);
+  EXPECT_EQ(p.num_sets(), 2u);
+  EXPECT_EQ(p.set(0), (std::vector<AttrId>{1, 3}));
+  EXPECT_EQ(p.set(1), (std::vector<AttrId>{2}));
+  EXPECT_TRUE(p.valid_over({1, 2, 3}));
+}
+
+TEST(Partition, MergeOrderIndependent) {
+  Partition a({{1}, {2}}), b({{1}, {2}});
+  a.merge(0, 1);
+  b.merge(1, 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Partition, MergeBadIndicesThrow) {
+  Partition p({{1}, {2}});
+  EXPECT_THROW(p.merge(0, 0), std::out_of_range);
+  EXPECT_THROW(p.merge(0, 5), std::out_of_range);
+}
+
+TEST(Partition, SplitMovesAttrToNewSet) {
+  Partition p({{1, 2, 3}});
+  p.split(0, 2);
+  EXPECT_EQ(p.num_sets(), 2u);
+  EXPECT_EQ(p.set(0), (std::vector<AttrId>{1, 3}));
+  EXPECT_EQ(p.set(1), (std::vector<AttrId>{2}));
+  EXPECT_TRUE(p.valid_over({1, 2, 3}));
+}
+
+TEST(Partition, SplitErrors) {
+  Partition p({{1}, {2, 3}});
+  EXPECT_THROW(p.split(0, 1), std::invalid_argument);  // singleton
+  EXPECT_THROW(p.split(1, 9), std::invalid_argument);  // attr absent
+  EXPECT_THROW(p.split(7, 1), std::out_of_range);
+}
+
+TEST(Partition, MergeThenSplitRoundTrip) {
+  Partition p({{1}, {2}});
+  p.merge(0, 1);
+  p.split(0, 2);
+  EXPECT_EQ(p, Partition({{1}, {2}}));
+}
+
+TEST(Partition, SetOfAndContains) {
+  Partition p({{1, 5}, {2}});
+  EXPECT_EQ(p.set_of(5), 0u);
+  EXPECT_EQ(p.set_of(2), 1u);
+  EXPECT_EQ(p.set_of(9), p.num_sets());
+  EXPECT_TRUE(p.contains(1));
+  EXPECT_FALSE(p.contains(9));
+}
+
+TEST(Partition, ValidOverWrongUniverse) {
+  Partition p({{1, 2}});
+  EXPECT_FALSE(p.valid_over({1, 2, 3}));
+  EXPECT_TRUE(p.valid_over({2, 1}));
+}
+
+TEST(Partition, ToStringCanonical) {
+  Partition p({{2}, {1, 3}});
+  EXPECT_EQ(p.to_string(), "{1,3}{2}");
+}
+
+TEST(ConflictConstraints, ForbidAndQuery) {
+  ConflictConstraints c;
+  c.forbid(3, 1);
+  EXPECT_TRUE(c.conflicts(1, 3));
+  EXPECT_TRUE(c.conflicts(3, 1));  // symmetric
+  EXPECT_FALSE(c.conflicts(1, 2));
+  EXPECT_EQ(c.size(), 1u);
+  c.forbid(1, 3);  // idempotent
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_THROW(c.forbid(2, 2), std::invalid_argument);
+}
+
+TEST(ConflictConstraints, BlocksMerge) {
+  ConflictConstraints c;
+  c.forbid(1, 2);
+  EXPECT_TRUE(c.blocks_merge({1}, {2}));
+  EXPECT_FALSE(c.blocks_merge({1}, {3}));
+  // Conflict pair already inside one operand also blocks (defensive).
+  EXPECT_TRUE(c.blocks_merge({1, 2}, {3}));
+  EXPECT_FALSE(ConflictConstraints{}.blocks_merge({1}, {2}));
+}
+
+TEST(ConflictConstraints, SatisfiedBy) {
+  ConflictConstraints c;
+  c.forbid(1, 2);
+  EXPECT_TRUE(c.satisfied_by(Partition({{1}, {2}})));
+  EXPECT_FALSE(c.satisfied_by(Partition({{1, 2}})));
+  EXPECT_TRUE(c.satisfied_by(Partition({{3, 4}})));  // pair absent entirely
+}
+
+}  // namespace
+}  // namespace remo

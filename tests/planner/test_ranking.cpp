@@ -1,0 +1,122 @@
+// rank_topology_augmentations: the search's candidate generator.
+#include <gtest/gtest.h>
+
+#include "common/sorted_vector.h"
+#include "planner/planner.h"
+
+namespace remo {
+namespace {
+
+const CostModel kCost{10.0, 1.0};
+
+/// Builds a topology over a partition with controllable starvation: nodes
+/// 1..n monitor both attrs 0 and 1; attr 2 lives on starved nodes whose
+/// capacity cannot fit anything.
+struct RankFixture {
+  SystemModel system;
+  PairSet pairs;
+  Topology topo;
+
+  RankFixture() : system(12, 40.0, kCost), pairs(13) {
+    system.set_collector_capacity(1e6);
+    for (NodeId n = 1; n <= 8; ++n) {
+      system.set_observable(n, {0, 1});
+      pairs.add(n, 0);
+      pairs.add(n, 1);
+    }
+    for (NodeId n = 9; n <= 12; ++n) {
+      system.set_observable(n, {2});
+      system.set_capacity(n, 5.0);  // cannot even send one message
+      pairs.add(n, 2);
+    }
+    PlannerOptions o;
+    topo = Planner(system, o).build_for_partition(pairs,
+                                                  Partition({{0}, {1}, {2}}));
+  }
+};
+
+TEST(Ranking, StarvedLoadedMergeOutranksStarvedStarved) {
+  RankFixture f;
+  // Tree {2} is fully starved; {0} and {1} are loaded and overlap fully.
+  const auto ranked = rank_topology_augmentations(
+      f.topo, f.pairs, kCost, ConflictConstraints{}, 0, nullptr, true);
+  ASSERT_FALSE(ranked.empty());
+  // The top candidate must be the {0}+{1} merge: huge overlap AND nothing
+  // recoverable from the dead tree {2} (its nodes have no capacity).
+  EXPECT_EQ(ranked[0].kind, AugmentKind::kMerge);
+  const Partition p = f.topo.partition();
+  const auto top_union =
+      remo::set_union(p.set(ranked[0].set_a), p.set(ranked[0].set_b));
+  EXPECT_EQ(top_union, (std::vector<AttrId>{0, 1}));
+}
+
+TEST(Ranking, MustInvolveMaskFiltersCandidates) {
+  RankFixture f;
+  std::vector<bool> mask(f.topo.entries().size(), false);
+  // Allow only operations touching the tree that carries attr 2.
+  const Partition p = f.topo.partition();
+  for (std::size_t i = 0; i < p.num_sets(); ++i)
+    if (set_contains(p.set(i), AttrId{2})) mask[i] = true;
+  const auto ranked = rank_topology_augmentations(
+      f.topo, f.pairs, kCost, ConflictConstraints{}, 0, &mask, true);
+  for (const auto& aug : ranked) {
+    const bool touches_2 =
+        set_contains(p.set(aug.set_a), AttrId{2}) ||
+        (aug.kind == AugmentKind::kMerge &&
+         set_contains(p.set(aug.set_b), AttrId{2}));
+    EXPECT_TRUE(touches_2);
+  }
+  EXPECT_LT(ranked.size(),
+            rank_topology_augmentations(f.topo, f.pairs, kCost,
+                                        ConflictConstraints{}, 0)
+                .size());
+}
+
+TEST(Ranking, ConflictsExcludeMerges) {
+  RankFixture f;
+  ConflictConstraints c;
+  c.forbid(0, 1);
+  const Partition p = f.topo.partition();
+  const auto ranked =
+      rank_topology_augmentations(f.topo, f.pairs, kCost, c, 0, nullptr, true);
+  for (const auto& aug : ranked) {
+    if (aug.kind != AugmentKind::kMerge) continue;
+    const bool zero_one = set_contains(p.set(aug.set_a), AttrId{0})
+                              ? set_contains(p.set(aug.set_b), AttrId{1})
+                              : set_contains(p.set(aug.set_a), AttrId{1}) &&
+                                    set_contains(p.set(aug.set_b), AttrId{0});
+    EXPECT_FALSE(zero_one);
+  }
+}
+
+TEST(Ranking, TruncationKeepsTopRanked) {
+  RankFixture f;
+  const auto full = rank_topology_augmentations(f.topo, f.pairs, kCost,
+                                                ConflictConstraints{}, 0);
+  const auto top2 = rank_topology_augmentations(f.topo, f.pairs, kCost,
+                                                ConflictConstraints{}, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].estimated_gain, full[0].estimated_gain);
+  EXPECT_EQ(top2[1].estimated_gain, full[1].estimated_gain);
+  // Monotone non-increasing gains.
+  for (std::size_t i = 1; i < full.size(); ++i)
+    EXPECT_LE(full[i].estimated_gain, full[i - 1].estimated_gain);
+}
+
+TEST(Ranking, StarvationBonusToggle) {
+  // With the bonus off, the starved/loaded distinction vanishes: the
+  // estimates reduce to the plain overlap formula.
+  RankFixture f;
+  const auto plain = rank_topology_augmentations(
+      f.topo, f.pairs, kCost, ConflictConstraints{}, 0, nullptr, false);
+  const Partition p = f.topo.partition();
+  for (const auto& aug : plain) {
+    if (aug.kind != AugmentKind::kMerge) continue;
+    EXPECT_DOUBLE_EQ(
+        aug.estimated_gain,
+        estimate_merge_gain(p, aug.set_a, aug.set_b, f.pairs, kCost));
+  }
+}
+
+}  // namespace
+}  // namespace remo

@@ -1,0 +1,96 @@
+// Conservation and consistency properties of the simulator across random
+// regimes: accounting identities that must hold whatever the topology,
+// capacities, or failures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "planner/planner.h"
+#include "sim/simulator.h"
+
+namespace remo {
+namespace {
+
+const CostModel kCost{10.0, 1.0};
+
+struct Regime {
+  std::uint64_t seed;
+  Capacity node_cap;
+  Capacity coll_cap;
+  bool enforce;
+  bool with_failure;
+};
+
+class SimConservation : public ::testing::TestWithParam<Regime> {};
+
+TEST_P(SimConservation, AccountingIdentitiesHold) {
+  const Regime r = GetParam();
+  SystemModel system(20, r.node_cap, kCost);
+  system.set_collector_capacity(r.coll_cap);
+  Rng rng{r.seed};
+  system.assign_random_attributes(12, 5, rng);
+  PairSet pairs(21);
+  for (NodeId n = 1; n <= 20; ++n)
+    for (AttrId a : system.observable(n)) pairs.add(n, a);
+
+  const Topology topo = Planner(system, PlannerOptions{}).plan(pairs);
+
+  std::size_t hook_deliveries = 0;
+  RandomWalkSource src(pairs, r.seed + 1);
+  SimConfig cfg;
+  cfg.epochs = 60;
+  cfg.warmup = 15;
+  cfg.enforce_capacity = r.enforce;
+  cfg.collect_pair_errors = true;
+  if (r.with_failure)
+    cfg.failures = {{3, 20, 40}, {7, 30, std::numeric_limits<std::uint64_t>::max()}};
+  cfg.on_delivery = [&](NodeAttrPair, std::uint64_t, double) {
+    ++hook_deliveries;
+  };
+  const auto report = simulate(system, topo, pairs, src, cfg);
+
+  // Identities:
+  EXPECT_EQ(report.total_pairs, pairs.total_pairs());
+  EXPECT_EQ(report.planned_pairs, topo.collected_pairs());
+  EXPECT_LE(report.delivered_ratio, 1.0 + 1e-9);
+  EXPECT_GE(report.delivered_ratio, 0.0);
+  // One message per member per epoch is the ceiling.
+  std::size_t members = 0;
+  for (const auto& e : topo.entries()) members += e.tree.size();
+  EXPECT_LE(report.messages_sent, members * cfg.epochs);
+  // Values can only travel inside messages.
+  EXPECT_LE(report.messages_sent, report.values_sent + 1);
+  // The delivery hook observed every collector arrival (over ALL epochs,
+  // so at least the sampled deliveries).
+  EXPECT_GE(hook_deliveries,
+            static_cast<std::size_t>(report.delivered_ratio *
+                                     static_cast<double>(report.planned_pairs) *
+                                     static_cast<double>(cfg.epochs - cfg.warmup)) /
+                2);
+  // Per-pair errors present and finite.
+  ASSERT_EQ(report.pair_mean_error.size(), pairs.total_pairs());
+  for (double e : report.pair_mean_error) {
+    EXPECT_GE(e, 0.0);
+    EXPECT_TRUE(std::isfinite(e));
+  }
+  // Utilization bounded when enforced.
+  if (r.enforce) {
+    EXPECT_LE(report.max_node_utilization, 1.0 + 1e-6);
+    EXPECT_LE(report.collector_utilization, 1.0 + 1e-6);
+  }
+  // p95 is at least the mean's order (it is a quantile of the same pool).
+  EXPECT_GE(report.p95_percent_error + 1e-9, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, SimConservation,
+    ::testing::Values(Regime{1, 1e6, 1e9, true, false},
+                      Regime{2, 1e6, 1e9, false, false},
+                      Regime{3, 60.0, 300.0, true, false},
+                      Regime{4, 60.0, 300.0, true, true},
+                      Regime{5, 40.0, 5000.0, true, true},
+                      Regime{6, 200.0, 150.0, true, false}));
+
+}  // namespace
+}  // namespace remo

@@ -1,0 +1,185 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "planner/planner.h"
+
+namespace remo {
+namespace {
+
+const CostModel kCost{10.0, 1.0};
+
+struct Fixture {
+  SystemModel system;
+  PairSet pairs;
+
+  Fixture(std::size_t n, std::size_t attrs, Capacity node_cap, Capacity coll_cap)
+      : system(n, node_cap, kCost), pairs(n + 1) {
+    system.set_collector_capacity(coll_cap);
+    for (NodeId id = 1; id <= n; ++id) {
+      std::vector<AttrId> a;
+      for (AttrId x = 0; x < attrs; ++x) {
+        a.push_back(x);
+        pairs.add(id, x);
+      }
+      system.set_observable(id, a);
+    }
+  }
+
+  Topology plan(PartitionScheme scheme = PartitionScheme::kRemo) {
+    PlannerOptions o;
+    o.partition_scheme = scheme;
+    return Planner(system, o).plan(pairs);
+  }
+};
+
+TEST(Simulator, FullDeliveryUnderAmpleCapacity) {
+  Fixture f(10, 2, 1e6, 1e6);
+  auto topo = f.plan();
+  RandomWalkSource src(f.pairs, 1);
+  SimConfig cfg;
+  cfg.epochs = 60;
+  cfg.warmup = 10;
+  const auto report = simulate(f.system, topo, f.pairs, src, cfg);
+  EXPECT_EQ(report.planned_pairs, f.pairs.total_pairs());
+  EXPECT_NEAR(report.delivered_ratio, 1.0, 1e-9);
+  EXPECT_EQ(report.values_dropped, 0u);
+  EXPECT_GT(report.messages_sent, 0u);
+}
+
+TEST(Simulator, ErrorSmallWhenEverythingDelivered) {
+  Fixture f(10, 2, 1e6, 1e6);
+  auto topo = f.plan();
+  // Slow walk: one-epoch staleness error stays tiny relative to values.
+  RandomWalkSource src(f.pairs, 2, 100.0, 0.5);
+  SimConfig cfg;
+  cfg.epochs = 80;
+  const auto report = simulate(f.system, topo, f.pairs, src, cfg);
+  EXPECT_LT(report.avg_percent_error, 5.0);
+}
+
+TEST(Simulator, StaticValuesGiveZeroError) {
+  Fixture f(8, 1, 1e6, 1e6);
+  auto topo = f.plan();
+  RandomWalkSource src(f.pairs, 3, 100.0, /*sigma=*/0.0);
+  SimConfig cfg;
+  cfg.epochs = 40;
+  const auto report = simulate(f.system, topo, f.pairs, src, cfg);
+  EXPECT_DOUBLE_EQ(report.avg_percent_error, 0.0);
+  EXPECT_DOUBLE_EQ(report.p95_percent_error, 0.0);
+}
+
+TEST(Simulator, DeeperTreesAreStaler) {
+  // Same workload, CHAIN vs STAR trees: deeper delivery pipelines must
+  // produce at least as much staleness error (the Fig. 8 mechanism).
+  Fixture f(25, 1, 1e6, 1e6);
+  PlannerOptions star_opts, chain_opts;
+  star_opts.partition_scheme = PartitionScheme::kOneSet;
+  star_opts.tree.scheme = TreeScheme::kStar;
+  chain_opts.partition_scheme = PartitionScheme::kOneSet;
+  chain_opts.tree.scheme = TreeScheme::kChain;
+  auto star = Planner(f.system, star_opts).plan(f.pairs);
+  auto chain = Planner(f.system, chain_opts).plan(f.pairs);
+  ASSERT_GT(chain.entries()[0].tree.height(), star.entries()[0].tree.height());
+
+  SimConfig cfg;
+  cfg.epochs = 120;
+  cfg.warmup = 40;
+  RandomWalkSource s1(f.pairs, 5, 100.0, 3.0);
+  RandomWalkSource s2(f.pairs, 5, 100.0, 3.0);
+  const auto star_report = simulate(f.system, star, f.pairs, s1, cfg);
+  const auto chain_report = simulate(f.system, chain, f.pairs, s2, cfg);
+  EXPECT_GT(chain_report.avg_percent_error, star_report.avg_percent_error);
+}
+
+TEST(Simulator, UncoveredPairsRaiseError) {
+  // Starve the system so planning covers only part of the pairs: the
+  // uncovered remainder contributes growing error.
+  Fixture tight(30, 3, 40.0, 80.0);
+  Fixture ample(30, 3, 1e6, 1e6);
+  auto tight_topo = tight.plan();
+  auto ample_topo = ample.plan();
+  ASSERT_LT(tight_topo.coverage(), 1.0);
+  ASSERT_DOUBLE_EQ(ample_topo.coverage(), 1.0);
+
+  SimConfig cfg;
+  cfg.epochs = 100;
+  RandomWalkSource s1(tight.pairs, 6, 100.0, 3.0);
+  RandomWalkSource s2(ample.pairs, 6, 100.0, 3.0);
+  const auto tight_report = simulate(tight.system, tight_topo, tight.pairs, s1, cfg);
+  const auto ample_report = simulate(ample.system, ample_topo, ample.pairs, s2, cfg);
+  EXPECT_GT(tight_report.avg_percent_error, ample_report.avg_percent_error);
+}
+
+TEST(Simulator, CapacityEnforcementDropsWhenOverloaded) {
+  // Deploy a deliberately infeasible topology (planned with fake huge
+  // capacities, simulated with tiny ones): drops must appear.
+  Fixture planner_view(12, 3, 1e6, 1e6);
+  auto topo = planner_view.plan(PartitionScheme::kOneSet);
+  SystemModel starved = planner_view.system;
+  for (NodeId n = 0; n <= 12; ++n) starved.set_capacity(n, 30.0);
+  RandomWalkSource src(planner_view.pairs, 7);
+  SimConfig cfg;
+  cfg.epochs = 60;
+  const auto report = simulate(starved, topo, planner_view.pairs, src, cfg);
+  EXPECT_GT(report.values_dropped, 0u);
+  EXPECT_LT(report.delivered_ratio, 1.0);
+}
+
+TEST(Simulator, EnforcementOffDeliversEverything) {
+  Fixture planner_view(12, 3, 1e6, 1e6);
+  auto topo = planner_view.plan(PartitionScheme::kOneSet);
+  SystemModel starved = planner_view.system;
+  for (NodeId n = 0; n <= 12; ++n) starved.set_capacity(n, 30.0);
+  RandomWalkSource src(planner_view.pairs, 7);
+  SimConfig cfg;
+  cfg.epochs = 60;
+  cfg.enforce_capacity = false;
+  const auto report = simulate(starved, topo, planner_view.pairs, src, cfg);
+  EXPECT_EQ(report.values_dropped, 0u);
+  EXPECT_NEAR(report.delivered_ratio, 1.0, 1e-9);
+}
+
+TEST(Simulator, UtilizationBoundedByCapacityWhenEnforced) {
+  Fixture f(20, 2, 60.0, 200.0);
+  auto topo = f.plan();
+  RandomWalkSource src(f.pairs, 8);
+  SimConfig cfg;
+  cfg.epochs = 50;
+  const auto report = simulate(f.system, topo, f.pairs, src, cfg);
+  EXPECT_LE(report.max_node_utilization, 1.0 + 1e-6);
+  EXPECT_LE(report.collector_utilization, 1.0 + 1e-6);
+  EXPECT_GT(report.avg_node_utilization, 0.0);
+}
+
+TEST(Simulator, FrequencyWeightsReduceTraffic) {
+  Fixture f(10, 2, 1e6, 1e6);
+  // Plan with attr 1 at quarter rate.
+  PlannerOptions o;
+  o.attr_specs.set_weight(1, 0.25);
+  auto slow_topo = Planner(f.system, o).plan(f.pairs);
+  auto fast_topo = f.plan(PartitionScheme::kRemo);
+  RandomWalkSource s1(f.pairs, 9);
+  RandomWalkSource s2(f.pairs, 9);
+  SimConfig cfg;
+  cfg.epochs = 80;
+  const auto slow = simulate(f.system, slow_topo, f.pairs, s1, cfg);
+  const auto fast = simulate(f.system, fast_topo, f.pairs, s2, cfg);
+  EXPECT_LT(slow.values_sent, fast.values_sent);
+}
+
+TEST(Simulator, EmptyTopologyReportsFullErrorNoTraffic) {
+  Fixture f(5, 1, 1e6, 1e6);
+  Topology empty;
+  empty.set_total_pairs(f.pairs.total_pairs());
+  RandomWalkSource src(f.pairs, 10);
+  SimConfig cfg;
+  cfg.epochs = 30;
+  const auto report = simulate(f.system, empty, f.pairs, src, cfg);
+  EXPECT_EQ(report.messages_sent, 0u);
+  EXPECT_EQ(report.planned_pairs, 0u);
+  EXPECT_GT(report.avg_percent_error, 0.0);
+}
+
+}  // namespace
+}  // namespace remo

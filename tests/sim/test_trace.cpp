@@ -1,0 +1,105 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "planner/planner.h"
+#include "sim/simulator.h"
+
+namespace remo {
+namespace {
+
+TEST(Trace, AddAndLookup) {
+  Trace t;
+  t.add({1, 0}, 5, 10.0);
+  t.add({1, 0}, 8, 20.0);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.last_epoch(), 8u);
+  EXPECT_FALSE(t.value_at({1, 0}, 4).has_value());  // before first sample
+  EXPECT_DOUBLE_EQ(t.value_at({1, 0}, 5).value(), 10.0);
+  EXPECT_DOUBLE_EQ(t.value_at({1, 0}, 7).value(), 10.0);  // holds
+  EXPECT_DOUBLE_EQ(t.value_at({1, 0}, 8).value(), 20.0);
+  EXPECT_DOUBLE_EQ(t.value_at({1, 0}, 100).value(), 20.0);
+  EXPECT_FALSE(t.value_at({2, 0}, 8).has_value());  // unknown pair
+}
+
+TEST(Trace, SameEpochOverwrites) {
+  Trace t;
+  t.add({1, 0}, 5, 10.0);
+  t.add({1, 0}, 5, 12.0);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.value_at({1, 0}, 5).value(), 12.0);
+}
+
+TEST(Trace, SerializeParseRoundTrip) {
+  Trace t;
+  t.add({1, 0}, 0, 1.5);
+  t.add({1, 0}, 3, 2.25);
+  t.add({7, 4}, 1, -3.125);
+  const auto parsed = Trace::parse(t.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(Trace, ParseAcceptsCommentsAndBlanks) {
+  const auto t = Trace::parse("# header\n\n1 2 3 4.5\n  # indented comment\n");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->size(), 1u);
+  EXPECT_DOUBLE_EQ(t->value_at({2, 3}, 1).value(), 4.5);
+}
+
+TEST(Trace, ParseRejectsMalformedLines) {
+  std::string error;
+  EXPECT_FALSE(Trace::parse("1 2 3\n", &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(Trace::parse("1 2 3 4.5 extra\n", &error).has_value());
+  EXPECT_FALSE(Trace::parse("1 2 nonsense 4\n", &error).has_value());
+}
+
+TEST(Trace, RecordingSourceCapturesInnerStream) {
+  PairSet pairs(3);
+  pairs.add(1, 0);
+  pairs.add(2, 0);
+  RandomWalkSource inner(pairs, 7, 100.0, 2.0);
+  RecordingSource rec(inner, pairs);
+  for (std::uint64_t e = 0; e < 10; ++e) {
+    rec.advance(e);
+    EXPECT_DOUBLE_EQ(rec.value(1, 0), inner.value(1, 0));
+  }
+  EXPECT_EQ(rec.trace().size(), 20u);  // 2 pairs x 10 epochs
+}
+
+TEST(Trace, ReplayReproducesSimulationExactly) {
+  // Record a run, replay the trace: the simulator must report identical
+  // error statistics — the property that makes cross-scheme comparisons
+  // on one captured workload sound.
+  const CostModel cost{10.0, 1.0};
+  SystemModel system(10, 200.0, cost);
+  system.set_collector_capacity(800.0);
+  PairSet pairs(11);
+  for (NodeId n = 1; n <= 10; ++n) {
+    system.set_observable(n, {0, 1});
+    pairs.add(n, 0);
+    pairs.add(n, 1);
+  }
+  const Topology topo = Planner(system, PlannerOptions{}).plan(pairs);
+
+  RandomWalkSource live(pairs, 11, 100.0, 3.0);
+  RecordingSource recorder(live, pairs);
+  SimConfig cfg;
+  cfg.epochs = 50;
+  cfg.warmup = 10;
+  const auto original = simulate(system, topo, pairs, recorder, cfg);
+
+  // Round-trip the trace through text to cover serialization too.
+  auto parsed = Trace::parse(recorder.trace().serialize());
+  ASSERT_TRUE(parsed.has_value());
+  TraceSource replay(std::move(*parsed));
+  const auto replayed = simulate(system, topo, pairs, replay, cfg);
+
+  EXPECT_DOUBLE_EQ(replayed.avg_percent_error, original.avg_percent_error);
+  EXPECT_EQ(replayed.values_sent, original.values_sent);
+  EXPECT_EQ(replayed.messages_sent, original.messages_sent);
+}
+
+}  // namespace
+}  // namespace remo

@@ -1,0 +1,96 @@
+#include "sim/value_source.h"
+
+#include <gtest/gtest.h>
+
+namespace remo {
+namespace {
+
+PairSet three_pairs() {
+  PairSet p(4);
+  p.add(1, 0);
+  p.add(2, 0);
+  p.add(3, 1);
+  return p;
+}
+
+TEST(RandomWalkSource, RegisteredPairsHaveValues) {
+  auto pairs = three_pairs();
+  RandomWalkSource src(pairs, 1);
+  EXPECT_GT(src.value(1, 0), 0.0);
+  EXPECT_GT(src.value(3, 1), 0.0);
+  EXPECT_DOUBLE_EQ(src.value(3, 0), 0.0);  // unregistered pair
+}
+
+TEST(RandomWalkSource, AdvanceChangesValues) {
+  auto pairs = three_pairs();
+  RandomWalkSource src(pairs, 2);
+  const double before = src.value(1, 0);
+  src.advance(0);
+  src.advance(1);
+  EXPECT_NE(src.value(1, 0), before);
+}
+
+TEST(RandomWalkSource, RespectsFloor) {
+  auto pairs = three_pairs();
+  RandomWalkSource src(pairs, 3, /*start=*/2.0, /*sigma=*/50.0, /*floor=*/1.0);
+  for (int e = 0; e < 200; ++e) {
+    src.advance(e);
+    EXPECT_GE(src.value(1, 0), 1.0);
+  }
+}
+
+TEST(RandomWalkSource, DeterministicForSeed) {
+  auto pairs = three_pairs();
+  RandomWalkSource a(pairs, 7), b(pairs, 7);
+  for (int e = 0; e < 10; ++e) {
+    a.advance(e);
+    b.advance(e);
+  }
+  EXPECT_DOUBLE_EQ(a.value(2, 0), b.value(2, 0));
+}
+
+TEST(RandomWalkSource, WalksDiffuse) {
+  // After many steps, values should have moved materially (sanity check
+  // that staleness will actually translate into error).
+  auto pairs = three_pairs();
+  RandomWalkSource src(pairs, 9, 100.0, 2.0);
+  const double v0 = src.value(1, 0);
+  double max_dev = 0.0;
+  for (int e = 0; e < 500; ++e) {
+    src.advance(e);
+    max_dev = std::max(max_dev, std::abs(src.value(1, 0) - v0));
+  }
+  EXPECT_GT(max_dev, 5.0);
+}
+
+TEST(BurstySource, BurstsRaiseValuesAboveBaseline) {
+  auto pairs = three_pairs();
+  BurstySource src(pairs, 4, 100.0, 1.0, /*burst_probability=*/0.2, 3.0);
+  double peak = 0.0;
+  for (int e = 0; e < 300; ++e) {
+    src.advance(e);
+    peak = std::max(peak, src.value(1, 0));
+  }
+  EXPECT_GT(peak, 150.0);  // bursts of ~2-3x baseline must appear
+}
+
+TEST(BurstySource, StaysPositive) {
+  auto pairs = three_pairs();
+  BurstySource src(pairs, 5);
+  for (int e = 0; e < 300; ++e) {
+    src.advance(e);
+    EXPECT_GT(src.value(2, 0), 0.0);
+  }
+}
+
+TEST(BurstySource, BurstsDecay) {
+  // With bursts disabled after warm-up (probability 0), the burst
+  // component must decay towards the mean-reverting baseline band.
+  auto pairs = three_pairs();
+  BurstySource src(pairs, 6, 100.0, 0.5, 0.0, 3.0, 0.8);
+  for (int e = 0; e < 400; ++e) src.advance(e);
+  EXPECT_NEAR(src.value(1, 0), 100.0, 40.0);
+}
+
+}  // namespace
+}  // namespace remo

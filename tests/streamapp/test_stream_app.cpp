@@ -1,0 +1,122 @@
+#include "streamapp/stream_app.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace remo {
+namespace {
+
+const CostModel kCost{10.0, 1.0};
+
+TEST(StreamApp, RegistersObservablesOnHostNodes) {
+  SystemModel system(20, 100.0, kCost);
+  StreamApplication app(system, StreamAppConfig{}, 1);
+  std::size_t observers = 0;
+  for (NodeId n = 1; n <= 20; ++n) observers += !system.observable(n).empty();
+  EXPECT_EQ(observers, 20u);  // 200 operators over 20 nodes: all host some
+  for (NodeId n = 1; n <= 20; ++n)
+    for (AttrId a : system.observable(n)) EXPECT_LT(a, app.attr_universe());
+}
+
+TEST(StreamApp, AttrUniverseMatchesConfig) {
+  SystemModel system(10, 100.0, kCost);
+  StreamAppConfig cfg;
+  cfg.num_classes = 4;
+  StreamApplication app(system, cfg, 2);
+  EXPECT_EQ(app.attr_universe(), 4u * StreamApplication::kMetricsPerOperator);
+}
+
+TEST(StreamApp, ObservedValuesAreFiniteAndNonNegative) {
+  SystemModel system(15, 100.0, kCost);
+  StreamApplication app(system, StreamAppConfig{}, 3);
+  for (int e = 0; e < 50; ++e) {
+    app.advance(e);
+    for (NodeId n = 1; n <= 15; ++n)
+      for (AttrId a : system.observable(n)) {
+        const double v = app.value(n, a);
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_GE(v, 0.0);
+      }
+  }
+}
+
+TEST(StreamApp, UnobservedPairReadsZero) {
+  SystemModel system(5, 100.0, kCost);
+  StreamApplication app(system, StreamAppConfig{}, 4);
+  EXPECT_DOUBLE_EQ(app.value(1, 9999), 0.0);
+}
+
+TEST(StreamApp, LoadPropagatesDownstream) {
+  // Downstream (non-source) operators must see traffic: pick any node
+  // exposing an in-rate attribute and require a positive reading after the
+  // pipeline warms up.
+  SystemModel system(20, 100.0, kCost);
+  StreamApplication app(system, StreamAppConfig{}, 5);
+  for (int e = 0; e < 20; ++e) app.advance(e);
+  double total_in = 0.0;
+  for (NodeId n = 1; n <= 20; ++n)
+    for (AttrId a : system.observable(n))
+      if (a % StreamApplication::kMetricsPerOperator == StreamApplication::kInRate)
+        total_in += app.value(n, a);
+  EXPECT_GT(total_in, 0.0);
+}
+
+TEST(StreamApp, BurstsMakeValuesVolatile) {
+  SystemModel system(20, 100.0, kCost);
+  StreamAppConfig cfg;
+  cfg.burst_probability = 0.2;
+  cfg.burst_magnitude = 4.0;
+  StreamApplication app(system, cfg, 6);
+  // Track one in-rate attribute over time; its range must be wide.
+  NodeId node = 0;
+  AttrId attr = 0;
+  for (NodeId n = 1; n <= 20 && node == 0; ++n)
+    for (AttrId a : system.observable(n))
+      if (a % StreamApplication::kMetricsPerOperator ==
+          StreamApplication::kInRate) {
+        node = n;
+        attr = a;
+        break;
+      }
+  ASSERT_NE(node, 0u);
+  double lo = 1e18, hi = -1e18;
+  for (int e = 0; e < 300; ++e) {
+    app.advance(e);
+    const double v = app.value(node, attr);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi, lo * 1.3);
+}
+
+TEST(StreamApp, DeterministicForSeed) {
+  SystemModel s1(10, 100.0, kCost), s2(10, 100.0, kCost);
+  StreamApplication a(s1, StreamAppConfig{}, 7), b(s2, StreamAppConfig{}, 7);
+  for (int e = 0; e < 10; ++e) {
+    a.advance(e);
+    b.advance(e);
+  }
+  for (NodeId n = 1; n <= 10; ++n) {
+    ASSERT_EQ(s1.observable(n), s2.observable(n));
+    for (AttrId attr : s1.observable(n))
+      EXPECT_DOUBLE_EQ(a.value(n, attr), b.value(n, attr));
+  }
+}
+
+TEST(StreamApp, UtilizationMetricBounded) {
+  SystemModel system(10, 100.0, kCost);
+  StreamApplication app(system, StreamAppConfig{}, 8);
+  for (int e = 0; e < 30; ++e) app.advance(e);
+  for (NodeId n = 1; n <= 10; ++n) {
+    for (AttrId a : system.observable(n)) {
+      if (a % StreamApplication::kMetricsPerOperator ==
+          StreamApplication::kUtilization) {
+        EXPECT_LE(app.value(n, a), 100.0 + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace remo

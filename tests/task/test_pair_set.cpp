@@ -1,0 +1,107 @@
+#include "task/pair_set.h"
+
+#include <gtest/gtest.h>
+
+namespace remo {
+namespace {
+
+TEST(PairSet, AddDeduplicates) {
+  PairSet p(5);
+  EXPECT_TRUE(p.add(1, 7));
+  EXPECT_FALSE(p.add(1, 7));  // duplicate ignored (task-manager semantics)
+  EXPECT_EQ(p.total_pairs(), 1u);
+  EXPECT_TRUE(p.contains(1, 7));
+}
+
+TEST(PairSet, RemoveTracksCount) {
+  PairSet p(5);
+  p.add(1, 7);
+  p.add(2, 7);
+  EXPECT_TRUE(p.remove(1, 7));
+  EXPECT_FALSE(p.remove(1, 7));
+  EXPECT_EQ(p.total_pairs(), 1u);
+  EXPECT_FALSE(p.contains(1, 7));
+  EXPECT_TRUE(p.contains(2, 7));
+}
+
+TEST(PairSet, AttrsOfSortedUnique) {
+  PairSet p(5);
+  p.add(3, 9);
+  p.add(3, 2);
+  p.add(3, 5);
+  EXPECT_EQ(p.attrs_of(3), (std::vector<AttrId>{2, 5, 9}));
+}
+
+TEST(PairSet, AttributeUniverse) {
+  PairSet p(5);
+  p.add(1, 2);
+  p.add(2, 2);
+  p.add(3, 0);
+  EXPECT_EQ(p.attribute_universe(), (std::vector<AttrId>{0, 2}));
+}
+
+TEST(PairSet, NodesWithQueries) {
+  PairSet p(6);
+  p.add(1, 0);
+  p.add(3, 0);
+  p.add(3, 1);
+  p.add(5, 2);
+  EXPECT_EQ(p.nodes_with(0), (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(p.nodes_with_any({0, 2}), (std::vector<NodeId>{1, 3, 5}));
+  EXPECT_EQ(p.nodes_with_any({7}), (std::vector<NodeId>{}));
+  EXPECT_EQ(p.count_at(3, {0, 1, 2}), 2u);
+  EXPECT_EQ(p.count_at(5, {0, 1}), 0u);
+}
+
+TEST(PairSet, AllPairsOrdered) {
+  PairSet p(4);
+  p.add(2, 1);
+  p.add(1, 9);
+  p.add(1, 3);
+  const auto all = p.all_pairs();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], (NodeAttrPair{1, 3}));
+  EXPECT_EQ(all[1], (NodeAttrPair{1, 9}));
+  EXPECT_EQ(all[2], (NodeAttrPair{2, 1}));
+}
+
+TEST(PairSet, OutOfRangeNodeThrows) {
+  PairSet p(3);
+  EXPECT_THROW(p.add(5, 0), std::out_of_range);
+  EXPECT_THROW((void)p.attrs_of(9), std::out_of_range);
+}
+
+TEST(PairSetDelta, DiffFindsAddsAndRemoves) {
+  PairSet before(4), after(4);
+  before.add(1, 0);
+  before.add(2, 1);
+  after.add(2, 1);
+  after.add(3, 5);
+  const auto d = diff(before, after);
+  ASSERT_EQ(d.added.size(), 1u);
+  ASSERT_EQ(d.removed.size(), 1u);
+  EXPECT_EQ(d.added[0], (NodeAttrPair{3, 5}));
+  EXPECT_EQ(d.removed[0], (NodeAttrPair{1, 0}));
+  EXPECT_EQ(d.affected_attrs(), (std::vector<AttrId>{0, 5}));
+  EXPECT_FALSE(d.empty());
+}
+
+TEST(PairSetDelta, IdenticalSetsEmptyDelta) {
+  PairSet a(3);
+  a.add(1, 1);
+  EXPECT_TRUE(diff(a, a).empty());
+}
+
+TEST(PairSetDelta, DifferentSizedSets) {
+  PairSet small(2), big(5);
+  small.add(1, 0);
+  big.add(1, 0);
+  big.add(4, 2);
+  const auto d = diff(small, big);
+  ASSERT_EQ(d.added.size(), 1u);
+  EXPECT_EQ(d.added[0], (NodeAttrPair{4, 2}));
+  EXPECT_TRUE(d.removed.empty());
+}
+
+}  // namespace
+}  // namespace remo

@@ -1,0 +1,114 @@
+#include "task/task_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace remo {
+namespace {
+
+MonitoringTask task(std::vector<AttrId> attrs, std::vector<NodeId> nodes,
+                    double freq = 1.0) {
+  MonitoringTask t;
+  t.attrs = std::move(attrs);
+  t.nodes = std::move(nodes);
+  t.frequency = freq;
+  return t;
+}
+
+TEST(TaskManager, PaperDedupExample) {
+  // t1 = ({cpu}, {a,b}), t2 = ({cpu}, {b,c}): pair (b, cpu) is duplicated
+  // and must appear once (Sec. 2.2).
+  TaskManager m;
+  m.add_task(task({0}, {1, 2}));
+  m.add_task(task({0}, {2, 3}));
+  const PairSet p = m.dedup(5);
+  EXPECT_EQ(p.total_pairs(), 3u);
+  EXPECT_TRUE(p.contains(1, 0));
+  EXPECT_TRUE(p.contains(2, 0));
+  EXPECT_TRUE(p.contains(3, 0));
+  EXPECT_EQ(m.raw_pair_count(), 4u);  // 2 + 2 before dedup
+}
+
+TEST(TaskManager, AssignsIdsAndFinds) {
+  TaskManager m;
+  const TaskId a = m.add_task(task({0}, {1}));
+  const TaskId b = m.add_task(task({1}, {2}));
+  EXPECT_NE(a, b);
+  ASSERT_NE(m.find(a), nullptr);
+  EXPECT_EQ(m.find(a)->attrs, (std::vector<AttrId>{0}));
+  EXPECT_EQ(m.find(999), nullptr);
+  EXPECT_EQ(m.num_tasks(), 2u);
+}
+
+TEST(TaskManager, RemoveTask) {
+  TaskManager m;
+  const TaskId a = m.add_task(task({0}, {1}));
+  EXPECT_TRUE(m.remove_task(a));
+  EXPECT_FALSE(m.remove_task(a));
+  EXPECT_EQ(m.dedup(3).total_pairs(), 0u);
+}
+
+TEST(TaskManager, ModifyTaskReplacesDefinition) {
+  TaskManager m;
+  const TaskId a = m.add_task(task({0}, {1}));
+  auto t = *m.find(a);
+  t.attrs = {4, 2};
+  EXPECT_TRUE(m.modify_task(t));
+  EXPECT_EQ(m.find(a)->attrs, (std::vector<AttrId>{2, 4}));  // sorted
+  MonitoringTask unknown = task({0}, {1});
+  unknown.id = 12345;
+  EXPECT_FALSE(m.modify_task(unknown));
+}
+
+TEST(TaskManager, TaskSetsSortedOnAdd) {
+  TaskManager m;
+  const TaskId a = m.add_task(task({9, 1, 9}, {3, 1, 3}));
+  EXPECT_EQ(m.find(a)->attrs, (std::vector<AttrId>{1, 9}));
+  EXPECT_EQ(m.find(a)->nodes, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(TaskManager, ObservabilityFilter) {
+  SystemModel system(3, 10.0);
+  system.set_observable(1, {0, 1});
+  system.set_observable(2, {1});
+  TaskManager m(&system);
+  m.add_task(task({0, 1}, {1, 2}));
+  const PairSet p = m.dedup(system.num_vertices());
+  EXPECT_TRUE(p.contains(1, 0));
+  EXPECT_TRUE(p.contains(1, 1));
+  EXPECT_FALSE(p.contains(2, 0));  // node 2 cannot observe attr 0
+  EXPECT_TRUE(p.contains(2, 1));
+}
+
+TEST(TaskManager, FilterDisabledKeepsAllPairs) {
+  SystemModel system(3, 10.0);  // no observables registered
+  TaskManager m(&system, /*filter_observable=*/false);
+  m.add_task(task({0}, {1, 2}));
+  EXPECT_EQ(m.dedup(system.num_vertices()).total_pairs(), 2u);
+}
+
+TEST(TaskManager, CollectorAndOutOfRangeNodesSkipped) {
+  TaskManager m;
+  m.add_task(task({0}, {kCollectorId, 1, 200}));
+  const PairSet p = m.dedup(3);
+  EXPECT_EQ(p.total_pairs(), 1u);
+  EXPECT_TRUE(p.contains(1, 0));
+}
+
+TEST(TaskManager, PairFrequenciesTakeMaxAcrossTasks) {
+  TaskManager m;
+  m.add_task(task({0}, {1}, 0.25));
+  m.add_task(task({0}, {1, 2}, 1.0));
+  const PairSet p = m.dedup(4);
+  const auto freq = m.pair_frequencies(p);
+  EXPECT_DOUBLE_EQ(freq.at({1, 0}), 1.0);  // fastest requester wins
+  EXPECT_DOUBLE_EQ(freq.at({2, 0}), 1.0);
+}
+
+TEST(TaskManager, EnumNames) {
+  EXPECT_STREQ(to_string(AggType::kHolistic), "HOLISTIC");
+  EXPECT_STREQ(to_string(AggType::kTopK), "TOPK");
+  EXPECT_STREQ(to_string(ReliabilityMode::kSSDP), "SSDP");
+}
+
+}  // namespace
+}  // namespace remo

@@ -1,0 +1,65 @@
+#include "tree/funnel.h"
+
+#include <gtest/gtest.h>
+
+namespace remo {
+namespace {
+
+TEST(Funnel, HolisticIsIdentity) {
+  FunnelSpec f{AggType::kHolistic};
+  for (std::uint32_t n : {0u, 1u, 5u, 1000u}) EXPECT_EQ(f(n), n);
+}
+
+TEST(Funnel, AlgebraicAggregatesCollapseToOne) {
+  for (AggType t : {AggType::kSum, AggType::kMax, AggType::kMin, AggType::kCount,
+                    AggType::kAvg}) {
+    FunnelSpec f{t};
+    EXPECT_EQ(f(0), 0u) << to_string(t);
+    EXPECT_EQ(f(1), 1u) << to_string(t);
+    EXPECT_EQ(f(100), 1u) << to_string(t);
+  }
+}
+
+TEST(Funnel, TopKCapsAtK) {
+  FunnelSpec f{AggType::kTopK, 10};
+  EXPECT_EQ(f(3), 3u);
+  EXPECT_EQ(f(10), 10u);
+  EXPECT_EQ(f(250), 10u);
+}
+
+TEST(Funnel, TopKHonorsCustomK) {
+  FunnelSpec f{AggType::kTopK, 3};
+  EXPECT_EQ(f(2), 2u);
+  EXPECT_EQ(f(4), 3u);
+}
+
+TEST(Funnel, DistinctUsesHolisticUpperBound) {
+  FunnelSpec f{AggType::kDistinct};
+  EXPECT_EQ(f(7), 7u);  // Sec. 6.1: data-dependent, upper bound used
+}
+
+TEST(Funnel, MonotoneNondecreasing) {
+  for (AggType t : {AggType::kHolistic, AggType::kSum, AggType::kTopK,
+                    AggType::kDistinct}) {
+    FunnelSpec f{t, 5};
+    for (std::uint32_t n = 0; n < 40; ++n) EXPECT_LE(f(n), f(n + 1)) << to_string(t);
+  }
+}
+
+TEST(Funnel, NeverAmplifies) {
+  for (AggType t : {AggType::kHolistic, AggType::kSum, AggType::kMax,
+                    AggType::kMin, AggType::kCount, AggType::kAvg, AggType::kTopK,
+                    AggType::kDistinct}) {
+    FunnelSpec f{t, 7};
+    for (std::uint32_t n = 0; n < 50; ++n) EXPECT_LE(f(n), n < 1 ? 0u : n);
+  }
+}
+
+TEST(Funnel, DefaultIsHolistic) {
+  FunnelSpec f;
+  EXPECT_EQ(f.type(), AggType::kHolistic);
+  EXPECT_EQ(f(42), 42u);
+}
+
+}  // namespace
+}  // namespace remo

@@ -1,0 +1,137 @@
+// Brute-force optimality reference: on tiny instances, enumerate every
+// subset of nodes and every acyclic parent assignment, and compare the
+// heuristic builders against the true optimum of the (NP-complete) tree
+// construction problem. The builders must never beat the optimum (that
+// would mean the reference or the feasibility model is wrong) and
+// ADAPTIVE must stay within a modest gap of it.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tree/builder.h"
+
+namespace remo {
+namespace {
+
+const CostModel kCost{10.0, 1.0};
+
+std::vector<TreeAttrSpec> one_attr() {
+  return {TreeAttrSpec{0, FunnelSpec{}, 1.0}};
+}
+
+/// Tries to realize `parent[i]` (index into items, or -1 for collector)
+/// over the chosen subset; returns collected pairs or nullopt if the
+/// assignment is cyclic or violates a capacity.
+std::optional<std::size_t> realize(const std::vector<BuildItem>& items,
+                                   const std::vector<int>& parent,
+                                   Capacity collector_avail) {
+  const std::size_t n = items.size();
+  // Depth-check for cycles + topological order (parents before children).
+  std::vector<int> order;
+  std::vector<int> state(n, 0);  // 0=unvisited 1=visiting 2=done
+  std::vector<std::vector<int>> kids(n);
+  std::vector<int> roots;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (parent[i] == -1)
+      roots.push_back(static_cast<int>(i));
+    else
+      kids[parent[i]].push_back(static_cast<int>(i));
+  }
+  // BFS from roots; if not all reached, there is a cycle.
+  for (int r : roots) {
+    std::vector<int> stack{r};
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      if (state[v]) return std::nullopt;
+      state[v] = 2;
+      order.push_back(v);
+      for (int c : kids[v]) stack.push_back(c);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+
+  MonitoringTree tree(one_attr(), collector_avail, kCost);
+  for (int idx : order) {
+    const NodeId p =
+        parent[idx] == -1 ? kCollectorId : items[parent[idx]].id;
+    if (!tree.can_attach(items[idx], p)) return std::nullopt;
+    tree.attach(items[idx], p);
+  }
+  return tree.collected_pairs();
+}
+
+/// Exhaustive optimum over subsets × parent assignments.
+std::size_t brute_force_optimum(const std::vector<BuildItem>& all,
+                                Capacity collector_avail) {
+  const std::size_t n = all.size();
+  std::size_t best = 0;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<BuildItem> subset;
+    for (std::size_t i = 0; i < n; ++i)
+      if (mask & (1u << i)) subset.push_back(all[i]);
+    const std::size_t k = subset.size();
+    // Enumerate parent vectors in base (k): parent[i] in {-1, 0..k-1}\{i}.
+    std::vector<int> parent(k, -1);
+    std::function<void(std::size_t)> rec = [&](std::size_t i) {
+      if (i == k) {
+        if (const auto collected = realize(subset, parent, collector_avail))
+          best = std::max(best, *collected);
+        return;
+      }
+      for (int p = -1; p < static_cast<int>(k); ++p) {
+        if (p == static_cast<int>(i)) continue;
+        parent[i] = p;
+        rec(i + 1);
+      }
+    };
+    rec(0);
+  }
+  return best;
+}
+
+class OptimalityGap : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimalityGap, AdaptiveWithinGapOfBruteForce) {
+  Rng rng{GetParam()};
+  // 5 nodes, randomized payloads/capacities, tight-ish collector.
+  std::vector<BuildItem> items;
+  for (NodeId id = 1; id <= 5; ++id) {
+    const auto values = static_cast<std::uint32_t>(rng.range(1, 3));
+    items.push_back(BuildItem{id, {values},
+                              kCost.message_cost(values) * rng.uniform(1.0, 2.5)});
+  }
+  const Capacity collector = kCost.message_cost(1) * rng.uniform(1.5, 4.0);
+
+  const std::size_t optimum = brute_force_optimum(items, collector);
+
+  TreeBuildOptions opts;
+  opts.scheme = TreeScheme::kAdaptive;
+  const auto built = build_tree(one_attr(), items, collector, kCost, opts);
+  const std::size_t heuristic = built.tree.collected_pairs();
+
+  EXPECT_LE(heuristic, optimum) << "heuristic beat brute force: model bug";
+  // ADAPTIVE is a heuristic for an NP-complete problem; demand 2/3 of
+  // optimum on these micro-instances (it usually achieves it exactly).
+  EXPECT_GE(3 * heuristic, 2 * optimum)
+      << "heuristic " << heuristic << " vs optimum " << optimum;
+  EXPECT_TRUE(built.tree.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalityGap,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(OptimalityGap, BruteForceAgreesOnAnalyticCase) {
+  // 3 unit-value nodes, collector fits exactly two direct messages and one
+  // relayed value: optimum is all 3 (chain of two under one root? no —
+  // two roots, one of them relaying the third: collector cost
+  // u={10+2}+{10+1}=23; per-node capacity permits it).
+  std::vector<BuildItem> items{{1, {1}, 40.0}, {2, {1}, 40.0}, {3, {1}, 40.0}};
+  EXPECT_EQ(brute_force_optimum(items, 23.0), 3u);
+  // Collector fits only one 3-value chain message: still all 3 via chain.
+  EXPECT_EQ(brute_force_optimum(items, 13.0), 3u);
+  // Collector fits only a 2-value message: best is 2.
+  EXPECT_EQ(brute_force_optimum(items, 12.0), 2u);
+}
+
+}  // namespace
+}  // namespace remo

@@ -1,0 +1,109 @@
+// update_local / can_update_local: the in-place minimal-change operation
+// behind DIRECT-APPLY task updates.
+#include <gtest/gtest.h>
+
+#include "tree/monitoring_tree.h"
+
+namespace remo {
+namespace {
+
+const CostModel kCost{10.0, 1.0};
+
+std::vector<TreeAttrSpec> holistic_attrs(std::size_t n) {
+  std::vector<TreeAttrSpec> out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(TreeAttrSpec{static_cast<AttrId>(i), FunnelSpec{}, 1.0});
+  return out;
+}
+
+MonitoringTree chain3(Capacity mid_avail = 100.0) {
+  MonitoringTree t(holistic_attrs(2), 1000.0, kCost);
+  t.attach(BuildItem{1, {1, 0}, 100.0}, kCollectorId);
+  t.attach(BuildItem{2, {1, 1}, mid_avail}, 1);
+  t.attach(BuildItem{3, {0, 1}, 100.0}, 2);
+  return t;
+}
+
+TEST(UpdateLocal, DecreaseAlwaysFeasible) {
+  auto t = chain3();
+  ASSERT_TRUE(t.can_update_local(2, {0, 0}));
+  ASSERT_TRUE(t.update_local(2, {0, 0}));
+  EXPECT_EQ(t.local_counts(2), (std::vector<std::uint32_t>{0, 0}));
+  // Node 2 still relays node 3's values.
+  EXPECT_DOUBLE_EQ(t.payload(2), 1.0);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(UpdateLocal, IncreasePropagatesUpward) {
+  auto t = chain3();
+  const double y1_before = t.payload(1);
+  ASSERT_TRUE(t.update_local(3, {1, 1}));
+  EXPECT_DOUBLE_EQ(t.payload(1), y1_before + 1.0);
+  EXPECT_EQ(t.in_counts(kCollectorId)[0], 3u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(UpdateLocal, InfeasibleIncreaseRejectedAndUnchanged) {
+  // Node 1 can barely afford its current load; growing node 3's payload
+  // would overload it.
+  MonitoringTree t(holistic_attrs(2), 1000.0, kCost);
+  t.attach(BuildItem{1, {1, 0}, 38.0}, kCollectorId);  // needs headroom math
+  t.attach(BuildItem{2, {1, 1}, 100.0}, 1);
+  // usage(1) = u1 + u2 = (10+3) + (10+2) = 25; avail 38. Adding one more
+  // value at node 2: u2 -> 13, u1 -> 14: usage(1) = 27 OK. Tighten first:
+  ASSERT_TRUE(t.update_local(1, {1, 1}));  // u1 = 10+4, usage(1) = 26
+  // Now push node 2 up to where node 1 would exceed 38:
+  // each added value at 2 costs node 1 +2 (receive +1, send +1).
+  ASSERT_TRUE(t.can_update_local(2, {1, 1}));
+  const auto before_counts = t.in_counts(1);
+  EXPECT_FALSE(t.can_update_local(2, {8, 8}));  // way past the budget
+  EXPECT_FALSE(t.update_local(2, {8, 8}));
+  EXPECT_EQ(t.in_counts(1), before_counts);  // no partial mutation
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(UpdateLocal, CollectorAndNonMembersRejected) {
+  auto t = chain3();
+  EXPECT_FALSE(t.can_update_local(kCollectorId, {0, 0}));
+  EXPECT_FALSE(t.can_update_local(99, {0, 0}));
+  EXPECT_FALSE(t.update_local(99, {1, 1}));
+}
+
+TEST(UpdateLocal, SizeMismatchThrows) {
+  auto t = chain3();
+  EXPECT_THROW((void)t.can_update_local(2, {1}), std::invalid_argument);
+}
+
+TEST(UpdateLocal, NoopUpdateKeepsEverything) {
+  auto t = chain3();
+  const auto local = t.local_counts(2);
+  const double cost_before = t.total_cost();
+  ASSERT_TRUE(t.update_local(2, local));
+  EXPECT_DOUBLE_EQ(t.total_cost(), cost_before);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(UpdateLocal, InteractsCorrectlyWithFunnels) {
+  // Under SUM, adding local values beyond the first does not change the
+  // outgoing payload of the updated node's ancestors.
+  std::vector<TreeAttrSpec> attrs{{0, FunnelSpec{AggType::kSum}, 1.0}};
+  MonitoringTree t(attrs, 1000.0, kCost);
+  t.attach(BuildItem{1, {1}, 100.0}, kCollectorId);
+  t.attach(BuildItem{2, {1}, 100.0}, 1);
+  const double y1 = t.payload(1);
+  ASSERT_TRUE(t.update_local(2, {5}));
+  EXPECT_DOUBLE_EQ(t.payload(1), y1);  // funnel collapsed the increase
+  EXPECT_EQ(t.in_counts(2)[0], 5u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(UpdateLocal, ZeroedMemberBecomesPureRelay) {
+  auto t = chain3();
+  ASSERT_TRUE(t.update_local(2, {0, 0}));
+  // Node 2 sends only node 3's values but still pays per-message overhead.
+  EXPECT_DOUBLE_EQ(t.send_cost(2), kCost.per_message + 1.0);
+  EXPECT_EQ(t.collected_pairs(), 2u);  // was 4, minus node 2's two locals
+}
+
+}  // namespace
+}  // namespace remo

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_optimization.dir/bench_fig10_optimization.cpp.o"
+  "CMakeFiles/bench_fig10_optimization.dir/bench_fig10_optimization.cpp.o.d"
+  "bench_fig10_optimization"
+  "bench_fig10_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_allocation.dir/bench_fig11_allocation.cpp.o"
+  "CMakeFiles/bench_fig11_allocation.dir/bench_fig11_allocation.cpp.o.d"
+  "bench_fig11_allocation"
+  "bench_fig11_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_extensions.dir/bench_fig12_extensions.cpp.o"
+  "CMakeFiles/bench_fig12_extensions.dir/bench_fig12_extensions.cpp.o.d"
+  "bench_fig12_extensions"
+  "bench_fig12_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_partition_workload.cpp" "bench/CMakeFiles/bench_fig5_partition_workload.dir/bench_fig5_partition_workload.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_partition_workload.dir/bench_fig5_partition_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/remo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/remo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/remo_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/remo_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/remo_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/remo_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/remo_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/extensions/CMakeFiles/remo_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/remo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/streamapp/CMakeFiles/remo_streamapp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

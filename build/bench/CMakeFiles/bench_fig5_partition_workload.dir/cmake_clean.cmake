@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_partition_workload.dir/bench_fig5_partition_workload.cpp.o"
+  "CMakeFiles/bench_fig5_partition_workload.dir/bench_fig5_partition_workload.cpp.o.d"
+  "bench_fig5_partition_workload"
+  "bench_fig5_partition_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_partition_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

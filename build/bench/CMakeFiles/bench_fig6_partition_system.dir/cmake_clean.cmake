@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_partition_system.dir/bench_fig6_partition_system.cpp.o"
+  "CMakeFiles/bench_fig6_partition_system.dir/bench_fig6_partition_system.cpp.o.d"
+  "bench_fig6_partition_system"
+  "bench_fig6_partition_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_partition_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

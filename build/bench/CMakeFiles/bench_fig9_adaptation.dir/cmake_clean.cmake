@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_adaptation.dir/bench_fig9_adaptation.cpp.o"
+  "CMakeFiles/bench_fig9_adaptation.dir/bench_fig9_adaptation.cpp.o.d"
+  "bench_fig9_adaptation"
+  "bench_fig9_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

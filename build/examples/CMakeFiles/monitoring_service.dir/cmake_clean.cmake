@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitoring_service.dir/monitoring_service.cpp.o"
+  "CMakeFiles/monitoring_service.dir/monitoring_service.cpp.o.d"
+  "monitoring_service"
+  "monitoring_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitoring_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

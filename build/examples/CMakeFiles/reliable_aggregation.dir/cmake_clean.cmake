@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_aggregation.dir/reliable_aggregation.cpp.o"
+  "CMakeFiles/reliable_aggregation.dir/reliable_aggregation.cpp.o.d"
+  "reliable_aggregation"
+  "reliable_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remo_plan.dir/remo_plan.cpp.o"
+  "CMakeFiles/remo_plan.dir/remo_plan.cpp.o.d"
+  "remo_plan"
+  "remo_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remo_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

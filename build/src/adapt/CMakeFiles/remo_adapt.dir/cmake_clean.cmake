@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remo_adapt.dir/adaptive_planner.cpp.o"
+  "CMakeFiles/remo_adapt.dir/adaptive_planner.cpp.o.d"
+  "libremo_adapt.a"
+  "libremo_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remo_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

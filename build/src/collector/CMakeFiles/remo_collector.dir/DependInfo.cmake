@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collector/alerts.cpp" "src/collector/CMakeFiles/remo_collector.dir/alerts.cpp.o" "gcc" "src/collector/CMakeFiles/remo_collector.dir/alerts.cpp.o.d"
+  "/root/repo/src/collector/time_series.cpp" "src/collector/CMakeFiles/remo_collector.dir/time_series.cpp.o" "gcc" "src/collector/CMakeFiles/remo_collector.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/remo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

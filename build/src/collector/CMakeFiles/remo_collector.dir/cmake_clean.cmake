@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remo_collector.dir/alerts.cpp.o"
+  "CMakeFiles/remo_collector.dir/alerts.cpp.o.d"
+  "CMakeFiles/remo_collector.dir/time_series.cpp.o"
+  "CMakeFiles/remo_collector.dir/time_series.cpp.o.d"
+  "libremo_collector.a"
+  "libremo_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remo_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

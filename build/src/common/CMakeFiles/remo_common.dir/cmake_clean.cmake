@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remo_common.dir/logging.cpp.o"
+  "CMakeFiles/remo_common.dir/logging.cpp.o.d"
+  "CMakeFiles/remo_common.dir/rng.cpp.o"
+  "CMakeFiles/remo_common.dir/rng.cpp.o.d"
+  "CMakeFiles/remo_common.dir/stats.cpp.o"
+  "CMakeFiles/remo_common.dir/stats.cpp.o.d"
+  "CMakeFiles/remo_common.dir/table.cpp.o"
+  "CMakeFiles/remo_common.dir/table.cpp.o.d"
+  "libremo_common.a"
+  "libremo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

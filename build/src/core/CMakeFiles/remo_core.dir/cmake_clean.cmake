@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remo_core.dir/monitoring_system.cpp.o"
+  "CMakeFiles/remo_core.dir/monitoring_system.cpp.o.d"
+  "CMakeFiles/remo_core.dir/scenario_parser.cpp.o"
+  "CMakeFiles/remo_core.dir/scenario_parser.cpp.o.d"
+  "libremo_core.a"
+  "libremo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remo_cost.dir/system_model.cpp.o"
+  "CMakeFiles/remo_cost.dir/system_model.cpp.o.d"
+  "libremo_cost.a"
+  "libremo_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remo_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extensions/attr_spec_derivation.cpp" "src/extensions/CMakeFiles/remo_ext.dir/attr_spec_derivation.cpp.o" "gcc" "src/extensions/CMakeFiles/remo_ext.dir/attr_spec_derivation.cpp.o.d"
+  "/root/repo/src/extensions/reliability.cpp" "src/extensions/CMakeFiles/remo_ext.dir/reliability.cpp.o" "gcc" "src/extensions/CMakeFiles/remo_ext.dir/reliability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/planner/CMakeFiles/remo_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/remo_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/remo_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/remo_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/remo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/remo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remo_ext.dir/attr_spec_derivation.cpp.o"
+  "CMakeFiles/remo_ext.dir/attr_spec_derivation.cpp.o.d"
+  "CMakeFiles/remo_ext.dir/reliability.cpp.o"
+  "CMakeFiles/remo_ext.dir/reliability.cpp.o.d"
+  "libremo_ext.a"
+  "libremo_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remo_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

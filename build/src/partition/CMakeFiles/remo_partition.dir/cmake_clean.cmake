@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remo_partition.dir/augmentation.cpp.o"
+  "CMakeFiles/remo_partition.dir/augmentation.cpp.o.d"
+  "CMakeFiles/remo_partition.dir/partition.cpp.o"
+  "CMakeFiles/remo_partition.dir/partition.cpp.o.d"
+  "libremo_partition.a"
+  "libremo_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remo_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

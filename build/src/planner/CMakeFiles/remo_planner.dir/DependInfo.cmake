@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/planner/export.cpp" "src/planner/CMakeFiles/remo_planner.dir/export.cpp.o" "gcc" "src/planner/CMakeFiles/remo_planner.dir/export.cpp.o.d"
+  "/root/repo/src/planner/planner.cpp" "src/planner/CMakeFiles/remo_planner.dir/planner.cpp.o" "gcc" "src/planner/CMakeFiles/remo_planner.dir/planner.cpp.o.d"
+  "/root/repo/src/planner/topology.cpp" "src/planner/CMakeFiles/remo_planner.dir/topology.cpp.o" "gcc" "src/planner/CMakeFiles/remo_planner.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/remo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/remo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/remo_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/remo_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/remo_partition.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

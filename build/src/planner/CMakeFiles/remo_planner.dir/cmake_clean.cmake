@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remo_planner.dir/export.cpp.o"
+  "CMakeFiles/remo_planner.dir/export.cpp.o.d"
+  "CMakeFiles/remo_planner.dir/planner.cpp.o"
+  "CMakeFiles/remo_planner.dir/planner.cpp.o.d"
+  "CMakeFiles/remo_planner.dir/topology.cpp.o"
+  "CMakeFiles/remo_planner.dir/topology.cpp.o.d"
+  "libremo_planner.a"
+  "libremo_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remo_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

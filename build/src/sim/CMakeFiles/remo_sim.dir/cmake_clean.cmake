@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remo_sim.dir/simulator.cpp.o"
+  "CMakeFiles/remo_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/remo_sim.dir/trace.cpp.o"
+  "CMakeFiles/remo_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/remo_sim.dir/value_source.cpp.o"
+  "CMakeFiles/remo_sim.dir/value_source.cpp.o.d"
+  "libremo_sim.a"
+  "libremo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remo_streamapp.dir/stream_app.cpp.o"
+  "CMakeFiles/remo_streamapp.dir/stream_app.cpp.o.d"
+  "libremo_streamapp.a"
+  "libremo_streamapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remo_streamapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

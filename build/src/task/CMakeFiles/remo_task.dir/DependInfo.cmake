@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/task/pair_set.cpp" "src/task/CMakeFiles/remo_task.dir/pair_set.cpp.o" "gcc" "src/task/CMakeFiles/remo_task.dir/pair_set.cpp.o.d"
+  "/root/repo/src/task/task_manager.cpp" "src/task/CMakeFiles/remo_task.dir/task_manager.cpp.o" "gcc" "src/task/CMakeFiles/remo_task.dir/task_manager.cpp.o.d"
+  "/root/repo/src/task/workload.cpp" "src/task/CMakeFiles/remo_task.dir/workload.cpp.o" "gcc" "src/task/CMakeFiles/remo_task.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/remo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/remo_cost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

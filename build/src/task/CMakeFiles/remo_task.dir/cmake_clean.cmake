@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remo_task.dir/pair_set.cpp.o"
+  "CMakeFiles/remo_task.dir/pair_set.cpp.o.d"
+  "CMakeFiles/remo_task.dir/task_manager.cpp.o"
+  "CMakeFiles/remo_task.dir/task_manager.cpp.o.d"
+  "CMakeFiles/remo_task.dir/workload.cpp.o"
+  "CMakeFiles/remo_task.dir/workload.cpp.o.d"
+  "libremo_task.a"
+  "libremo_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remo_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remo_tree.dir/builder.cpp.o"
+  "CMakeFiles/remo_tree.dir/builder.cpp.o.d"
+  "CMakeFiles/remo_tree.dir/monitoring_tree.cpp.o"
+  "CMakeFiles/remo_tree.dir/monitoring_tree.cpp.o.d"
+  "libremo_tree.a"
+  "libremo_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remo_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collector.dir/collector/test_alerts.cpp.o"
+  "CMakeFiles/test_collector.dir/collector/test_alerts.cpp.o.d"
+  "CMakeFiles/test_collector.dir/collector/test_collector_integration.cpp.o"
+  "CMakeFiles/test_collector.dir/collector/test_collector_integration.cpp.o.d"
+  "CMakeFiles/test_collector.dir/collector/test_time_series.cpp.o"
+  "CMakeFiles/test_collector.dir/collector/test_time_series.cpp.o.d"
+  "test_collector"
+  "test_collector.pdb"
+  "test_collector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extensions.dir/extensions/test_attr_specs.cpp.o"
+  "CMakeFiles/test_extensions.dir/extensions/test_attr_specs.cpp.o.d"
+  "CMakeFiles/test_extensions.dir/extensions/test_dsdp_end_to_end.cpp.o"
+  "CMakeFiles/test_extensions.dir/extensions/test_dsdp_end_to_end.cpp.o.d"
+  "CMakeFiles/test_extensions.dir/extensions/test_reliability.cpp.o"
+  "CMakeFiles/test_extensions.dir/extensions/test_reliability.cpp.o.d"
+  "test_extensions"
+  "test_extensions.pdb"
+  "test_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_planner.dir/planner/test_allocation.cpp.o"
+  "CMakeFiles/test_planner.dir/planner/test_allocation.cpp.o.d"
+  "CMakeFiles/test_planner.dir/planner/test_export.cpp.o"
+  "CMakeFiles/test_planner.dir/planner/test_export.cpp.o.d"
+  "CMakeFiles/test_planner.dir/planner/test_planner.cpp.o"
+  "CMakeFiles/test_planner.dir/planner/test_planner.cpp.o.d"
+  "CMakeFiles/test_planner.dir/planner/test_ranking.cpp.o"
+  "CMakeFiles/test_planner.dir/planner/test_ranking.cpp.o.d"
+  "CMakeFiles/test_planner.dir/planner/test_search_flags.cpp.o"
+  "CMakeFiles/test_planner.dir/planner/test_search_flags.cpp.o.d"
+  "CMakeFiles/test_planner.dir/planner/test_topology.cpp.o"
+  "CMakeFiles/test_planner.dir/planner/test_topology.cpp.o.d"
+  "test_planner"
+  "test_planner.pdb"
+  "test_planner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

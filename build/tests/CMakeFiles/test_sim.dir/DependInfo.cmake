@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_failures.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_failures.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_failures.cpp.o.d"
+  "/root/repo/tests/sim/test_sim_conservation.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_sim_conservation.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_sim_conservation.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_trace.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cpp.o.d"
+  "/root/repo/tests/sim/test_value_source.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_value_source.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_value_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/remo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/remo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/remo_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/remo_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/remo_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/remo_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/remo_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/extensions/CMakeFiles/remo_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/remo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/streamapp/CMakeFiles/remo_streamapp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/remo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/collector/CMakeFiles/remo_collector.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streamapp.dir/streamapp/test_stream_app.cpp.o"
+  "CMakeFiles/test_streamapp.dir/streamapp/test_stream_app.cpp.o.d"
+  "test_streamapp"
+  "test_streamapp.pdb"
+  "test_streamapp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streamapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task.dir/task/test_pair_set.cpp.o"
+  "CMakeFiles/test_task.dir/task/test_pair_set.cpp.o.d"
+  "CMakeFiles/test_task.dir/task/test_task_manager.cpp.o"
+  "CMakeFiles/test_task.dir/task/test_task_manager.cpp.o.d"
+  "CMakeFiles/test_task.dir/task/test_workload.cpp.o"
+  "CMakeFiles/test_task.dir/task/test_workload.cpp.o.d"
+  "test_task"
+  "test_task.pdb"
+  "test_task[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

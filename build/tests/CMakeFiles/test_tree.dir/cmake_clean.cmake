@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree.dir/tree/test_adjust.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/test_adjust.cpp.o.d"
+  "CMakeFiles/test_tree.dir/tree/test_builder.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/test_builder.cpp.o.d"
+  "CMakeFiles/test_tree.dir/tree/test_funnel.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/test_funnel.cpp.o.d"
+  "CMakeFiles/test_tree.dir/tree/test_monitoring_tree.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/test_monitoring_tree.cpp.o.d"
+  "CMakeFiles/test_tree.dir/tree/test_optimality_gap.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/test_optimality_gap.cpp.o.d"
+  "CMakeFiles/test_tree.dir/tree/test_tree_fuzz.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/test_tree_fuzz.cpp.o.d"
+  "CMakeFiles/test_tree.dir/tree/test_update_local.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/test_update_local.cpp.o.d"
+  "test_tree"
+  "test_tree.pdb"
+  "test_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_cost[1]_include.cmake")
+include("/root/repo/build/tests/test_task[1]_include.cmake")
+include("/root/repo/build/tests/test_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_planner[1]_include.cmake")
+include("/root/repo/build/tests/test_adapt[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_streamapp[1]_include.cmake")
+include("/root/repo/build/tests/test_collector[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/sorted_vector.h"
+#include "planner/evaluator.h"
 
 namespace remo {
 
@@ -14,16 +15,6 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
 }
-
-/// A candidate operation of the restricted local search, ranked by
-/// estimated benefit per estimated adaptation cost (Sec. 4.1).
-struct CandidateOp {
-  AugmentKind kind = AugmentKind::kMerge;
-  std::size_t set_a = 0;
-  std::size_t set_b = 0;
-  AttrId attr = 0;
-  double effectiveness = 0.0;
-};
 
 }  // namespace
 
@@ -68,6 +59,9 @@ AdaptReport AdaptivePlanner::initialize(const PairSet& pairs, double now) {
   report.planning_seconds = seconds_since(start);
   report.adaptation_messages = topology_.edges().size();  // all links are new
   report.score = score_of(topology_);
+  const EvalStats stats = planner_.last_stats();  // plan() reset the window
+  report.candidates_evaluated = stats.evaluations;
+  report.cache_hits = stats.cache_hits;
   return report;
 }
 
@@ -193,6 +187,7 @@ void AdaptivePlanner::optimize(const PairSet& pairs,
                                std::vector<std::vector<AttrId>> rebuilt, double now,
                                AdaptReport& report) {
   const auto& opts = planner_.options();
+  planner_.evaluator().sync_pairs(pairs);
   auto in_rebuilt = [&rebuilt](const std::vector<AttrId>& attrs) {
     return std::find(rebuilt.begin(), rebuilt.end(), attrs) != rebuilt.end();
   };
@@ -210,13 +205,8 @@ void AdaptivePlanner::optimize(const PairSet& pairs,
     for (std::size_t i = 0; i < k; ++i) mask[i] = in_rebuilt(p.set(i));
     auto ranked = rank_topology_augmentations(topology_, pairs, system_->cost(),
                                               opts.conflicts, 0, &mask);
-    std::vector<CandidateOp> merges, splits;
-    for (const auto& aug : ranked) {
-      CandidateOp op;
-      op.kind = aug.kind;
-      op.set_a = aug.set_a;
-      op.set_b = aug.set_b;
-      op.attr = aug.attr;
+    std::vector<Augmentation> merges, splits;
+    for (Augmentation aug : ranked) {
       double adapt_cost = 1.0;
       if (aug.kind == AugmentKind::kMerge) {
         adapt_cost += static_cast<double>(std::min(
@@ -225,67 +215,36 @@ void AdaptivePlanner::optimize(const PairSet& pairs,
       } else {
         adapt_cost += static_cast<double>(pairs.nodes_with(aug.attr).size());
       }
-      op.effectiveness = aug.estimated_gain / adapt_cost;
-      (op.kind == AugmentKind::kMerge ? merges : splits).push_back(op);
+      aug.estimated_gain /= adapt_cost;  // gain now means effectiveness
+      (aug.kind == AugmentKind::kMerge ? merges : splits).push_back(aug);
     }
-    auto by_effectiveness = [](const CandidateOp& a, const CandidateOp& b) {
-      return a.effectiveness > b.effectiveness;
+    auto by_effectiveness = [](const Augmentation& a, const Augmentation& b) {
+      return a.estimated_gain > b.estimated_gain;
     };
     std::stable_sort(merges.begin(), merges.end(), by_effectiveness);
     std::stable_sort(splits.begin(), splits.end(), by_effectiveness);
 
     // Evaluate each list in rank order until the first valid (improving)
-    // operation (Sec. 4.1), then keep the better of the two.
+    // operation (Sec. 4.1), then keep the better of the two. The engine
+    // evaluates each list's prefix concurrently; the winner is the one a
+    // serial scan would commit.
     const PlanScore current = score_of(topology_);
-    struct Found {
-      Topology topo;
-      std::vector<std::size_t> victims;
-      std::vector<std::vector<AttrId>> new_sets;
-      PlanScore score;
-      bool valid = false;
-    };
-    auto find_first = [&](const std::vector<CandidateOp>& ops) {
-      Found found;
-      std::size_t evaluated = 0;
-      for (const auto& op : ops) {
-        if (evaluated >= opts.max_candidates) break;
-        std::vector<std::size_t> victims;
-        std::vector<std::vector<AttrId>> new_sets;
-        if (op.kind == AugmentKind::kMerge) {
-          victims = {op.set_a, op.set_b};
-          new_sets = {set_union(p.set(op.set_a), p.set(op.set_b))};
-        } else {
-          victims = {op.set_a};
-          auto rest = set_difference(p.set(op.set_a), std::vector<AttrId>{op.attr});
-          new_sets = {std::move(rest), {op.attr}};
-        }
-        Topology candidate =
-            rebuild_trees(topology_, *system_, pairs, victims, new_sets,
-                          opts.attr_specs, opts.allocation, opts.tree);
-        ++evaluated;
-        const PlanScore s = score_of(candidate);
-        if (improves(s, current)) {
-          found.topo = std::move(candidate);
-          found.victims = std::move(victims);
-          found.new_sets = std::move(new_sets);
-          found.score = s;
-          found.valid = true;
-          break;
-        }
-      }
-      return found;
-    };
-
-    Found best_merge = find_first(merges);
-    Found best_split = find_first(splits);
-    Found* chosen = nullptr;
-    if (best_merge.valid && best_split.valid)
-      chosen = improves(best_merge.score, best_split.score) ? &best_merge : &best_split;
-    else if (best_merge.valid)
-      chosen = &best_merge;
-    else if (best_split.valid)
-      chosen = &best_split;
-    if (chosen == nullptr) return;
+    PlanEvaluator& engine = planner_.evaluator();
+    auto best_merge =
+        engine.first_improving(topology_, pairs, merges, current, opts.max_candidates);
+    auto best_split =
+        engine.first_improving(topology_, pairs, splits, current, opts.max_candidates);
+    std::optional<PlanEvaluator::Result> chosen;
+    const Augmentation* chosen_aug = nullptr;
+    if (best_merge && (!best_split || improves(best_merge->score, best_split->score))) {
+      chosen_aug = &merges[best_merge->index];
+      chosen = std::move(best_merge);
+    } else if (best_split) {
+      chosen_aug = &splits[best_split->index];
+      chosen = std::move(best_split);
+    }
+    if (!chosen) return;
+    const AugmentationFootprint fp = footprint(p, *chosen_aug);
 
     if (scheme_ == AdaptScheme::kAdaptive) {
       // Cost-benefit throttling (Sec. 4.2): Threshold(A_m) =
@@ -298,7 +257,7 @@ void AdaptivePlanner::optimize(const PairSet& pairs,
       const double m_adapt =
           static_cast<double>(edge_diff(topology_, chosen->topo));
       double t_min = std::numeric_limits<double>::infinity();
-      for (std::size_t v : chosen->victims)
+      for (std::size_t v : fp.victims)
         t_min = std::min(t_min, last_adjusted(p.set(v), now));
       const double c_cur = topology_.total_cost();
       const double c_adj = chosen->topo.total_cost();
@@ -315,8 +274,8 @@ void AdaptivePlanner::optimize(const PairSet& pairs,
     }
 
     // Adopt the operation; the new sets join T and restart their windows.
-    for (std::size_t v : chosen->victims) adjusted_at_.erase(p.set(v));
-    for (const auto& s : chosen->new_sets) {
+    for (std::size_t v : fp.victims) adjusted_at_.erase(p.set(v));
+    for (const auto& s : fp.new_sets) {
       stamp(s, now);
       if (std::find(rebuilt.begin(), rebuilt.end(), s) == rebuilt.end())
         rebuilt.push_back(s);
@@ -330,6 +289,7 @@ AdaptReport AdaptivePlanner::apply_update(const PairSet& new_pairs, double now) 
   const auto start = std::chrono::steady_clock::now();
   AdaptReport report;
   const Topology before = topology_;
+  EvalStats stats_base = planner_.last_stats();
 
   switch (scheme_) {
     case AdaptScheme::kRebuild: {
@@ -355,6 +315,10 @@ AdaptReport AdaptivePlanner::apply_update(const PairSet& new_pairs, double now) 
   report.planning_seconds = seconds_since(start);
   report.adaptation_messages = edge_diff(before, topology_);
   report.score = score_of(topology_);
+  if (scheme_ == AdaptScheme::kRebuild) stats_base = EvalStats{};  // plan() reset
+  const EvalStats stats = planner_.last_stats();
+  report.candidates_evaluated = stats.evaluations - stats_base.evaluations;
+  report.cache_hits = stats.cache_hits - stats_base.cache_hits;
   return report;
 }
 

@@ -1,0 +1,105 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace remo {
+
+/// One parallel_for invocation. Kept alive by shared_ptr: a worker that
+/// wakes up late must still be able to observe the job (and find it
+/// drained) after the caller has returned.
+struct ThreadPool::Job {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};       // next index to claim
+  std::atomic<std::size_t> completed{0};  // indices fully executed
+  std::mutex done_mutex;
+  std::condition_variable done;
+  std::exception_ptr error;  // first exception raised by fn, if any
+};
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::size_t ThreadPool::default_concurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void ThreadPool::run(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) return;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.done_mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+      // Take the lock before notifying so a caller between its predicate
+      // check and its wait cannot miss the wakeup.
+      std::lock_guard<std::mutex> lock(job.done_mutex);
+      job.done.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [&] { return stop_ || (job_ != nullptr && job_generation_ != seen); });
+    if (stop_) return;
+    seen = job_generation_;
+    std::shared_ptr<Job> job = job_;
+    lock.unlock();
+    run(*job);
+    job.reset();
+    lock.lock();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++job_generation_;
+  }
+  wake_.notify_all();
+  run(*job);  // the caller is a worker too
+  {
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done.wait(lock, [&] {
+      return job->completed.load(std::memory_order_acquire) >= job->n;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job_ == job) job_ = nullptr;
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace remo

@@ -1,0 +1,56 @@
+// A fixed-size worker pool for data-parallel loops (no work stealing, no
+// task graph). The planner's evaluation engine uses it to score candidate
+// topologies concurrently; determinism is preserved because parallel_for
+// assigns each index its own output slot and the caller decides winners by
+// index, never by completion order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace remo {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. The intended sizing for a pool backing
+  /// `parallel_for` is concurrency − 1: the calling thread participates in
+  /// every loop, so a pool of N−1 workers yields N-way parallelism.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads owned by the pool (excludes the calling thread).
+  std::size_t workers() const noexcept { return threads_.size(); }
+
+  /// Runs fn(0) … fn(n-1), each exactly once, across the workers plus the
+  /// calling thread; blocks until all complete. Indices are claimed from an
+  /// atomic counter, so the *assignment* of index to thread is racy but the
+  /// set of executed indices is not. If any fn throws, the first exception
+  /// (by completion order) is rethrown in the caller after the loop drains.
+  /// Serial fallback (no pool involvement) when the pool has no workers.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Default concurrency: hardware_concurrency, floored at 1.
+  static std::size_t default_concurrency();
+
+ private:
+  struct Job;
+  void worker_loop();
+  static void run(Job& job);
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::shared_ptr<Job> job_;        // current job, null when idle
+  std::uint64_t job_generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace remo

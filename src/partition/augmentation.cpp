@@ -15,6 +15,19 @@ Partition apply(const Partition& p, const Augmentation& aug) {
   return out;
 }
 
+AugmentationFootprint footprint(const Partition& p, const Augmentation& aug) {
+  AugmentationFootprint fp;
+  if (aug.kind == AugmentKind::kMerge) {
+    fp.victims = {aug.set_a, aug.set_b};
+    fp.new_sets = {set_union(p.set(aug.set_a), p.set(aug.set_b))};
+  } else {
+    fp.victims = {aug.set_a};
+    auto rest = set_difference(p.set(aug.set_a), std::vector<AttrId>{aug.attr});
+    fp.new_sets = {std::move(rest), {aug.attr}};
+  }
+  return fp;
+}
+
 double estimate_merge_gain(const Partition& p, std::size_t i, std::size_t j,
                            const PairSet& pairs, const CostModel& cost) {
   const auto ni = pairs.nodes_with_any(p.set(i));

@@ -50,6 +50,18 @@ struct Augmentation {
 /// Applies `aug` to a copy of `p` and returns it.
 Partition apply(const Partition& p, const Augmentation& aug);
 
+/// The tree-rebuild footprint of applying `aug` to `p`: which partition
+/// sets (by index) are torn down and which attribute sets replace them.
+/// This is the unit of work the plan-evaluation engine executes — a merge
+/// replaces two trees with their union, a split replaces one tree with
+/// (rest, {attr}).
+struct AugmentationFootprint {
+  std::vector<std::size_t> victims;
+  std::vector<std::vector<AttrId>> new_sets;
+};
+
+AugmentationFootprint footprint(const Partition& p, const Augmentation& aug);
+
 /// Estimated gain of merging sets `i` and `j` of `p` (see file comment).
 double estimate_merge_gain(const Partition& p, std::size_t i, std::size_t j,
                            const PairSet& pairs, const CostModel& cost);

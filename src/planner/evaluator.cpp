@@ -1,0 +1,208 @@
+#include "planner/evaluator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "common/thread_pool.h"
+
+namespace remo {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+/// Live counters; EvalStats is the snapshot handed out. Atomic because
+/// candidate evaluations bump them from pool threads.
+struct PlanEvaluator::Counters {
+  std::atomic<std::size_t> evaluations{0};
+  std::atomic<double> evaluate_seconds{0.0};
+  std::atomic<double> build_seconds{0.0};
+  // Cache hit/miss baselines: TreeBuildCache counts for its lifetime; the
+  // stats() snapshot subtracts the baseline captured at reset_stats().
+  std::size_t hits_base = 0;
+  std::size_t misses_base = 0;
+
+  static void add(std::atomic<double>& a, double v) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+PlanEvaluator::PlanEvaluator(const SystemModel& system, PlannerOptions options)
+    : system_(&system),
+      options_(std::move(options)),
+      counters_(std::make_unique<Counters>()) {
+  cache_.set_enabled(options_.memoize_builds);
+}
+
+PlanEvaluator::~PlanEvaluator() = default;
+
+std::size_t PlanEvaluator::num_threads() const {
+  return options_.num_threads == 0 ? ThreadPool::default_concurrency()
+                                   : options_.num_threads;
+}
+
+ThreadPool& PlanEvaluator::pool() {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(num_threads() - 1);
+  return *pool_;
+}
+
+void PlanEvaluator::sync_pairs(const PairSet& pairs) {
+  if (last_pairs_.has_value() && *last_pairs_ == pairs) return;
+  cache_.clear();
+  last_pairs_ = pairs;
+}
+
+Topology PlanEvaluator::build_full(const PairSet& pairs, const Partition& partition) {
+  const auto start = std::chrono::steady_clock::now();
+  Topology topo = build_topology(*system_, pairs, partition, options_.attr_specs,
+                                 options_.allocation, options_.tree,
+                                 cache_.enabled() ? &cache_ : nullptr);
+  counters_->evaluations.fetch_add(1, std::memory_order_relaxed);
+  Counters::add(counters_->build_seconds, seconds_since(start));
+  return topo;
+}
+
+Topology PlanEvaluator::rebuild_candidate(const Topology& base, const Partition& p,
+                                          const PairSet& pairs,
+                                          const Augmentation& aug) {
+  const AugmentationFootprint fp = footprint(p, aug);
+  return rebuild_trees(base, *system_, pairs, fp.victims, fp.new_sets,
+                       options_.attr_specs, options_.allocation, options_.tree,
+                       cache_.enabled() ? &cache_ : nullptr);
+}
+
+PlanScore PlanEvaluator::score_candidate(const Topology& base, const Partition& p,
+                                         const PairSet& pairs,
+                                         const Augmentation& aug) {
+  const AugmentationFootprint fp = footprint(p, aug);
+  const RebuildScore s = rebuild_score(base, *system_, pairs, fp.victims,
+                                       fp.new_sets, options_.attr_specs,
+                                       options_.allocation, options_.tree,
+                                       cache_.enabled() ? &cache_ : nullptr);
+  return PlanScore{s.collected, s.cost};
+}
+
+PlanEvaluator::Result PlanEvaluator::materialize(
+    const Topology& base, const Partition& p, const PairSet& pairs,
+    const std::vector<Augmentation>& candidates, std::size_t index,
+    const PlanScore& score) {
+  // With the cache on this re-serves the builds the scoring pass just did;
+  // with it off, one extra build per committed operation.
+  return Result{rebuild_candidate(base, p, pairs, candidates[index]), score, index};
+}
+
+std::vector<PlanEvaluator::Result> PlanEvaluator::evaluate_all(
+    const Topology& base, const PairSet& pairs,
+    const std::vector<Augmentation>& candidates) {
+  const auto start = std::chrono::steady_clock::now();
+  const Partition p = base.partition();  // sets in entry order
+  std::vector<Result> results(candidates.size());
+  const std::size_t threads = num_threads();
+  auto evaluate_one = [&](std::size_t i) {
+    Topology topo = rebuild_candidate(base, p, pairs, candidates[i]);
+    results[i] = Result{std::move(topo), PlanScore{}, i};
+    results[i].score = score_of(results[i].topo);
+  };
+  if (threads <= 1 || candidates.size() <= 1) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) evaluate_one(i);
+  } else {
+    pool().parallel_for(candidates.size(), evaluate_one);
+  }
+  counters_->evaluations.fetch_add(candidates.size(), std::memory_order_relaxed);
+  Counters::add(counters_->evaluate_seconds, seconds_since(start));
+  return results;
+}
+
+std::optional<PlanEvaluator::Result> PlanEvaluator::best_improving(
+    const Topology& base, const PairSet& pairs,
+    const std::vector<Augmentation>& candidates, const PlanScore& current) {
+  const auto start = std::chrono::steady_clock::now();
+  const Partition p = base.partition();
+  std::vector<PlanScore> scores(candidates.size());
+  auto score_one = [&](std::size_t i) {
+    scores[i] = score_candidate(base, p, pairs, candidates[i]);
+  };
+  if (num_threads() <= 1 || candidates.size() <= 1) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) score_one(i);
+  } else {
+    pool().parallel_for(candidates.size(), score_one);
+  }
+  counters_->evaluations.fetch_add(candidates.size(), std::memory_order_relaxed);
+
+  // Serial rank-order scan: strict improvement over the running best, so
+  // ties go to the lowest-ranked candidate — identical to serial search.
+  std::optional<std::size_t> best;
+  PlanScore best_score = current;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (improves(scores[i], best_score)) {
+      best_score = scores[i];
+      best = i;
+    }
+  }
+  std::optional<Result> out;
+  if (best) out = materialize(base, p, pairs, candidates, *best, best_score);
+  Counters::add(counters_->evaluate_seconds, seconds_since(start));
+  return out;
+}
+
+std::optional<PlanEvaluator::Result> PlanEvaluator::first_improving(
+    const Topology& base, const PairSet& pairs,
+    const std::vector<Augmentation>& candidates, const PlanScore& current,
+    std::size_t max_evaluations) {
+  const auto start = std::chrono::steady_clock::now();
+  const Partition p = base.partition();
+  const std::size_t budget = std::min(candidates.size(), max_evaluations);
+  const std::size_t chunk = std::max<std::size_t>(num_threads(), 1);
+  std::optional<Result> found;
+  std::size_t evaluated = 0;
+  for (std::size_t begin = 0; begin < budget && !found; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, budget);
+    std::vector<PlanScore> scores(end - begin);
+    auto score_one = [&](std::size_t i) {
+      scores[i] = score_candidate(base, p, pairs, candidates[begin + i]);
+    };
+    if (num_threads() <= 1 || scores.size() <= 1) {
+      for (std::size_t i = 0; i < scores.size(); ++i) score_one(i);
+    } else {
+      pool().parallel_for(scores.size(), score_one);
+    }
+    evaluated += scores.size();
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      if (improves(scores[i], current)) {
+        found = materialize(base, p, pairs, candidates, begin + i, scores[i]);
+        break;
+      }
+    }
+  }
+  counters_->evaluations.fetch_add(evaluated, std::memory_order_relaxed);
+  Counters::add(counters_->evaluate_seconds, seconds_since(start));
+  return found;
+}
+
+EvalStats PlanEvaluator::stats() const {
+  EvalStats s;
+  s.evaluations = counters_->evaluations.load(std::memory_order_relaxed);
+  s.cache_hits = cache_.hits() - counters_->hits_base;
+  s.cache_misses = cache_.misses() - counters_->misses_base;
+  s.evaluate_seconds = counters_->evaluate_seconds.load(std::memory_order_relaxed);
+  s.build_seconds = counters_->build_seconds.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PlanEvaluator::reset_stats() {
+  counters_->evaluations.store(0, std::memory_order_relaxed);
+  counters_->evaluate_seconds.store(0.0, std::memory_order_relaxed);
+  counters_->build_seconds.store(0.0, std::memory_order_relaxed);
+  counters_->hits_base = cache_.hits();
+  counters_->misses_base = cache_.misses();
+}
+
+}  // namespace remo

@@ -1,0 +1,128 @@
+// The plan-evaluation engine: resource-aware scoring of candidate
+// partition augmentations, extracted from the planner's guided local
+// search (Sec. 3) and the adaptive planner's restricted search (Sec. 4.1)
+// so that both share one hot path with two accelerations:
+//
+//   - candidates of one search iteration are evaluated concurrently on a
+//     fixed thread pool (PlannerOptions::num_threads), with deterministic
+//     commit: results land in candidate-rank slots and winners are chosen
+//     by (score, rank), never by completion order, so the chosen topology
+//     is bit-identical to serial evaluation;
+//   - tree builds are memoized across iterations (tree_build_cache.h):
+//     re-evaluating an augmentation whose involved nodes the previously
+//     committed operation did not touch reuses the built trees.
+//
+// The engine also keeps the evaluation counters/timings (EvalStats) that
+// plan(), the adaptive planner, and the Fig. 9/10 benches report.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "planner/planner.h"
+#include "planner/tree_build_cache.h"
+
+namespace remo {
+
+class ThreadPool;
+
+/// Counters/timings of the engine since the last reset_stats(). Snapshot
+/// type — the live counters are atomics inside the engine.
+struct EvalStats {
+  /// Topologies built and scored: one per evaluated candidate, plus one
+  /// per full-forest build (initial layout, re-layout escape, endpoint
+  /// guard).
+  std::size_t evaluations = 0;
+  /// Memoized tree builds reused / built fresh inside those evaluations.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  /// Wall-clock seconds spent evaluating candidates (parallel section).
+  double evaluate_seconds = 0.0;
+  /// Wall-clock seconds spent on full-forest builds.
+  double build_seconds = 0.0;
+};
+
+class PlanEvaluator {
+ public:
+  PlanEvaluator(const SystemModel& system, PlannerOptions options);
+  ~PlanEvaluator();
+
+  PlanEvaluator(const PlanEvaluator&) = delete;
+  PlanEvaluator& operator=(const PlanEvaluator&) = delete;
+
+  /// One evaluated candidate: the rebuilt topology, its score, and the
+  /// candidate's rank in the list it came from.
+  struct Result {
+    Topology topo;
+    PlanScore score;
+    std::size_t index = 0;
+  };
+
+  /// Must be called (by the owning search) whenever the pair set under
+  /// evaluation may have changed: a changed pair set invalidates the memo
+  /// cache (local value counts are part of every build, keyed implicitly).
+  void sync_pairs(const PairSet& pairs);
+
+  /// Memoized full-forest build (initial layout / re-layout escape /
+  /// endpoint guard). Counts one evaluation.
+  Topology build_full(const PairSet& pairs, const Partition& partition);
+
+  /// Evaluates every candidate against `base` concurrently, materializing
+  /// each resulting topology; results are in candidate order. The search
+  /// paths below avoid this: they score candidates without materializing
+  /// (topology.h rebuild_score) and materialize only the winner.
+  std::vector<Result> evaluate_all(const Topology& base, const PairSet& pairs,
+                                   const std::vector<Augmentation>& candidates);
+
+  /// Best-of-candidates commit rule: the lowest-ranked candidate achieving
+  /// the best strictly-improving score over `current` (identical to the
+  /// serial scan that keeps the first strict improvement of the running
+  /// best). Candidates are scored concurrently without materialization;
+  /// only the winner's topology is built. nullopt when nothing improves.
+  std::optional<Result> best_improving(const Topology& base, const PairSet& pairs,
+                                       const std::vector<Augmentation>& candidates,
+                                       const PlanScore& current);
+
+  /// First-improvement commit rule: the lowest-ranked candidate whose
+  /// score strictly improves `current`, scoring at most `max_evaluations`
+  /// candidates (the adaptive planner's per-list budget). Candidates are
+  /// scored in parallel chunks but the winner is the one a serial
+  /// rank-order scan would pick; only its topology is materialized.
+  std::optional<Result> first_improving(const Topology& base, const PairSet& pairs,
+                                        const std::vector<Augmentation>& candidates,
+                                        const PlanScore& current,
+                                        std::size_t max_evaluations);
+
+  /// Effective evaluation concurrency (PlannerOptions::num_threads, or
+  /// hardware_concurrency when 0).
+  std::size_t num_threads() const;
+
+  EvalStats stats() const;
+  void reset_stats();
+
+  TreeBuildCache& cache() noexcept { return cache_; }
+
+ private:
+  struct Counters;
+  Topology rebuild_candidate(const Topology& base, const Partition& p,
+                             const PairSet& pairs, const Augmentation& aug);
+  PlanScore score_candidate(const Topology& base, const Partition& p,
+                            const PairSet& pairs, const Augmentation& aug);
+  /// Materializes the scored winner; exact by construction (the score path
+  /// runs the identical builds, memoized when the cache is on).
+  Result materialize(const Topology& base, const Partition& p, const PairSet& pairs,
+                     const std::vector<Augmentation>& candidates, std::size_t index,
+                     const PlanScore& score);
+  ThreadPool& pool();
+
+  const SystemModel* system_;
+  PlannerOptions options_;
+  TreeBuildCache cache_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily created, num_threads()-1 workers
+  std::unique_ptr<Counters> counters_;
+  std::optional<PairSet> last_pairs_;
+};
+
+}  // namespace remo

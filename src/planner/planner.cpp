@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/sorted_vector.h"
+#include "planner/evaluator.h"
 
 namespace remo {
 
@@ -88,46 +89,38 @@ std::vector<Augmentation> rank_topology_augmentations(
   return out;
 }
 
+Planner::Planner(const SystemModel& system, PlannerOptions options)
+    : system_(&system),
+      options_(std::move(options)),
+      evaluator_(std::make_shared<PlanEvaluator>(system, options_)) {}
+
+std::size_t Planner::last_evaluations() const noexcept {
+  return evaluator_->stats().evaluations;
+}
+
+EvalStats Planner::last_stats() const { return evaluator_->stats(); }
+
 Topology Planner::build_for_partition(const PairSet& pairs, const Partition& p) const {
-  return build_topology(*system_, pairs, p, options_.attr_specs, options_.allocation,
-                        options_.tree);
+  evaluator_->sync_pairs(pairs);
+  return evaluator_->build_full(pairs, p);
 }
 
 bool Planner::improve_once(Topology& topo, const PairSet& pairs) const {
-  const Partition p = topo.partition();  // sets in entry order
   const auto candidates = rank_topology_augmentations(
       topo, pairs, system_->cost(), options_.conflicts, options_.max_candidates,
       nullptr, options_.starvation_ranking);
   const PlanScore current = score_of(topo);
+  evaluator_->sync_pairs(pairs);
   // Evaluate the whole (truncated) candidate list and keep the best
   // improvement: under tight capacities the estimates are noisy enough
   // that first-improvement can latch onto a marginal merge and converge
-  // prematurely.
-  Topology best;
-  PlanScore best_score = current;
-  bool found = false;
-  for (const auto& aug : candidates) {
-    std::vector<std::size_t> victims;
-    std::vector<std::vector<AttrId>> new_sets;
-    if (aug.kind == AugmentKind::kMerge) {
-      victims = {aug.set_a, aug.set_b};
-      new_sets = {set_union(p.set(aug.set_a), p.set(aug.set_b))};
-    } else {
-      victims = {aug.set_a};
-      auto rest = set_difference(p.set(aug.set_a), std::vector<AttrId>{aug.attr});
-      new_sets = {std::move(rest), {aug.attr}};
-    }
-    Topology candidate = rebuild_trees(topo, *system_, pairs, victims, new_sets,
-                                       options_.attr_specs, options_.allocation,
-                                       options_.tree);
-    ++last_evaluations_;
-    if (improves(score_of(candidate), best_score)) {
-      best_score = score_of(candidate);
-      best = std::move(candidate);
-      found = true;
-      if (!options_.best_of_candidates) break;  // first-improvement mode
-    }
-  }
+  // prematurely. Both commit rules are deterministic regardless of the
+  // engine's concurrency — ties break by candidate rank.
+  std::optional<PlanEvaluator::Result> best =
+      options_.best_of_candidates
+          ? evaluator_->best_improving(topo, pairs, candidates, current)
+          : evaluator_->first_improving(topo, pairs, candidates, current,
+                                        candidates.size());
 
   // Escape hatch from capacity-hogging layouts: when no augmentation
   // improves, try a full fair-share re-layout of the unchanged partition
@@ -136,28 +129,26 @@ bool Planner::improve_once(Topology& topo, const PairSet& pairs) const {
   // first-come-first-served) without changing the partition. Evaluated
   // only as a fallback — a full forest build per iteration would dominate
   // planning time.
-  if (!found && options_.relayout_escape) {
-    Topology relayout = build_for_partition(pairs, p);
-    ++last_evaluations_;
-    if (improves(score_of(relayout), best_score)) {
-      best_score = score_of(relayout);
-      best = std::move(relayout);
-      found = true;
-    }
+  if (!best && options_.relayout_escape) {
+    Topology relayout = evaluator_->build_full(pairs, topo.partition());
+    const PlanScore s = score_of(relayout);
+    if (improves(s, current))
+      best = PlanEvaluator::Result{std::move(relayout), s, 0};
   }
 
-  if (found) topo = std::move(best);
-  return found;
+  if (!best) return false;
+  topo = std::move(best->topo);
+  return true;
 }
 
 Topology Planner::plan(const PairSet& pairs) const {
-  last_evaluations_ = 0;
+  evaluator_->reset_stats();
+  evaluator_->sync_pairs(pairs);
   const auto universe = pairs.attribute_universe();
   Partition initial = options_.partition_scheme == PartitionScheme::kOneSet
                           ? Partition::one_set(universe)
                           : Partition::singleton(universe);
-  Topology topo = build_for_partition(pairs, initial);
-  ++last_evaluations_;
+  Topology topo = evaluator_->build_full(pairs, initial);
   if (options_.partition_scheme != PartitionScheme::kRemo) return topo;
 
   for (std::size_t iter = 0; iter < options_.max_iterations; ++iter)
@@ -190,8 +181,7 @@ Topology Planner::plan(const PairSet& pairs) const {
                                }
                                return Partition(std::move(groups));
                              }();
-    Topology coarse_topo = build_for_partition(pairs, coarse);
-    ++last_evaluations_;
+    Topology coarse_topo = evaluator_->build_full(pairs, coarse);
     if (improves(score_of(coarse_topo), score_of(topo))) {
       topo = std::move(coarse_topo);
       for (std::size_t iter = 0; iter < options_.max_iterations; ++iter)

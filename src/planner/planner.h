@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "cost/system_model.h"
 #include "partition/augmentation.h"
@@ -51,6 +52,17 @@ struct PlannerOptions {
   /// Add the recoverable-starvation term to the candidate ranking (plain
   /// ranking = the Sec. 3.1.1 capacity-saving estimate only).
   bool starvation_ranking = true;
+
+  // --- evaluation-engine knobs (see planner/evaluator.h) -----------------
+  /// Candidate evaluations per search iteration run concurrently on a
+  /// fixed pool of this many threads (0 = hardware_concurrency). The
+  /// committed plan is bit-identical for every value: score ties are
+  /// broken by candidate rank, never by completion order.
+  std::size_t num_threads = 0;
+  /// Memoize tree builds across search iterations, keyed by (canonical
+  /// attribute set, remaining-capacity fingerprint). A hit is bit-identical
+  /// to a fresh build; switching this off only trades speed.
+  bool memoize_builds = true;
 };
 
 /// Lexicographic objective: more collected pairs first; then lower message
@@ -82,10 +94,12 @@ std::vector<Augmentation> rank_topology_augmentations(
     const std::vector<bool>* must_involve = nullptr,
     bool starvation_bonus = true);
 
+class PlanEvaluator;
+struct EvalStats;
+
 class Planner {
  public:
-  Planner(const SystemModel& system, PlannerOptions options)
-      : system_(&system), options_(std::move(options)) {}
+  Planner(const SystemModel& system, PlannerOptions options);
 
   const PlannerOptions& options() const noexcept { return options_; }
   const SystemModel& system() const noexcept { return *system_; }
@@ -93,7 +107,8 @@ class Planner {
   /// Full planning run for a (deduplicated) pair set.
   Topology plan(const PairSet& pairs) const;
 
-  /// Builds the forest for an explicit partition (no search).
+  /// Builds the forest for an explicit partition (no search). Goes through
+  /// the evaluation engine, so it benefits from (and warms) the memo cache.
   Topology build_for_partition(const PairSet& pairs, const Partition& p) const;
 
   /// One guided local-search step: evaluates top-ranked neighboring
@@ -101,13 +116,20 @@ class Planner {
   /// no evaluated candidate improves (search converged).
   bool improve_once(Topology& topo, const PairSet& pairs) const;
 
-  /// Diagnostics: candidate topologies evaluated by the last plan() call.
-  std::size_t last_evaluations() const noexcept { return last_evaluations_; }
+  /// Diagnostics: candidate topologies evaluated by the last plan() call
+  /// (accumulated since then across improve_once/build_for_partition).
+  std::size_t last_evaluations() const noexcept;
+  /// Full engine counters/timings over the same window.
+  EvalStats last_stats() const;
+
+  /// The shared evaluation engine (the adaptive planner's restricted
+  /// search runs through the same instance). Copies of a Planner share it.
+  PlanEvaluator& evaluator() const noexcept { return *evaluator_; }
 
  private:
   const SystemModel* system_;
   PlannerOptions options_;
-  mutable std::size_t last_evaluations_ = 0;
+  std::shared_ptr<PlanEvaluator> evaluator_;
 };
 
 }  // namespace remo

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/sorted_vector.h"
+#include "planner/tree_build_cache.h"
 
 namespace remo {
 
@@ -88,13 +89,33 @@ Capacity advisory_share(AllocationScheme scheme, NodeId node, Capacity budget,
   return budget;
 }
 
+/// A budget at or above this bound can never constrain the build: a vertex's
+/// usage is its own message (C + a·y, y ≤ wmax·X where X is the set's total
+/// local values) plus its children's messages (≤ n of them, payloads from
+/// disjoint subtrees summing to ≤ wmax·X). Clamping budgets here lets the
+/// memo cache treat every "effectively unconstrained" budget as one class.
+Capacity unconstrained_bound(const CostModel& cost,
+                             const std::vector<TreeAttrSpec>& tree_attrs,
+                             const std::vector<BuildItem>& items) {
+  double wmax = 1.0;
+  for (const auto& s : tree_attrs) wmax = std::max(wmax, s.weight);
+  double total_local = 0.0;
+  for (const auto& it : items) total_local += static_cast<double>(it.local_total());
+  const double n = static_cast<double>(items.size());
+  // +C+1 margin: strict-vs-non-strict feasibility comparisons at exactly
+  // the bound must not matter.
+  return cost.per_message * (n + 2.0) + 2.0 * cost.per_value * wmax * total_local +
+         1.0;
+}
+
 /// Builds the tree for `attrs` given per-node remaining budgets.
 TreeEntry build_entry(const SystemModel& system, const PairSet& pairs,
                       const std::vector<AttrId>& attrs, const AttrSpecTable& specs,
                       const TreeBuildOptions& tree_opts,
                       const std::vector<Capacity>& remaining,
                       AllocationScheme scheme, const ShareInfo& shares,
-                      std::size_t tree_idx, BuildPass pass) {
+                      std::size_t tree_idx, BuildPass pass,
+                      TreeBuildCache* cache) {
   std::vector<TreeAttrSpec> tree_attrs;
   tree_attrs.reserve(attrs.size());
   for (AttrId a : attrs) tree_attrs.push_back(specs.tree_spec(a));
@@ -117,6 +138,36 @@ TreeEntry build_entry(const SystemModel& system, const PairSet& pairs,
       std::min(remaining[kCollectorId],
                advisory_share(scheme, kCollectorId, system.capacity(kCollectorId),
                               shares, tree_idx, pass));
+
+  if (cache != nullptr && cache->enabled()) {
+    const Capacity bound = unconstrained_bound(system.cost(), tree_attrs, items);
+    TreeBuildKey key;
+    key.attrs = attrs;
+    key.nodes.reserve(items.size());
+    key.avails.reserve(items.size());
+    for (const auto& it : items) {
+      key.nodes.push_back(it.id);
+      key.avails.push_back(std::min(it.avail, bound));
+    }
+    key.collector_avail = std::min(collector_avail, bound);
+    if (auto hit = cache->find(key)) {
+      // The cached tree's structure and loads are exactly what a fresh
+      // build would produce (the key captures every input the builder
+      // sees), but its stored budgets are the *creator's*. Rewrite them to
+      // this request's, so a hit is indistinguishable from a build.
+      TreeEntry entry = std::move(*hit);
+      entry.tree.set_avail(kCollectorId, collector_avail);
+      for (const auto& it : items)
+        if (entry.tree.contains(it.id)) entry.tree.set_avail(it.id, it.avail);
+      return entry;
+    }
+    auto built = build_tree(std::move(tree_attrs), std::move(items),
+                            collector_avail, system.cost(), tree_opts);
+    TreeEntry entry{attrs, std::move(built.tree), offered, 0};
+    entry.collected_pairs = entry.tree.collected_pairs();
+    cache->insert(key, entry);
+    return entry;
+  }
 
   auto built = build_tree(std::move(tree_attrs), std::move(items), collector_avail,
                           system.cost(), tree_opts);
@@ -253,7 +304,8 @@ std::size_t edge_diff(const Topology& before, const Topology& after) {
 
 Topology build_topology(const SystemModel& system, const PairSet& pairs,
                         const Partition& partition, const AttrSpecTable& specs,
-                        AllocationScheme allocation, const TreeBuildOptions& tree_opts) {
+                        AllocationScheme allocation, const TreeBuildOptions& tree_opts,
+                        TreeBuildCache* cache) {
   Topology topo;
   topo.set_total_pairs(pairs.total_pairs());
   const auto& sets = partition.sets();
@@ -264,7 +316,7 @@ Topology build_topology(const SystemModel& system, const PairSet& pairs,
 
   for (std::size_t k : build_order(allocation, shares.tree_size)) {
     auto entry = build_entry(system, pairs, sets[k], specs, tree_opts, remaining,
-                             allocation, shares, k, BuildPass::kInitial);
+                             allocation, shares, k, BuildPass::kInitial, cache);
     charge_usage(remaining, entry.tree);
     topo.mutable_entries().push_back(std::move(entry));
   }
@@ -276,7 +328,7 @@ Topology rebuild_trees(const Topology& topo, const SystemModel& system,
                        const std::vector<std::size_t>& victim_indices,
                        const std::vector<std::vector<AttrId>>& new_sets,
                        const AttrSpecTable& specs, AllocationScheme allocation,
-                       const TreeBuildOptions& tree_opts) {
+                       const TreeBuildOptions& tree_opts, TreeBuildCache* cache) {
   std::vector<std::size_t> victims = victim_indices;
   sort_unique(victims);
 
@@ -304,12 +356,61 @@ Topology rebuild_trees(const Topology& topo, const SystemModel& system,
   for (std::size_t k : build_order(allocation, new_sizes)) {
     auto entry = build_entry(system, pairs, new_sets[k], specs, tree_opts,
                              remaining, allocation, shares, first_new + k,
-                             BuildPass::kRebuild);
+                             BuildPass::kRebuild, cache);
     charge_usage(remaining, entry.tree);
     out.mutable_entries().push_back(std::move(entry));
   }
   (void)kEps;
   return out;
+}
+
+RebuildScore rebuild_score(const Topology& topo, const SystemModel& system,
+                           const PairSet& pairs,
+                           const std::vector<std::size_t>& victim_indices,
+                           const std::vector<std::vector<AttrId>>& new_sets,
+                           const AttrSpecTable& specs, AllocationScheme allocation,
+                           const TreeBuildOptions& tree_opts, TreeBuildCache* cache) {
+  std::vector<std::size_t> victims = victim_indices;
+  sort_unique(victims);
+
+  // Every accumulation below runs in the exact order the materialized
+  // rebuild would use (kept entries in original order, then new trees in
+  // build order), so the result is bit-identical to
+  // score_of(rebuild_trees(...)) — ties in the search must not depend on
+  // which path scored a candidate.
+  RebuildScore score;
+  std::vector<std::vector<AttrId>> all_sets;
+  all_sets.reserve(topo.entries().size() - victims.size() + new_sets.size());
+  std::vector<Capacity> usage(system.num_vertices(), 0);
+  for (std::size_t i = 0; i < topo.entries().size(); ++i) {
+    if (set_contains(victims, i)) continue;
+    const auto& e = topo.entries()[i];
+    score.collected += e.collected_pairs;
+    score.cost += e.tree.total_cost();
+    all_sets.push_back(e.attrs);
+    usage[kCollectorId] += e.tree.usage(kCollectorId);
+    for (NodeId n : e.tree.members()) usage[n] += e.tree.usage(n);
+  }
+  const std::size_t first_new = all_sets.size();
+  for (const auto& s : new_sets) all_sets.push_back(s);
+  const ShareInfo shares = compute_shares(system, pairs, all_sets);
+
+  std::vector<Capacity> remaining(system.num_vertices());
+  for (NodeId n = 0; n < system.num_vertices(); ++n)
+    remaining[n] = system.capacity(n) - usage[n];
+
+  std::vector<std::size_t> new_sizes(new_sets.size());
+  for (std::size_t k = 0; k < new_sets.size(); ++k)
+    new_sizes[k] = shares.tree_size[first_new + k];
+  for (std::size_t k : build_order(allocation, new_sizes)) {
+    auto entry = build_entry(system, pairs, new_sets[k], specs, tree_opts,
+                             remaining, allocation, shares, first_new + k,
+                             BuildPass::kRebuild, cache);
+    charge_usage(remaining, entry.tree);
+    score.collected += entry.collected_pairs;
+    score.cost += entry.tree.total_cost();
+  }
+  return score;
 }
 
 }  // namespace remo

@@ -16,6 +16,8 @@
 
 namespace remo {
 
+class TreeBuildCache;
+
 /// How a node's capacity is divided among the trees it participates in
 /// (Sec. 5.2). All schemes are additionally hard-capped by the node's
 /// remaining capacity so the global constraint Σ_k usage_k(i) ≤ b_i holds
@@ -92,9 +94,12 @@ std::size_t edge_diff(const Topology& before, const Topology& after);
 
 /// Build the complete forest for `partition`. Tree build order follows the
 /// allocation scheme (kOrdered sorts by ascending candidate-set size).
+/// `cache` (optional) memoizes the per-set tree builds; a hit returns a
+/// result bit-identical to the fresh build (see tree_build_cache.h).
 Topology build_topology(const SystemModel& system, const PairSet& pairs,
                         const Partition& partition, const AttrSpecTable& specs,
-                        AllocationScheme allocation, const TreeBuildOptions& tree_opts);
+                        AllocationScheme allocation, const TreeBuildOptions& tree_opts,
+                        TreeBuildCache* cache = nullptr);
 
 /// Rebuild only the trees at `victim_indices`, replacing them with trees
 /// for `new_sets` (the resource-aware evaluation step of Sec. 3.2: "builds
@@ -105,6 +110,25 @@ Topology rebuild_trees(const Topology& topo, const SystemModel& system,
                        const PairSet& pairs, const std::vector<std::size_t>& victim_indices,
                        const std::vector<std::vector<AttrId>>& new_sets,
                        const AttrSpecTable& specs, AllocationScheme allocation,
-                       const TreeBuildOptions& tree_opts);
+                       const TreeBuildOptions& tree_opts, TreeBuildCache* cache = nullptr);
+
+/// The (collected pairs, cost) outcome of a rebuild_trees call without
+/// materializing it: untouched entries contribute their aggregates, only
+/// the replacement trees are built (memoized via `cache`). Bit-identical
+/// to scoring the materialized topology — the cost sum runs in the same
+/// entry order — at a fraction of the cost, which is what lets the search
+/// score whole candidate lists and materialize only the committed winner.
+struct RebuildScore {
+  std::size_t collected = 0;
+  Capacity cost = 0;
+};
+
+RebuildScore rebuild_score(const Topology& topo, const SystemModel& system,
+                           const PairSet& pairs,
+                           const std::vector<std::size_t>& victim_indices,
+                           const std::vector<std::vector<AttrId>>& new_sets,
+                           const AttrSpecTable& specs, AllocationScheme allocation,
+                           const TreeBuildOptions& tree_opts,
+                           TreeBuildCache* cache = nullptr);
 
 }  // namespace remo

@@ -1,0 +1,56 @@
+#include "planner/tree_build_cache.h"
+
+#include <bit>
+#include <cstdint>
+
+namespace remo {
+
+namespace {
+
+inline void mix(std::uint64_t& h, std::uint64_t v) {
+  // FNV-1a style combine over 64-bit lanes.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+}  // namespace
+
+std::size_t TreeBuildCache::KeyHash::operator()(
+    const TreeBuildKey& k) const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  mix(h, k.attrs.size());
+  for (AttrId a : k.attrs) mix(h, a);
+  for (NodeId n : k.nodes) mix(h, n);
+  for (Capacity c : k.avails) mix(h, std::bit_cast<std::uint64_t>(c));
+  mix(h, std::bit_cast<std::uint64_t>(k.collector_avail));
+  return static_cast<std::size_t>(h);
+}
+
+std::optional<TreeEntry> TreeBuildCache::find(const TreeBuildKey& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;  // copy under the lock; caller owns it
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void TreeBuildCache::insert(const TreeBuildKey& key, const TreeEntry& entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.emplace(key, entry);
+}
+
+void TreeBuildCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+std::size_t TreeBuildCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace remo

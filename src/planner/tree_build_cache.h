@@ -1,0 +1,73 @@
+// Memoization of resource-aware tree builds (the hot inner operation of
+// the planner's guided local search). A candidate augmentation is scored
+// by rebuilding one or two trees; across search iterations the same
+// (attribute set, remaining-capacity) build recurs whenever the committed
+// operation did not touch the involved nodes — the cache returns the
+// previously built entry instead of re-running the construct/adjust loop.
+//
+// The key is exact, so a hit is bit-identical to a fresh build:
+//   - the canonical (sorted) attribute set, which — for a fixed pair set —
+//     determines the candidate members and their local value counts;
+//   - a remaining-capacity fingerprint: the effective per-member budget
+//     (global remaining capacity min the allocation scheme's advisory
+//     share) plus the collector's, with every budget clamped at a sound
+//     upper bound on any vertex usage the build could ever reach, so that
+//     two "effectively unconstrained" budgets memoize to the same entry.
+//
+// A cache instance is only valid for a fixed (system, pair set, attribute
+// specs, allocation scheme, tree-build options); the owner (the plan
+// evaluator) clears it whenever the pair set changes and owns one cache
+// per option set. Thread-safe: lookups and inserts may race freely during
+// parallel candidate evaluation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "planner/topology.h"
+
+namespace remo {
+
+struct TreeBuildKey {
+  std::vector<AttrId> attrs;   // canonical (sorted) set the tree delivers
+  std::vector<NodeId> nodes;   // candidate members, in build order
+  std::vector<Capacity> avails;  // clamped effective budget per member
+  Capacity collector_avail = 0;  // clamped collector budget
+
+  bool operator==(const TreeBuildKey&) const = default;
+};
+
+class TreeBuildCache {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Returns a copy of the cached entry, or nullopt. Counts a hit/miss.
+  std::optional<TreeEntry> find(const TreeBuildKey& key);
+  /// Inserts (no-op if the key is already present — concurrent builders of
+  /// the same key produce identical entries, so first-writer-wins is fine).
+  void insert(const TreeBuildKey& key, const TreeEntry& entry);
+
+  void clear();
+  std::size_t size() const;
+  std::size_t hits() const noexcept { return hits_.load(std::memory_order_relaxed); }
+  std::size_t misses() const noexcept { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const TreeBuildKey& k) const noexcept;
+  };
+
+  bool enabled_ = true;
+  mutable std::mutex mutex_;
+  std::unordered_map<TreeBuildKey, TreeEntry, KeyHash> entries_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace remo

@@ -1,0 +1,67 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace remo {
+namespace {
+
+TEST(ThreadPool, RunsEachIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+  std::size_t sum = 0;
+  // No synchronization needed: with no workers the loop runs on the caller.
+  pool.parallel_for(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPool, ReusableAcrossInvocations) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(64, [&](std::size_t i) { sum.fetch_add(i); });
+    ASSERT_EQ(sum.load(), 64u * 63u / 2);
+  }
+}
+
+TEST(ThreadPool, EmptyLoopIsANoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ExceptionInBodyPropagatesToCaller) {
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  auto loop = [&] {
+    pool.parallel_for(100, [&](std::size_t i) {
+      executed.fetch_add(1);
+      if (i == 37) throw std::runtime_error("boom");
+    });
+  };
+  EXPECT_THROW(loop(), std::runtime_error);
+  // The loop drains before rethrowing; the pool stays usable.
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(10, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPool, DefaultConcurrencyIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_concurrency(), 1u);
+}
+
+}  // namespace
+}  // namespace remo

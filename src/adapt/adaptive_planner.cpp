@@ -65,6 +65,12 @@ AdaptReport AdaptivePlanner::initialize(const PairSet& pairs, double now) {
   return report;
 }
 
+void AdaptivePlanner::adopt(Topology topo, double now) {
+  topology_ = std::move(topo);
+  for (const auto& e : topology_.entries())
+    if (adjusted_at_.find(e.attrs) == adjusted_at_.end()) stamp(e.attrs, now);
+}
+
 std::vector<std::vector<AttrId>> AdaptivePlanner::direct_apply(
     const PairSet& new_pairs, double now) {
   const PairSetDelta delta = diff(pairs_, new_pairs);

@@ -67,6 +67,12 @@ class AdaptivePlanner {
   /// Applies a task-set change: `new_pairs` replaces the previous pair set.
   AdaptReport apply_update(const PairSet& new_pairs, double now);
 
+  /// Replaces the deployed topology in place — the self-healing repair
+  /// path (adapt/repair.h): subsequent apply_update calls adapt from the
+  /// repaired forest. Trees whose attribute set is new to the throttle
+  /// bookkeeping start their adjustment window at `now`.
+  void adopt(Topology topo, double now);
+
  private:
   /// DIRECT-APPLY base step: rebuild exactly the trees whose attribute
   /// sets intersect the update, keeping the partition otherwise. Returns

@@ -1,0 +1,74 @@
+// Self-healing topology repair (the repair half of the detect → repair →
+// replan loop, see DESIGN.md). Given the set of suspected-down nodes from
+// the collector's liveness tracker, detaches every suspected branch and
+// re-homes the detached members so the overlay keeps delivering while the
+// outage lasts:
+//
+//   - members NOT suspected (orphans silenced by a dead ancestor) are
+//     re-attached at the shallowest feasible surviving vertex — the
+//     collector when it has capacity, otherwise a healthy member;
+//   - suspected members themselves are re-attached last, the same way.
+//     This keeps a probe path alive: a falsely-suspected (or later
+//     recovering) node resumes delivering the moment it is back, which is
+//     what lets the liveness tracker observe the recovery. A truly dead
+//     node on a leaf link blocks nobody.
+//
+// Capacity feasibility is enforced against the *global* remaining budget
+// (the node may serve other trees); a member with no feasible attach point
+// anywhere is dropped from the tree and its pairs are lost until the
+// post-outage replan. This is a greedy degraded-mode patch, not an
+// optimization: once the outage stabilizes, the operational loop hands
+// the topology back to the AdaptivePlanner for cost re-optimization.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "planner/topology.h"
+#include "task/pair_set.h"
+
+namespace remo {
+
+struct RepairOutcome {
+  /// Trees that contained at least one suspected member.
+  std::size_t trees_touched = 0;
+  /// Healthy members re-homed (orphans of a dead ancestor).
+  std::size_t orphans_reattached = 0;
+  /// Suspected members re-attached on probe links.
+  std::size_t suspects_parked = 0;
+  /// Members with no feasible attach point (removed from their tree).
+  std::size_t members_dropped = 0;
+  /// Local pairs lost with the dropped members.
+  std::size_t pairs_dropped = 0;
+  /// Links torn down + established relative to the input topology — the
+  /// control messages spent on the repair (multiset edge diff).
+  std::size_t repair_messages = 0;
+};
+
+struct RepairResult {
+  Topology topo;
+  RepairOutcome outcome;
+};
+
+/// Repairs `topo` around `suspected` (sorted or not; deduplicated
+/// internally). Deterministic: ties in attach-point selection break by
+/// (depth, node id). The input topology is untouched.
+RepairResult repair_topology(const Topology& topo, const SystemModel& system,
+                             const std::vector<NodeId>& suspected);
+
+/// Parks `members` that are absent from `topo` — typically suspects the
+/// post-outage replan deliberately planned around (planning a dead node in
+/// and then breaking the plan would re-orphan whole subtrees). For every
+/// tree whose attribute partition covers some of a member's pairs, a leaf
+/// BuildItem is synthesized from `pairs` and attached at the shallowest
+/// feasible non-member vertex; tree avails are first re-bound to the
+/// global remaining budget (relaxing, as in repair_topology), so the
+/// planner's reserved headroom is spendable. Members already present in a
+/// tree, or with no pairs in its partition, are skipped; members with no
+/// feasible spot anywhere are counted dropped. Modifies `topo` in place;
+/// `repair_messages` is left 0 (the caller diffs against its own before).
+RepairOutcome park_members(Topology& topo, const SystemModel& system,
+                           const std::vector<NodeId>& members,
+                           const PairSet& pairs);
+
+}  // namespace remo

@@ -1,0 +1,123 @@
+#include "collector/liveness.h"
+
+#include <algorithm>
+
+#include "tree/monitoring_tree.h"
+
+namespace remo {
+
+void LivenessTracker::sync(const Topology& topology, std::uint64_t epoch) {
+  std::unordered_map<NodeId, State> next;
+  for (const auto& entry : topology.entries()) {
+    const auto& specs = entry.tree.attr_specs();
+    for (NodeId n : entry.tree.members()) {
+      const auto& local = entry.tree.local_counts(n);
+      std::uint64_t interval = 0;
+      for (std::size_t m = 0; m < specs.size(); ++m) {
+        if (local[m] == 0) continue;
+        const std::uint64_t p = send_period(specs[m].weight);
+        interval = interval == 0 ? p : std::min(interval, p);
+      }
+      if (interval == 0) continue;  // relay-only member: not observable here
+      const std::uint64_t depth = entry.tree.depth(n);
+      auto [it, fresh] = next.try_emplace(n);
+      State& s = it->second;
+      if (fresh) {
+        // Carry history over from the previous deployment; a brand-new
+        // node starts its deadline clock now.
+        auto prev = nodes_.find(n);
+        if (prev != nodes_.end()) {
+          s.last_seen = prev->second.last_seen;
+          s.down = prev->second.down;
+        } else {
+          s.last_seen = epoch;
+        }
+        s.interval = interval;
+        s.grace = depth;
+      } else {
+        // The node contributes to several trees: the tightest expectation
+        // wins on interval, the slowest path on grace.
+        s.interval = std::min(s.interval, interval);
+        s.grace = std::max(s.grace, depth);
+      }
+    }
+  }
+  // Suspected nodes stay remembered even when they leave the deployment
+  // (repair may have dropped their branch entirely): forgetting them here
+  // would let the next replan re-admit a dead node as a healthy relay,
+  // which the deadline check then re-detects a few epochs later — an
+  // endless detect/replan flap. Down state only clears on a delivery.
+  for (const auto& [node, s] : nodes_)
+    if (s.down) next.try_emplace(node, s);
+  nodes_ = std::move(next);
+  // Forget queued recoveries for nodes that left the deployment.
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [this](const LivenessEvent& e) {
+                                  return nodes_.find(e.node) == nodes_.end();
+                                }),
+                 pending_.end());
+}
+
+void LivenessTracker::restart_deadlines(std::uint64_t epoch) {
+  for (auto& [node, s] : nodes_)
+    if (!s.down) s.last_seen = std::max(s.last_seen, epoch);
+}
+
+void LivenessTracker::on_delivery(NodeAttrPair pair, std::uint64_t epoch) {
+  auto it = nodes_.find(pair.node);
+  if (it == nodes_.end()) return;
+  State& s = it->second;
+  if (s.down) {
+    s.down = false;
+    LivenessEvent ev;
+    ev.node = pair.node;
+    ev.epoch = epoch;
+    ev.down = false;
+    ev.lag = epoch > s.last_seen + s.interval ? epoch - s.last_seen - s.interval
+                                              : 0;
+    pending_.push_back(ev);
+  }
+  s.last_seen = std::max(s.last_seen, epoch);
+}
+
+std::vector<LivenessEvent> LivenessTracker::end_epoch(std::uint64_t epoch) {
+  std::vector<LivenessEvent> events = std::move(pending_);
+  pending_.clear();
+  std::vector<LivenessEvent> detects;
+  for (auto& [node, s] : nodes_) {
+    if (s.down) continue;
+    // Suspect once the silence exceeds the pipeline grace plus
+    // `missed_deadlines` whole send periods.
+    const std::uint64_t deadline =
+        s.last_seen + s.grace + s.interval * config_.missed_deadlines;
+    if (epoch <= deadline) continue;
+    s.down = true;
+    LivenessEvent ev;
+    ev.node = node;
+    ev.epoch = epoch;
+    ev.down = true;
+    ev.lag = epoch - s.last_seen - s.interval;
+    detects.push_back(ev);
+  }
+  std::sort(detects.begin(), detects.end(),
+            [](const LivenessEvent& a, const LivenessEvent& b) {
+              return a.node < b.node;
+            });
+  events.insert(events.end(), detects.begin(), detects.end());
+  return events;
+}
+
+bool LivenessTracker::is_down(NodeId node) const {
+  auto it = nodes_.find(node);
+  return it != nodes_.end() && it->second.down;
+}
+
+std::vector<NodeId> LivenessTracker::suspected() const {
+  std::vector<NodeId> out;
+  for (const auto& [node, s] : nodes_)
+    if (s.down) out.push_back(node);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace remo

@@ -1,5 +1,7 @@
 #include "core/monitoring_system.h"
 
+#include <algorithm>
+
 #include "planner/export.h"
 
 namespace remo {
@@ -8,7 +10,20 @@ MonitoringSystem::MonitoringSystem(SystemModel system,
                                    MonitoringSystemOptions options)
     : system_(std::move(system)),
       options_(std::move(options)),
-      manager_(&system_) {}
+      planning_system_(system_),
+      manager_(&system_),
+      liveness_(options_.recovery.liveness) {}
+
+SystemModel& MonitoringSystem::refresh_planning_system() {
+  planning_system_ = system_;
+  if (options_.recovery.enabled) {
+    const Capacity cap = system_.capacity(kCollectorId);
+    const double keep =
+        std::clamp(1.0 - options_.recovery.repair_headroom, 0.0, 1.0);
+    planning_system_.set_collector_capacity(cap * keep);
+  }
+  return planning_system_;
+}
 
 TaskId MonitoringSystem::add_task(MonitoringTask task) {
   task.id = next_id_++;
@@ -76,7 +91,8 @@ void MonitoringSystem::ensure_planned(double now) {
     // First plan, or the constraint set changed shape: full (re)build.
     const Topology previous =
         planner_.has_value() ? planner_->topology() : Topology{};
-    planner_.emplace(system_, state.planner_options, options_.adaptation);
+    planner_.emplace(refresh_planning_system(), state.planner_options,
+                     options_.adaptation);
     planner_->initialize(pairs, now);
     if (!previous.entries().empty()) {
       const std::size_t moved = edge_diff(previous, planner_->topology());
@@ -120,7 +136,103 @@ MonitoringSystem::Status MonitoringSystem::status(double now) {
   s.message_volume = topo.total_cost();
   s.adaptations = adaptations_;
   s.adaptation_messages = adaptation_messages_;
+  s.repair = repair_report_;
   return s;
+}
+
+void MonitoringSystem::on_delivery(NodeAttrPair pair, std::uint64_t epoch) {
+  if (!options_.recovery.enabled) return;
+  liveness_.on_delivery(pair, epoch);
+}
+
+bool MonitoringSystem::end_epoch(std::uint64_t epoch) {
+  if (!options_.recovery.enabled) return false;
+  const double now = static_cast<double>(epoch);
+  ensure_planned(now);
+  // Re-sync expectations every boundary: task churn or adaptation may have
+  // changed membership, depths, or frequency weights since the last epoch.
+  liveness_.sync(planner_->topology(), epoch);
+  const auto events = liveness_.end_epoch(epoch);
+
+  bool any_down = false;
+  for (const auto& ev : events) {
+    if (ev.down) {
+      any_down = true;
+      ++repair_report_.outages_detected;
+      repair_report_.detect_lag_sum += ev.lag;
+    } else {
+      ++repair_report_.recoveries_detected;
+    }
+    last_event_epoch_ = epoch;
+    reoptimize_pending_ = true;
+    if (options_.recovery.on_detect) options_.recovery.on_detect(ev);
+  }
+
+  bool changed = false;
+  if (any_down) {
+    auto res =
+        repair_topology(planner_->topology(), system_, liveness_.suspected());
+    ++repair_report_.repair_passes;
+    repair_report_.repair_messages += res.outcome.repair_messages;
+    repair_report_.orphans_reattached += res.outcome.orphans_reattached;
+    repair_report_.suspects_parked += res.outcome.suspects_parked;
+    repair_report_.members_dropped += res.outcome.members_dropped;
+    repair_report_.pairs_dropped += res.outcome.pairs_dropped;
+    for (const auto& ev : events)
+      if (ev.down) repair_report_.repair_lag_sum += ev.lag;
+    if (options_.recovery.on_repair)
+      options_.recovery.on_repair(res.outcome, epoch);
+    if (res.outcome.repair_messages > 0) {
+      planner_->adopt(std::move(res.topo), now);
+      liveness_.sync(planner_->topology(), epoch);
+      // The redeploy drops in-flight relays: grant every up node a fresh
+      // deadline window so deep members aren't falsely suspected.
+      liveness_.restart_deadlines(epoch);
+      changed = true;
+    }
+  } else if (reoptimize_pending_ &&
+             epoch >= last_event_epoch_ + options_.recovery.stabilize_epochs) {
+    reoptimize_pending_ = false;
+    changed = reoptimize_after_outage(epoch);
+  }
+  return changed;
+}
+
+bool MonitoringSystem::reoptimize_after_outage(std::uint64_t epoch) {
+  const double now = static_cast<double>(epoch);
+  const Topology before = planner_->topology();
+  const PairSet pairs = manager_.dedup(system_.num_vertices());
+  // Plan *around* the outage: suspects are removed from the planned pair
+  // set so the optimizer cannot draft a dead node as a relay (planning it
+  // in and then surgically breaking the plan would re-orphan whole
+  // subtrees and drop their pairs all over again). Their pairs are parked
+  // back afterwards as probe leaves against the full system model — the
+  // headroom the planner left behind is exactly that budget.
+  const auto still_down = liveness_.suspected();
+  PairSet alive = pairs;
+  for (NodeId s : still_down) {
+    if (s >= alive.num_vertices()) continue;
+    const std::vector<AttrId> attrs = alive.attrs_of(s);
+    for (AttrId a : attrs) alive.remove(s, a);
+  }
+  refresh_planning_system();
+  planner_->initialize(alive, now);
+  if (!still_down.empty()) {
+    Topology patched = planner_->topology();
+    const RepairOutcome parked =
+        park_members(patched, system_, still_down, pairs);
+    patched.set_total_pairs(pairs.total_pairs());
+    repair_report_.suspects_parked += parked.suspects_parked;
+    repair_report_.members_dropped += parked.members_dropped;
+    repair_report_.pairs_dropped += parked.pairs_dropped;
+    planner_->adopt(std::move(patched), now);
+  }
+  ++repair_report_.replans_after_outage;
+  const std::size_t moved = edge_diff(before, planner_->topology());
+  repair_report_.repair_messages += moved;
+  liveness_.sync(planner_->topology(), epoch);
+  if (moved > 0) liveness_.restart_deadlines(epoch);
+  return moved > 0;
 }
 
 std::string MonitoringSystem::export_dot(double now) {

@@ -11,15 +11,74 @@
 // (epochs); it feeds the cost-benefit throttle.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 
 #include "adapt/adaptive_planner.h"
+#include "adapt/repair.h"
+#include "collector/liveness.h"
 #include "extensions/attr_spec_derivation.h"
 #include "extensions/reliability.h"
 #include "task/task_manager.h"
 
 namespace remo {
+
+/// The closed robustness loop (detect → repair → replan, see DESIGN.md):
+/// the facade infers node outages from collector delivery gaps, patches
+/// the overlay around suspected nodes immediately, and hands the degraded
+/// topology back to the adaptive planner once the outage stabilizes.
+struct FailureRecoveryOptions {
+  bool enabled = false;
+  LivenessConfig liveness;
+  /// Quiet epochs (no detect/recover events) before the degraded topology
+  /// is re-optimized by a full replan.
+  std::uint64_t stabilize_epochs = 8;
+  /// Fraction of the collector's capacity withheld from the planner and
+  /// reserved for repair: parked probe links and re-homed orphans attach
+  /// into this slack. Without the reserve the optimizer packs the
+  /// collector tight and a post-outage replan cannot re-park the
+  /// suspects — their pairs would be dropped until the outage ends.
+  double repair_headroom = 0.1;
+  /// Observability hooks (drive bench_failure_recovery): every liveness
+  /// edge, and every repair pass with the epoch it ran in.
+  std::function<void(const LivenessEvent&)> on_detect;
+  std::function<void(const RepairOutcome&, std::uint64_t epoch)> on_repair;
+};
+
+/// Lifetime counters of the failure-recovery loop, surfaced next to the
+/// adaptation counters in MonitoringSystem::Status.
+struct RepairReport {
+  std::size_t outages_detected = 0;
+  std::size_t recoveries_detected = 0;
+  std::size_t repair_passes = 0;
+  /// Links rewired by repair passes and post-outage replans combined —
+  /// the control-message cost of self-healing.
+  std::size_t repair_messages = 0;
+  std::size_t orphans_reattached = 0;
+  std::size_t suspects_parked = 0;
+  std::size_t members_dropped = 0;
+  /// Pairs lost during outages (no feasible re-attach point).
+  std::size_t pairs_dropped = 0;
+  std::size_t replans_after_outage = 0;
+  /// Epoch sums behind the means below (one addend per down event).
+  std::uint64_t detect_lag_sum = 0;
+  std::uint64_t repair_lag_sum = 0;
+
+  /// Mean epochs from a node's first missed delivery deadline to its
+  /// detection, and to the repair pass that re-homed its orphans (repair
+  /// runs in the detection epoch, so the two coincide today).
+  double mean_detect_epochs() const {
+    return outages_detected == 0 ? 0.0
+                                 : static_cast<double>(detect_lag_sum) /
+                                       static_cast<double>(outages_detected);
+  }
+  double mean_repair_epochs() const {
+    return outages_detected == 0 ? 0.0
+                                 : static_cast<double>(repair_lag_sum) /
+                                       static_cast<double>(outages_detected);
+  }
+};
 
 struct MonitoringSystemOptions {
   PlannerOptions planner;
@@ -33,6 +92,9 @@ struct MonitoringSystemOptions {
   /// (Sec. 6.2). Alias attribute ids are allocated from this value up;
   /// it must sit above every real attribute id.
   AttrId first_alias_id = 1u << 20;
+  /// Failure detection + self-healing repair (off by default: the loop
+  /// needs the caller to feed deliveries and epoch boundaries).
+  FailureRecoveryOptions recovery;
 };
 
 class MonitoringSystem {
@@ -68,8 +130,22 @@ class MonitoringSystem {
     Capacity message_volume = 0.0;
     std::size_t adaptations = 0;  // apply_update calls that changed links
     std::size_t adaptation_messages = 0;
+    /// Failure-recovery loop counters (all zero unless recovery.enabled).
+    RepairReport repair;
   };
   Status status(double now = 0.0);
+
+  // ---- failure recovery (detect → repair → replan) ---------------------
+  /// Feed one collector arrival into the liveness tracker (call from the
+  /// delivery path, e.g. SimConfig::on_delivery). `epoch` is the arrival
+  /// epoch on the same clock end_epoch() is driven with.
+  void on_delivery(NodeAttrPair pair, std::uint64_t epoch);
+  /// Run one detect → repair → replan step at an epoch boundary. Returns
+  /// true when the topology changed (redeploy it, e.g. via
+  /// SimConfig::on_reconfigure). The epoch doubles as the planner clock.
+  bool end_epoch(std::uint64_t epoch);
+  const RepairReport& repair_report() const noexcept { return repair_report_; }
+  const LivenessTracker& liveness() const noexcept { return liveness_; }
 
   // ---- introspection ----------------------------------------------------
   std::string export_dot(double now = 0.0);
@@ -86,9 +162,19 @@ class MonitoringSystem {
 
   void ensure_planned(double now);
   RewriteState rebuild_internal_tasks();
+  /// The system model the planner optimizes against: identical to the
+  /// real one, except the collector keeps `repair_headroom` in reserve
+  /// when the recovery loop is on (repair itself uses the real model).
+  SystemModel& refresh_planning_system();
+  /// Post-outage re-optimization: full replan, then re-park any nodes
+  /// still suspected. Returns true if links changed.
+  bool reoptimize_after_outage(std::uint64_t epoch);
 
   SystemModel system_;
   MonitoringSystemOptions options_;
+  /// Planner's view of the system (stable address: the adaptive planner
+  /// keeps a reference to it across replans).
+  SystemModel planning_system_;
   /// User-visible tasks (pre-rewriting).
   std::map<TaskId, MonitoringTask> user_tasks_;
   std::size_t public_tasks_ = 0;
@@ -100,6 +186,11 @@ class MonitoringSystem {
   bool dirty_ = true;
   std::size_t adaptations_ = 0;
   std::size_t adaptation_messages_ = 0;
+  /// Failure-recovery loop state.
+  LivenessTracker liveness_;
+  RepairReport repair_report_;
+  std::uint64_t last_event_epoch_ = 0;
+  bool reoptimize_pending_ = false;
 };
 
 }  // namespace remo

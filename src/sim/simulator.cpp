@@ -36,6 +36,54 @@ struct SimTree {
   std::unordered_map<NodeId, std::size_t> index;
 };
 
+/// The per-deployment structures: rebuilt from scratch whenever the
+/// topology is (re)deployed mid-run via SimConfig::on_reconfigure.
+struct Deployment {
+  std::vector<SimTree> trees;
+  std::size_t planned_pairs = 0;
+  /// Expected collector arrivals per epoch: Σ local[m] / period[m] — the
+  /// per-attribute send periods discount slow-updating attributes so
+  /// delivered_ratio can reach 1.0 for any frequency-weight mix.
+  double expected_per_epoch = 0.0;
+};
+
+Deployment deploy(const Topology& topology,
+                  const std::unordered_map<NodeAttrPair, std::uint32_t>& pair_index) {
+  Deployment d;
+  d.trees.reserve(topology.entries().size());
+  for (const auto& entry : topology.entries()) {
+    SimTree st;
+    const auto& specs = entry.tree.attr_specs();
+    st.period.resize(specs.size());
+    for (std::size_t m = 0; m < specs.size(); ++m)
+      st.period[m] = send_period(specs[m].weight);
+    for (NodeId n : entry.tree.members()) {
+      SimNode sn;
+      sn.id = n;
+      sn.parent = entry.tree.parent(n);
+      sn.depth = entry.tree.depth(n);
+      const auto& local = entry.tree.local_counts(n);
+      for (std::size_t m = 0; m < specs.size(); ++m) {
+        if (local[m] == 0) continue;
+        auto it = pair_index.find(NodeAttrPair{n, specs[m].attr});
+        if (it != pair_index.end()) sn.locals.emplace_back(it->second, m);
+        d.planned_pairs += local[m];
+        d.expected_per_epoch += static_cast<double>(local[m]) /
+                                static_cast<double>(st.period[m]);
+      }
+      st.nodes.push_back(std::move(sn));
+    }
+    std::stable_sort(st.nodes.begin(), st.nodes.end(),
+                     [](const SimNode& a, const SimNode& b) {
+                       if (a.depth != b.depth) return a.depth < b.depth;
+                       return a.id < b.id;
+                     });
+    for (std::size_t i = 0; i < st.nodes.size(); ++i) st.index[st.nodes[i].id] = i;
+    d.trees.push_back(std::move(st));
+  }
+  return d;
+}
+
 }  // namespace
 
 SimReport simulate(const SystemModel& system, const Topology& topology,
@@ -58,40 +106,18 @@ SimReport simulate(const SystemModel& system, const Topology& topology,
   for (std::uint32_t i = 0; i < all_pairs.size(); ++i)
     view[i] = source.value(all_pairs[i].node, all_pairs[i].attr);
 
-  // ---- static per-tree structures --------------------------------------
-  std::vector<SimTree> trees;
-  trees.reserve(topology.entries().size());
-  for (const auto& entry : topology.entries()) {
-    SimTree st;
-    const auto& specs = entry.tree.attr_specs();
-    st.period.resize(specs.size());
-    for (std::size_t m = 0; m < specs.size(); ++m) {
-      const double w = std::clamp(specs[m].weight, 1e-6, 1.0);
-      st.period[m] = std::max<std::uint64_t>(
-          1, static_cast<std::uint64_t>(std::llround(1.0 / w)));
-    }
-    for (NodeId n : entry.tree.members()) {
-      SimNode sn;
-      sn.id = n;
-      sn.parent = entry.tree.parent(n);
-      sn.depth = entry.tree.depth(n);
-      const auto& local = entry.tree.local_counts(n);
-      for (std::size_t m = 0; m < specs.size(); ++m) {
-        if (local[m] == 0) continue;
-        auto it = pair_index.find(NodeAttrPair{n, specs[m].attr});
-        if (it != pair_index.end()) sn.locals.emplace_back(it->second, m);
-        report.planned_pairs += local[m];
-      }
-      st.nodes.push_back(std::move(sn));
-    }
-    std::stable_sort(st.nodes.begin(), st.nodes.end(),
-                     [](const SimNode& a, const SimNode& b) {
-                       if (a.depth != b.depth) return a.depth < b.depth;
-                       return a.id < b.id;
-                     });
-    for (std::size_t i = 0; i < st.nodes.size(); ++i) st.index[st.nodes[i].id] = i;
-    trees.push_back(std::move(st));
-  }
+  // ---- per-deployment structures ---------------------------------------
+  Deployment dep = deploy(topology, pair_index);
+  report.planned_pairs = dep.planned_pairs;
+
+  // Distinct nodes with an outage schedule (a node may have several
+  // disjoint failure windows; down-ness is the OR over all of them).
+  std::vector<NodeId> failure_nodes;
+  for (const auto& f : config.failures)
+    if (f.node < system.num_vertices()) failure_nodes.push_back(f.node);
+  std::sort(failure_nodes.begin(), failure_nodes.end());
+  failure_nodes.erase(std::unique(failure_nodes.begin(), failure_nodes.end()),
+                      failure_nodes.end());
 
   // ---- run ---------------------------------------------------------------
   std::vector<double> used(system.num_vertices(), 0.0);
@@ -102,6 +128,7 @@ SimReport simulate(const SystemModel& system, const Topology& topology,
   std::vector<double> pair_err_sum(
       config.collect_pair_errors ? all_pairs.size() : 0, 0.0);
   std::size_t deliveries = 0;
+  double expected_deliveries = 0.0;
   std::uint64_t sampled_epochs = 0;
   std::vector<bool> down(system.num_vertices(), false);
   const CostModel& cost = system.cost();
@@ -112,24 +139,29 @@ SimReport simulate(const SystemModel& system, const Topology& topology,
     const bool sampling = epoch >= config.warmup;
 
     // Apply the outage schedule; a node going down loses its relay buffers.
-    for (const auto& f : config.failures) {
-      if (f.node >= down.size()) continue;
-      const bool is_down = epoch >= f.at_epoch && epoch < f.recover_epoch;
-      if (is_down && !down[f.node]) {
-        down[f.node] = true;
-        for (auto& st : trees) {
-          auto it = st.index.find(f.node);
+    // A node is down iff ANY of its failure windows covers the epoch.
+    for (NodeId n : failure_nodes) {
+      bool is_down = false;
+      for (const auto& f : config.failures)
+        if (f.node == n && epoch >= f.at_epoch && epoch < f.recover_epoch) {
+          is_down = true;
+          break;
+        }
+      if (is_down && !down[n]) {
+        down[n] = true;
+        for (auto& st : dep.trees) {
+          auto it = st.index.find(n);
           if (it != st.index.end()) st.nodes[it->second].buffer.clear();
         }
-      } else if (!is_down && down[f.node]) {
-        down[f.node] = false;
+      } else if (!is_down && down[n]) {
+        down[n] = false;
       }
     }
 
     // Rotate tree processing order so contended capacity is shared fairly.
-    const std::size_t nt = trees.size();
+    const std::size_t nt = dep.trees.size();
     for (std::size_t k = 0; k < nt; ++k) {
-      SimTree& st = trees[(k + epoch) % nt];
+      SimTree& st = dep.trees[(k + epoch) % nt];
       for (SimNode& sn : st.nodes) {
         if (down[sn.id]) continue;  // a down node sends nothing
         // Assemble the outgoing payload: fresh locals first, then relayed
@@ -180,7 +212,12 @@ SimReport simulate(const SystemModel& system, const Topology& topology,
           report.values_dropped += num_locals;
           continue;
         }
-        report.values_dropped += payload.size() - fit;
+        // Partial trim: unsent locals are dropped (regenerated next epoch),
+        // unsent relays are re-buffered for the next message — same
+        // deferral semantics as the fit == 0 path.
+        report.values_dropped += fit < num_locals ? num_locals - fit : 0;
+        for (std::size_t i = std::max(fit, num_locals); i < payload.size(); ++i)
+          sn.buffer.emplace(payload[i].pair, payload[i]);
 
         const double msg_cost =
             cost.per_message + cost.per_value * static_cast<double>(fit);
@@ -216,6 +253,7 @@ SimReport simulate(const SystemModel& system, const Topology& topology,
     if (config.on_epoch_end) config.on_epoch_end(epoch);
     if (sampling) {
       ++sampled_epochs;
+      expected_deliveries += dep.expected_per_epoch;
       for (std::uint32_t i = 0; i < all_pairs.size(); ++i) {
         const double truth = source.value(all_pairs[i].node, all_pairs[i].attr);
         const double err = std::abs(view[i] - truth) /
@@ -234,16 +272,24 @@ SimReport simulate(const SystemModel& system, const Topology& topology,
       collector_util.add(used[kCollectorId] /
                          std::max(system.capacity(kCollectorId), 1e-9));
     }
+
+    // A redeployed topology takes effect from the next epoch: links are
+    // torn down (in-flight relay buffers are lost with them) and the
+    // delivery expectations switch to the new forest.
+    if (config.on_reconfigure) {
+      if (const Topology* next = config.on_reconfigure(epoch)) {
+        dep = deploy(*next, pair_index);
+        report.planned_pairs = dep.planned_pairs;
+      }
+    }
   }
 
   report.avg_percent_error = err_stats.mean() * 100.0;
   report.p95_percent_error = percentile(std::move(errors), 95.0) * 100.0;
-  report.delivered_ratio =
-      report.planned_pairs == 0 || sampled_epochs == 0
-          ? 0.0
-          : static_cast<double>(deliveries) /
-                (static_cast<double>(report.planned_pairs) *
-                 static_cast<double>(sampled_epochs));
+  report.delivered_ratio = expected_deliveries <= 0.0
+                               ? 0.0
+                               : static_cast<double>(deliveries) /
+                                     expected_deliveries;
   report.avg_node_utilization = node_util.mean();
   report.max_node_utilization = max_util;
   report.collector_utilization = collector_util.mean();

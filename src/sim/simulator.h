@@ -56,12 +56,21 @@ struct SimConfig {
       on_delivery;
   /// Invoked once per epoch after all deliveries (fleet-scope alerting).
   std::function<void(std::uint64_t epoch)> on_epoch_end;
+  /// Invoked after on_epoch_end; returning a topology redeploys it starting
+  /// with the next epoch — the hook that closes the detect → repair →
+  /// replan loop (core/monitoring_system.h) against a live simulation.
+  /// The collector view and error accounting persist across the swap;
+  /// in-flight relay buffers are dropped (links are torn down), and
+  /// planned-pair / expected-delivery accounting switches to the new
+  /// topology. Return nullptr to keep the current deployment.
+  std::function<const Topology*(std::uint64_t epoch)> on_reconfigure;
 };
 
 struct SimReport {
   std::uint64_t epochs = 0;
   std::size_t total_pairs = 0;
   /// Pairs covered by the topology (the planner's "collected" pairs).
+  /// Under on_reconfigure this reflects the last deployed topology.
   std::size_t planned_pairs = 0;
 
   /// Mean over sampled epochs and all requested pairs of

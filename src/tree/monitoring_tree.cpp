@@ -1,6 +1,7 @@
 #include "tree/monitoring_tree.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <deque>
 #include <stdexcept>
@@ -9,6 +10,12 @@ namespace remo {
 
 namespace {
 constexpr double kEps = 1e-9;
+}
+
+std::uint64_t send_period(double weight) noexcept {
+  const double w = std::clamp(weight, 1e-6, 1.0);
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::llround(1.0 / w)));
 }
 
 MonitoringTree::MonitoringTree(std::vector<TreeAttrSpec> attrs,

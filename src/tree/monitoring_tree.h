@@ -37,6 +37,11 @@ struct TreeAttrSpec {
   bool operator==(const TreeAttrSpec&) const = default;
 };
 
+/// Send period in epochs implied by a frequency weight w_m = freq_m/freq_max
+/// (Sec. 6.3): round(1/w), at least 1. Shared by the simulator and the
+/// collector-side liveness tracker so delivery deadlines agree on both ends.
+std::uint64_t send_period(double weight) noexcept;
+
 /// A node offered to a tree builder: its per-attribute local value counts
 /// (aligned with the tree's attribute order) and the capacity allocated to
 /// this tree.

@@ -1,0 +1,157 @@
+// Tree repair around suspected-down nodes: orphaned subtrees re-home at
+// the shallowest feasible healthy vertex, suspects are parked on probe
+// links, and infeasible members are dropped (pairs lost until replan).
+#include "adapt/repair.h"
+
+#include <gtest/gtest.h>
+
+namespace remo {
+namespace {
+
+const CostModel kCost{10.0, 1.0};
+
+struct Fixture {
+  SystemModel system;
+
+  explicit Fixture(std::size_t n, Capacity cap = 1e6)
+      : system(n, cap, kCost) {
+    system.set_collector_capacity(1e9);
+    for (NodeId id = 1; id <= n; ++id) system.set_observable(id, {0});
+  }
+
+  /// Chain 0 <- 1 <- 2 <- ... <- n, one local value (attr 0) per member.
+  Topology chain(std::size_t n) {
+    MonitoringTree tree({{0, FunnelSpec{AggType::kHolistic}, 1.0}},
+                        /*collector_avail=*/1e9, kCost);
+    for (NodeId id = 1; id <= n; ++id)
+      tree.attach(BuildItem{id, {1}, 1e9}, id == 1 ? kCollectorId : id - 1);
+    Topology topo;
+    const std::size_t pairs = tree.collected_pairs();
+    topo.mutable_entries().push_back(
+        TreeEntry{{0}, std::move(tree), pairs, pairs});
+    topo.set_total_pairs(pairs);
+    return topo;
+  }
+};
+
+TEST(Repair, ReattachesOrphansAndParksSuspect) {
+  Fixture f(4);
+  auto topo = f.chain(4);  // 0 <- 1 <- 2 <- 3 <- 4
+  const auto res = repair_topology(topo, f.system, {2});
+  const auto& tree = res.topo.entries()[0].tree;
+  EXPECT_TRUE(tree.validate());
+  // Everyone survives: 3 and 4 are healthy orphans, 2 is parked.
+  EXPECT_EQ(tree.size(), 4u);
+  // Ample capacity: the shallowest feasible target is the collector.
+  EXPECT_EQ(tree.parent(3), kCollectorId);
+  EXPECT_EQ(tree.parent(2), kCollectorId);
+  EXPECT_EQ(tree.parent(1), kCollectorId);  // untouched
+  EXPECT_EQ(res.outcome.trees_touched, 1u);
+  EXPECT_EQ(res.outcome.orphans_reattached, 2u);
+  EXPECT_EQ(res.outcome.suspects_parked, 1u);
+  EXPECT_EQ(res.outcome.members_dropped, 0u);
+  EXPECT_EQ(res.outcome.pairs_dropped, 0u);
+  // Links changed for 2, 3 and 4; the repair "paid" one message per end
+  // of each rewired link.
+  EXPECT_GT(res.outcome.repair_messages, 0u);
+  EXPECT_EQ(res.outcome.repair_messages, edge_diff(topo, res.topo));
+  // Input is untouched.
+  EXPECT_EQ(topo.entries()[0].tree.parent(3), 2u);
+  // collected_pairs stays consistent with the rebuilt tree.
+  EXPECT_EQ(res.topo.entries()[0].collected_pairs, 4u);
+}
+
+TEST(Repair, SuspectsNeverBecomeAttachTargets) {
+  Fixture f(5);
+  auto topo = f.chain(5);
+  // 2 and 3 both suspected: orphans 4, 5 must not land under either.
+  const auto res = repair_topology(topo, f.system, {2, 3});
+  const auto& tree = res.topo.entries()[0].tree;
+  EXPECT_TRUE(tree.validate());
+  EXPECT_EQ(tree.size(), 5u);
+  for (NodeId orphan : {NodeId{4}, NodeId{5}}) {
+    EXPECT_NE(tree.parent(orphan), 2u);
+    EXPECT_NE(tree.parent(orphan), 3u);
+  }
+  EXPECT_EQ(res.outcome.orphans_reattached, 2u);
+  EXPECT_EQ(res.outcome.suspects_parked, 2u);
+}
+
+TEST(Repair, DropsMembersWithNoFeasibleHome) {
+  // Node 2's own capacity cannot even cover its send cost (C + a·1 = 11):
+  // no attach point is feasible anywhere, so it is dropped and its pair
+  // is counted lost.
+  Fixture f(2);
+  f.system.set_capacity(2, 10.0);
+  auto topo = f.chain(2);
+  const auto res = repair_topology(topo, f.system, {2});
+  const auto& tree = res.topo.entries()[0].tree;
+  EXPECT_TRUE(tree.validate());
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_FALSE(tree.contains(2));
+  EXPECT_EQ(res.outcome.members_dropped, 1u);
+  EXPECT_EQ(res.outcome.pairs_dropped, 1u);
+  EXPECT_EQ(res.topo.entries()[0].collected_pairs, 1u);
+}
+
+TEST(Repair, NoSuspectsIsANoOp) {
+  Fixture f(3);
+  auto topo = f.chain(3);
+  const auto res = repair_topology(topo, f.system, {});
+  EXPECT_EQ(res.outcome.trees_touched, 0u);
+  EXPECT_EQ(res.outcome.repair_messages, 0u);
+  EXPECT_EQ(edge_diff(topo, res.topo), 0u);
+}
+
+TEST(Repair, UntouchedTreesStayIdentical) {
+  // Two disjoint trees; the suspect lives only in the first. The second
+  // tree's links must not move.
+  Fixture f(6);
+  MonitoringTree t0({{0, FunnelSpec{AggType::kHolistic}, 1.0}}, 1e9, kCost);
+  t0.attach(BuildItem{1, {1}, 1e9}, kCollectorId);
+  t0.attach(BuildItem{2, {1}, 1e9}, 1);
+  MonitoringTree t1({{1, FunnelSpec{AggType::kHolistic}, 1.0}}, 1e9, kCost);
+  t1.attach(BuildItem{4, {1}, 1e9}, kCollectorId);
+  t1.attach(BuildItem{5, {1}, 1e9}, 4);
+  Topology topo;
+  topo.mutable_entries().push_back(TreeEntry{{0}, std::move(t0), 2, 2});
+  topo.mutable_entries().push_back(TreeEntry{{1}, std::move(t1), 2, 2});
+  topo.set_total_pairs(4);
+
+  const auto res = repair_topology(topo, f.system, {1});
+  EXPECT_EQ(res.outcome.trees_touched, 1u);
+  const auto& repaired = res.topo.entries()[1].tree;
+  EXPECT_EQ(repaired.parent(5), 4u);
+  EXPECT_EQ(repaired.parent(4), kCollectorId);
+  EXPECT_EQ(res.topo.entries()[0].tree.parent(2), kCollectorId);
+  EXPECT_EQ(res.topo.entries()[0].tree.parent(1), kCollectorId);  // parked
+}
+
+TEST(Repair, TightCollectorFallsBackToDeeperTargets) {
+  // The collector has room for exactly the one message it already
+  // receives: orphans must re-home under a surviving member instead.
+  Fixture f(3);
+  MonitoringTree tree({{0, FunnelSpec{AggType::kHolistic}, 1.0}},
+                      /*collector_avail=*/13.5, kCost);
+  // Chain 0 <- 1 <- 2 <- 3: node 1 sends C + a*3 = 13 to the collector.
+  tree.attach(BuildItem{1, {1}, 1e9}, kCollectorId);
+  tree.attach(BuildItem{2, {1}, 1e9}, 1);
+  tree.attach(BuildItem{3, {1}, 1e9}, 2);
+  Topology topo;
+  topo.mutable_entries().push_back(TreeEntry{{0}, std::move(tree), 3, 3});
+  topo.set_total_pairs(3);
+  f.system.set_collector_capacity(13.5);
+
+  const auto res = repair_topology(topo, f.system, {2});
+  const auto& repaired = res.topo.entries()[0].tree;
+  EXPECT_TRUE(repaired.validate());
+  // Orphan 3 and parked suspect 2 both end up under node 1 — the only
+  // feasible healthy vertex. Collector receives one message again.
+  EXPECT_EQ(repaired.size(), 3u);
+  EXPECT_EQ(repaired.parent(3), 1u);
+  EXPECT_EQ(repaired.parent(2), 1u);
+  EXPECT_EQ(repaired.children(kCollectorId).size(), 1u);
+}
+
+}  // namespace
+}  // namespace remo

@@ -86,6 +86,37 @@ TEST(SimFailures, MidChainFailureStallsTheWholeSubtree) {
   EXPECT_LT(bad.delivered_ratio, ok.delivered_ratio);
 }
 
+TEST(SimFailures, TwoDisjointWindowsForOneNodeBothApply) {
+  // Regression: with several failure windows for one node, an entry whose
+  // window is inactive must not flip the node back up while another
+  // entry's window is still active (down-ness is the OR over windows).
+  Fixture f;
+  auto topo = f.star_topology();
+  RandomWalkSource src(f.pairs, 7, 100.0, 3.0);
+  SimConfig cfg;
+  cfg.epochs = 60;
+  cfg.warmup = 0;
+  cfg.failures = {{3, 10, 20}, {3, 30, 40}};
+  std::vector<std::uint64_t> deliveries;  // arrival epochs of node 3's pair
+  cfg.on_delivery = [&](NodeAttrPair p, std::uint64_t e, double) {
+    if (p.node == 3) deliveries.push_back(e);
+  };
+  simulate(f.system, topo, f.pairs, src, cfg);
+  ASSERT_FALSE(deliveries.empty());
+  std::size_t in_first = 0, in_second = 0, between = 0;
+  for (std::uint64_t e : deliveries) {
+    if (e >= 10 && e < 20) ++in_first;
+    if (e >= 30 && e < 40) ++in_second;
+    if (e >= 20 && e < 30) ++between;
+  }
+  // Depth-1 star: a value sent at epoch e arrives at epoch e, so no
+  // arrivals may fall inside either window; the gap between windows and
+  // the tail must deliver normally.
+  EXPECT_EQ(in_first, 0u);
+  EXPECT_EQ(in_second, 0u);
+  EXPECT_GT(between, 0u);
+}
+
 TEST(SimFailures, RecoveryRestoresDelivery) {
   Fixture f;
   auto topo = f.star_topology();

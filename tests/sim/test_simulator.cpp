@@ -168,6 +168,72 @@ TEST(Simulator, FrequencyWeightsReduceTraffic) {
   EXPECT_LT(slow.values_sent, fast.values_sent);
 }
 
+TEST(Simulator, PartialTrimRebuffersUnsentRelays) {
+  // Regression: when capacity trims a payload to 0 < fit < size, the
+  // unsent relayed values must be re-buffered for the next epoch (as the
+  // fit == 0 path already does), not silently dropped.
+  //
+  // Chain collector <- A(1) <- B(2) <- C(3). A observes attr 0 at weight
+  // 0.5 (sends on even epochs); C observes attr 1 at weight 1e-6 (sends
+  // only at epoch 0). Collector capacity 11.5 lets A send exactly one
+  // value per message. C's single value reaches A's buffer at epoch 1; at
+  // epoch 2 A's payload is [A-local, C-relay], trims to 1, and the relay
+  // must survive to be delivered at epoch 3.
+  const std::size_t n = 3;
+  SystemModel system(n, 100.0, kCost);
+  system.set_collector_capacity(11.5);
+  system.set_observable(1, {0});
+  system.set_observable(3, {1});
+  PairSet pairs(n + 1);
+  pairs.add(1, 0);
+  pairs.add(3, 1);
+
+  MonitoringTree tree({{0, FunnelSpec{AggType::kHolistic}, 0.5},
+                       {1, FunnelSpec{AggType::kHolistic}, 1e-6}},
+                      /*collector_avail=*/1e9, kCost);
+  tree.attach(BuildItem{1, {1, 0}, 1e9}, kCollectorId);
+  tree.attach(BuildItem{2, {0, 0}, 1e9}, 1);
+  tree.attach(BuildItem{3, {0, 1}, 1e9}, 2);
+  Topology topo;
+  topo.mutable_entries().push_back(
+      TreeEntry{{0, 1}, std::move(tree), 2, 2});
+  topo.set_total_pairs(2);
+
+  RandomWalkSource src(pairs, 11, 100.0, /*sigma=*/0.0);
+  SimConfig cfg;
+  cfg.epochs = 10;
+  cfg.warmup = 0;
+  std::vector<std::uint64_t> c_arrivals;
+  cfg.on_delivery = [&](NodeAttrPair p, std::uint64_t e, double) {
+    if (p.node == 3) c_arrivals.push_back(e);
+  };
+  const auto report = simulate(system, topo, pairs, src, cfg);
+  // C's one value is trimmed at epoch 2 but must arrive at epoch 3 when
+  // A has no local value competing for the slot.
+  ASSERT_EQ(c_arrivals.size(), 1u);
+  EXPECT_EQ(c_arrivals[0], 3u);
+  EXPECT_EQ(report.values_dropped, 0u);
+}
+
+TEST(Simulator, DeliveredRatioRespectsSendPeriods) {
+  // Regression: the delivered_ratio denominator must scale expected
+  // deliveries by each attribute's send period. A healthy period-4
+  // deployment delivers every value it schedules — ratio 1.0, not 0.25.
+  Fixture f(4, 1, 1e6, 1e6);
+  PlannerOptions o;
+  o.partition_scheme = PartitionScheme::kOneSet;
+  o.tree.scheme = TreeScheme::kStar;
+  o.attr_specs.set_weight(0, 0.25);  // period 4
+  auto topo = Planner(f.system, o).plan(f.pairs);
+  RandomWalkSource src(f.pairs, 12);
+  SimConfig cfg;
+  cfg.epochs = 84;
+  cfg.warmup = 4;
+  const auto report = simulate(f.system, topo, f.pairs, src, cfg);
+  EXPECT_GT(report.values_sent, 0u);
+  EXPECT_NEAR(report.delivered_ratio, 1.0, 0.05);
+}
+
 TEST(Simulator, EmptyTopologyReportsFullErrorNoTraffic) {
   Fixture f(5, 1, 1e6, 1e6);
   Topology empty;

@@ -80,13 +80,14 @@ void run_regime(const std::string& regime) {
         .add(static_cast<long long>(topo.num_trees()))
         .add(static_cast<long long>(planner.last_evaluations()));
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 }  // namespace
 }  // namespace remo::bench
 
-int main() {
+int main(int argc, char** argv) {
+  remo::bench::init("ablation", argc, argv);
   remo::bench::banner("Ablation",
                       "REMO search mechanisms beyond the paper's letter "
                       "(see DESIGN.md, 'Algorithm notes')");

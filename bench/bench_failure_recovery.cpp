@@ -224,7 +224,7 @@ void sweep() {
   head_row("no failure", base);
   head_row("loop closed", healed);
   head_row("loop open", broken);
-  head.print(std::cout);
+  emit(head);
   std::printf("acceptance: closed-loop post error within 10%% of baseline: %s; "
               "open loop recovers: %s\n",
               healed.post_err <= base.post_err * 1.1 + 0.05 ? "yes" : "NO",
@@ -257,13 +257,14 @@ void sweep() {
           .add(r.repair.pairs_dropped);
     }
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 }  // namespace
 }  // namespace remo::bench
 
-int main() {
+int main(int argc, char** argv) {
+  remo::bench::init("failure_recovery", argc, argv);
   remo::bench::sweep();
   return 0;
 }

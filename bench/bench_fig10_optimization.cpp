@@ -116,7 +116,7 @@ void speedup_sweep(const std::string& title, const std::vector<Shape>& shapes,
         .add(basic / subtree_only, 2)
         .add(basic / both, 2);
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 void penalty_sweep() {
@@ -144,7 +144,7 @@ void penalty_sweep() {
         .add(static_cast<long long>(both))
         .add(penalty, 2);
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 /// One timed full planning run on a cold engine; reports the best of
@@ -236,13 +236,14 @@ void planning_engine_sweep() {
       std::printf("!! collected pairs diverged at n=%zu — engine broke "
                   "determinism\n", n);
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 }  // namespace
 }  // namespace remo::bench
 
-int main() {
+int main(int argc, char** argv) {
+  remo::bench::init("fig10_optimization", argc, argv);
   remo::bench::banner("Fig. 10",
                       "speedup of the Sec. 5.1 tree-adjustment optimizations "
                       "(paper: up to ~11x)");

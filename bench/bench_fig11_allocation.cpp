@@ -41,7 +41,7 @@ void sweep_nodes() {
         .add(alloc_coverage(s, AllocationScheme::kOnDemand), 1)
         .add(alloc_coverage(s, AllocationScheme::kOrdered), 1);
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 void sweep_tasks() {
@@ -61,13 +61,14 @@ void sweep_tasks() {
         .add(alloc_coverage(s, AllocationScheme::kOnDemand), 1)
         .add(alloc_coverage(s, AllocationScheme::kOrdered), 1);
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 }  // namespace
 }  // namespace remo::bench
 
-int main() {
+int main(int argc, char** argv) {
+  remo::bench::init("fig11_allocation", argc, argv);
   remo::bench::banner("Fig. 11", "tree-wise capacity allocation schemes");
   remo::bench::sweep_nodes();
   remo::bench::sweep_tasks();

@@ -72,7 +72,7 @@ void aggregation_frequency() {
         .add(base > 0 ? run(false, true) / base : 0.0, 2)
         .add(base > 0 ? run(true, true) / base : 0.0, 2);
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 void reliability() {
@@ -118,7 +118,7 @@ void reliability() {
         .add(one_set_2(), 1)
         .add(run(PartitionScheme::kRemo), 1);
   }
-  t.print(std::cout);
+  emit(t);
   std::printf(
       "(ONE-SET-2 under SSDP conflicts degenerates to two disjoint "
       "deliveries of the full attribute set)\n");
@@ -127,7 +127,8 @@ void reliability() {
 }  // namespace
 }  // namespace remo::bench
 
-int main() {
+int main(int argc, char** argv) {
+  remo::bench::init("fig12_extensions", argc, argv);
   remo::bench::banner("Fig. 12", "extension techniques");
   remo::bench::aggregation_frequency();
   remo::bench::reliability();

@@ -50,7 +50,7 @@ void message_count_series() {
         .add(report.collector_utilization * 100.0, 1)
         .add(paper, 1);
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 void message_size_series() {
@@ -64,7 +64,7 @@ void message_size_series() {
         .add(cost.message_cost(v), 2)
         .add(paper, 2);
   }
-  t.print(std::cout);
+  emit(t);
   std::printf(
       "\nTakeaway: per-message overhead dominates (256 1-value messages cost "
       "%.0f%% CPU; one 256-value message costs %.1f%%), which is why the\n"
@@ -75,7 +75,8 @@ void message_size_series() {
 }  // namespace
 }  // namespace remo::bench
 
-int main() {
+int main(int argc, char** argv) {
+  remo::bench::init("fig2_cost_model", argc, argv);
   remo::bench::banner("Fig. 2", "CPU usage vs message number / size");
   remo::bench::message_count_series();
   remo::bench::message_size_series();

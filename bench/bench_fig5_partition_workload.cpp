@@ -39,7 +39,7 @@ void sweep_task_attrs() {
         .add(coverage(s, planner_options(PartitionScheme::kOneSet)), 1)
         .add(coverage(s, planner_options(PartitionScheme::kRemo)), 1);
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 void sweep_task_nodes() {
@@ -57,7 +57,7 @@ void sweep_task_nodes() {
         .add(coverage(s, planner_options(PartitionScheme::kOneSet)), 1)
         .add(coverage(s, planner_options(PartitionScheme::kRemo)), 1);
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 void sweep_small_tasks() {
@@ -73,7 +73,7 @@ void sweep_small_tasks() {
         .add(coverage(s, planner_options(PartitionScheme::kOneSet)), 1)
         .add(coverage(s, planner_options(PartitionScheme::kRemo)), 1);
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 void sweep_large_tasks() {
@@ -89,13 +89,14 @@ void sweep_large_tasks() {
         .add(coverage(s, planner_options(PartitionScheme::kOneSet)), 1)
         .add(coverage(s, planner_options(PartitionScheme::kRemo)), 1);
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 }  // namespace
 }  // namespace remo::bench
 
-int main() {
+int main(int argc, char** argv) {
+  remo::bench::init("fig5_partition_workload", argc, argv);
   remo::bench::banner("Fig. 5",
                       "partition schemes vs workload characteristics "
                       "(% of node-attribute pairs collected)");

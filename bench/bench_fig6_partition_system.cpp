@@ -32,7 +32,7 @@ void sweep_nodes(bool large_tasks) {
         .add(coverage(s, planner_options(PartitionScheme::kOneSet)), 1)
         .add(coverage(s, planner_options(PartitionScheme::kRemo)), 1);
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 void sweep_overhead(bool large_tasks) {
@@ -52,13 +52,14 @@ void sweep_overhead(bool large_tasks) {
         .add(coverage(s, planner_options(PartitionScheme::kOneSet)), 1)
         .add(coverage(s, planner_options(PartitionScheme::kRemo)), 1);
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 }  // namespace
 }  // namespace remo::bench
 
-int main() {
+int main(int argc, char** argv) {
+  remo::bench::init("fig6_partition_system", argc, argv);
   remo::bench::banner("Fig. 6",
                       "partition schemes vs system characteristics "
                       "(% of node-attribute pairs collected)");

@@ -47,7 +47,7 @@ void sweep_attrs_per_node() {
     s.monitor_everything();
     header_sweep(t, s, std::to_string(x));
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 void sweep_slack() {
@@ -58,7 +58,7 @@ void sweep_slack() {
     s.monitor_everything();
     header_sweep(t, s, std::to_string(static_cast<int>(slack)));
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 void sweep_nodes() {
@@ -69,7 +69,7 @@ void sweep_nodes() {
     s.monitor_everything();
     header_sweep(t, s, std::to_string(n));
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 void sweep_overhead() {
@@ -80,13 +80,14 @@ void sweep_overhead() {
     s.monitor_everything();
     header_sweep(t, s, std::to_string(static_cast<int>(c)));
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 }  // namespace
 }  // namespace remo::bench
 
-int main() {
+int main(int argc, char** argv) {
+  remo::bench::init("fig7_tree_schemes", argc, argv);
   remo::bench::banner("Fig. 7",
                       "tree construction schemes (% collected, singleton "
                       "partitioning isolates the tree builder)");

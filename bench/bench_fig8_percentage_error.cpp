@@ -93,7 +93,7 @@ void sweep_nodes() {
         .add(r.avg_error, 2)
         .add(best > 0 ? (1.0 - r.avg_error / best) * 100.0 : 0.0, 1);
   }
-  t.print(std::cout);
+  emit(t);
   std::printf("(last column: %% error reduction vs the better baseline; the\n"
               "paper reports 30-50%% on the BlueGene deployment)\n");
 }
@@ -114,13 +114,14 @@ void sweep_tasks() {
         .add(r.avg_error, 2)
         .add(best > 0 ? (1.0 - r.avg_error / best) * 100.0 : 0.0, 1);
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 }  // namespace
 }  // namespace remo::bench
 
-int main() {
+int main(int argc, char** argv) {
+  remo::bench::init("fig8_percentage_error", argc, argv);
   remo::bench::banner(
       "Fig. 8", "average percentage error on the stream application");
   remo::bench::sweep_nodes();

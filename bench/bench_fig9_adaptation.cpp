@@ -82,7 +82,8 @@ SchemeTotals run_scheme(AdaptScheme scheme, std::size_t batches_per_window) {
 }  // namespace
 }  // namespace remo::bench
 
-int main() {
+int main(int argc, char** argv) {
+  remo::bench::init("fig9_adaptation", argc, argv);
   using namespace remo::bench;
   banner("Fig. 9", "adaptation schemes vs task-update frequency");
 
@@ -107,7 +108,7 @@ int main() {
       for (std::size_t s = 0; s < schemes.size(); ++s)
         t.add(results[i][s].cpu_seconds, 3);
     }
-    t.print(std::cout);
+    emit(t);
   }
 
   subbanner("Fig. 9b: adaptation messages as % of total messages");
@@ -122,7 +123,7 @@ int main() {
               2);
       }
     }
-    t.print(std::cout);
+    emit(t);
   }
 
   subbanner("Fig. 9c: total cost (adaptation + monitoring messages) vs D-A, %");
@@ -137,7 +138,7 @@ int main() {
         t.add(100.0 * (r.adaptation_messages + r.monitoring_messages) / base, 1);
       }
     }
-    t.print(std::cout);
+    emit(t);
   }
 
   subbanner("Fig. 9d: collected values vs D-A, %");
@@ -149,7 +150,7 @@ int main() {
       for (std::size_t s = 0; s < schemes.size(); ++s)
         t.add(100.0 * results[i][s].collected / base, 1);
     }
-    t.print(std::cout);
+    emit(t);
   }
 
   subbanner("Fig. 9c': messages per collected value vs D-A, % (efficiency)");
@@ -168,7 +169,7 @@ int main() {
               1);
       }
     }
-    t.print(std::cout);
+    emit(t);
     std::printf(
         "(ADAPTIVE collects more data per message than D-A at every update "
         "frequency)\n");
@@ -186,7 +187,7 @@ int main() {
         t.add(std::string(cell));
       }
     }
-    t.print(std::cout);
+    emit(t);
   }
   return 0;
 }

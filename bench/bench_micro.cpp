@@ -6,6 +6,8 @@
 
 #include "common/rng.h"
 #include "common/sorted_vector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/augmentation.h"
 #include "planner/planner.h"
 #include "sim/simulator.h"
@@ -118,6 +120,62 @@ void BM_PlannerSmall(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(planner.plan(pairs));
 }
 BENCHMARK(BM_PlannerSmall)->Unit(benchmark::kMillisecond);
+
+// Observability overhead check (EXPERIMENTS.md "Bench telemetry"): the
+// same planning run with instrumentation enabled vs disabled. The delta
+// is the cost of trace spans + mirror metrics; the acceptance bar is ≤2%.
+void BM_PlannerObs(benchmark::State& state) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(state.range(0) != 0);
+  SystemModel system(40, 60.0, kCost);
+  system.set_collector_capacity(2000.0);
+  Rng rng{5};
+  system.assign_random_attributes(16, 6, rng);
+  PairSet pairs(41);
+  for (NodeId n = 1; n <= 40; ++n)
+    for (AttrId a : system.observable(n)) pairs.add(n, a);
+  PlannerOptions o;
+  o.max_candidates = 8;
+  Planner planner(system, o);
+  for (auto _ : state) benchmark::DoNotOptimize(planner.plan(pairs));
+  obs::set_enabled(was_enabled);
+}
+BENCHMARK(BM_PlannerObs)
+    ->Arg(0)  // obs disabled (REMO_OBS_DISABLED=1 equivalent)
+    ->Arg(1)  // obs enabled (spans + metrics recorded)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Counter& c = registry.counter("bench.counter");
+  for (auto _ : state) c.add(1);
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Histogram& h =
+      registry.histogram("bench.hist", obs::Histogram::time_bounds());
+  double v = 1e-6;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v > 10.0 ? 1e-6 : v * 1.7;
+  }
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_SpanRecord(benchmark::State& state) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(state.range(0) != 0);
+  obs::TraceRecorder recorder(1024);
+  for (auto _ : state) {
+    const obs::Span span("bench.span", &recorder);
+    benchmark::DoNotOptimize(span.active());
+  }
+  obs::set_enabled(was_enabled);
+}
+BENCHMARK(BM_SpanRecord)->Arg(0)->Arg(1);
 
 void BM_SimulatorEpoch(benchmark::State& state) {
   SystemModel system(100, 1e6, kCost);

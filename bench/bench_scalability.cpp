@@ -52,7 +52,7 @@ void sweep_nodes() {
         .add(single.seconds, 2)
         .add(one.seconds, 2);
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 void sweep_universe() {
@@ -66,13 +66,14 @@ void sweep_universe() {
         .add(static_cast<long long>(remo.evaluations))
         .add(remo.coverage, 1);
   }
-  t.print(std::cout);
+  emit(t);
 }
 
 }  // namespace
 }  // namespace remo::bench
 
-int main() {
+int main(int argc, char** argv) {
+  remo::bench::init("scalability", argc, argv);
   remo::bench::banner("Scalability", "planner cost vs problem size");
   remo::bench::sweep_nodes();
   remo::bench::sweep_universe();

@@ -7,6 +7,7 @@ namespace remo {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_emit_mutex;
+LogSink g_sink;  // empty = the stderr default; guarded by g_emit_mutex
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -33,9 +34,18 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  g_sink = std::move(sink);
+}
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
   std::lock_guard<std::mutex> lock(g_emit_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
   std::fprintf(stderr, "[remo %s] %s\n", level_name(level), message.c_str());
 }
 }  // namespace detail

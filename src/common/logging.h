@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -17,6 +18,16 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 /// Process-wide minimum level; messages below it are discarded.
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
+
+/// Receives every emitted (level-passing) log line. Called under the
+/// emit lock, one message at a time — the sink itself need not be
+/// thread-safe, but must not log re-entrantly.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Installs `sink` in place of the stderr default; an empty sink restores
+/// it. Lets embedders (and the obs trace recorder's span mirroring) route
+/// log lines and telemetry onto one output stream.
+void set_log_sink(LogSink sink);
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message);

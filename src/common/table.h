@@ -28,6 +28,12 @@ class Table {
 
   std::size_t num_rows() const { return rows_.size(); }
 
+  /// Raw cells, for machine-readable re-serialization (bench telemetry).
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

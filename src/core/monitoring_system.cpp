@@ -1,10 +1,49 @@
 #include "core/monitoring_system.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "planner/export.h"
 
 namespace remo {
+
+namespace {
+
+/// `recovery.*` metrics for the detect → repair → replan loop. Constructed
+/// only on the (rare) epochs where the loop acts, so quiet epochs pay
+/// nothing; null members = publishing off (obs disabled).
+struct RecoveryMetrics {
+  obs::Counter* outages_detected = nullptr;
+  obs::Counter* recoveries_detected = nullptr;
+  obs::Counter* repair_passes = nullptr;
+  obs::Counter* repair_messages = nullptr;
+  obs::Counter* replans_after_outage = nullptr;
+  obs::Histogram* repair_seconds = nullptr;
+  obs::Histogram* replan_seconds = nullptr;
+
+  explicit RecoveryMetrics(obs::Registry* registry) {
+    if (!obs::enabled()) return;
+    obs::Registry& reg = obs::registry_or_global(registry);
+    outages_detected = &reg.counter("recovery.outages_detected");
+    recoveries_detected = &reg.counter("recovery.recoveries_detected");
+    repair_passes = &reg.counter("recovery.repair_passes");
+    repair_messages = &reg.counter("recovery.repair_messages");
+    replans_after_outage = &reg.counter("recovery.replans_after_outage");
+    repair_seconds =
+        &reg.histogram("recovery.repair_seconds", obs::Histogram::time_bounds());
+    replan_seconds =
+        &reg.histogram("recovery.replan_seconds", obs::Histogram::time_bounds());
+  }
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 MonitoringSystem::MonitoringSystem(SystemModel system,
                                    MonitoringSystemOptions options)
@@ -155,21 +194,33 @@ bool MonitoringSystem::end_epoch(std::uint64_t epoch) {
   const auto events = liveness_.end_epoch(epoch);
 
   bool any_down = false;
+  std::size_t downs = 0, ups = 0;
   for (const auto& ev : events) {
     if (ev.down) {
       any_down = true;
+      ++downs;
       ++repair_report_.outages_detected;
       repair_report_.detect_lag_sum += ev.lag;
     } else {
+      ++ups;
       ++repair_report_.recoveries_detected;
     }
     last_event_epoch_ = epoch;
     reoptimize_pending_ = true;
     if (options_.recovery.on_detect) options_.recovery.on_detect(ev);
   }
+  if (!events.empty()) {
+    const RecoveryMetrics metrics(options_.metrics);
+    if (metrics.outages_detected != nullptr) {
+      metrics.outages_detected->add(downs);
+      metrics.recoveries_detected->add(ups);
+    }
+  }
 
   bool changed = false;
   if (any_down) {
+    const obs::Span repair_span("recovery.repair");
+    const auto repair_start = std::chrono::steady_clock::now();
     auto res =
         repair_topology(planner_->topology(), system_, liveness_.suspected());
     ++repair_report_.repair_passes;
@@ -190,6 +241,12 @@ bool MonitoringSystem::end_epoch(std::uint64_t epoch) {
       liveness_.restart_deadlines(epoch);
       changed = true;
     }
+    const RecoveryMetrics metrics(options_.metrics);
+    if (metrics.repair_passes != nullptr) {
+      metrics.repair_passes->add(1);
+      metrics.repair_messages->add(res.outcome.repair_messages);
+      metrics.repair_seconds->observe(seconds_since(repair_start));
+    }
   } else if (reoptimize_pending_ &&
              epoch >= last_event_epoch_ + options_.recovery.stabilize_epochs) {
     reoptimize_pending_ = false;
@@ -199,6 +256,8 @@ bool MonitoringSystem::end_epoch(std::uint64_t epoch) {
 }
 
 bool MonitoringSystem::reoptimize_after_outage(std::uint64_t epoch) {
+  const obs::Span span("recovery.replan");
+  const auto start = std::chrono::steady_clock::now();
   const double now = static_cast<double>(epoch);
   const Topology before = planner_->topology();
   const PairSet pairs = manager_.dedup(system_.num_vertices());
@@ -232,6 +291,12 @@ bool MonitoringSystem::reoptimize_after_outage(std::uint64_t epoch) {
   repair_report_.repair_messages += moved;
   liveness_.sync(planner_->topology(), epoch);
   if (moved > 0) liveness_.restart_deadlines(epoch);
+  const RecoveryMetrics metrics(options_.metrics);
+  if (metrics.replans_after_outage != nullptr) {
+    metrics.replans_after_outage->add(1);
+    metrics.repair_messages->add(moved);
+    metrics.replan_seconds->observe(seconds_since(start));
+  }
   return moved > 0;
 }
 

@@ -95,6 +95,12 @@ struct MonitoringSystemOptions {
   /// Failure detection + self-healing repair (off by default: the loop
   /// needs the caller to feed deliveries and epoch boundaries).
   FailureRecoveryOptions recovery;
+  /// Registry the facade publishes `recovery.*` metrics to (suspicion /
+  /// recovery events, repair rounds, replan latency) while obs::enabled().
+  /// Null = the process-global registry; RepairReport stays the always-on
+  /// functional source. (`planner.metrics` injects the engine's registry
+  /// independently.)
+  obs::Registry* metrics = nullptr;
 };
 
 class MonitoringSystem {

@@ -1,0 +1,35 @@
+// Exporters for the observability subsystem (DESIGN.md §9): one registry
+// snapshot or span list rendered three ways — JSON (machine-readable, the
+// BENCH_*.json payload), CSV (spreadsheet-friendly), and the repo's
+// aligned-text Table (human eyes, same look as the figure benches).
+//
+// All output is deterministic: snapshots are name-sorted and numbers are
+// formatted with a fixed shortest-round-trip style, so the JSON form is
+// golden-testable and diffs across runs are meaningful.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace remo::obs {
+
+/// JSON object with "counters" / "gauges" / "histograms" members. `indent`
+/// is the number of spaces prefixed to every line — lets the bench writer
+/// embed the object inside a larger document without re-parsing.
+std::string to_json(const RegistrySnapshot& snapshot, int indent = 0);
+
+/// `kind,name,field,value` rows: one line per counter/gauge value, one per
+/// histogram count/sum/bucket.
+std::string to_csv(const RegistrySnapshot& snapshot);
+
+/// Human view reusing common/table: metric | kind | value.
+Table to_table(const RegistrySnapshot& snapshot);
+
+/// JSON array of span objects in completion order.
+std::string to_json(const std::vector<SpanRecord>& spans, int indent = 0);
+
+}  // namespace remo::obs

@@ -1,10 +1,11 @@
 #include "planner/evaluator.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace remo {
 
@@ -17,22 +18,43 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-/// Live counters; EvalStats is the snapshot handed out. Atomic because
-/// candidate evaluations bump them from pool threads.
+/// Engine metrics live in an obs::Registry (options.metrics, defaulting to
+/// the global one) under the `planner.*` names, so a registry snapshot —
+/// e.g. the one every bench writes into BENCH_*.json — carries the engine
+/// counters with no extra plumbing. EvalStats is a *windowed* view of the
+/// same metrics: reset_stats() captures baselines and stats() subtracts
+/// them, which keeps per-plan() windows exact for the serial use the API
+/// had before (registry counters themselves are cumulative).
 struct PlanEvaluator::Counters {
-  std::atomic<std::size_t> evaluations{0};
-  std::atomic<double> evaluate_seconds{0.0};
-  std::atomic<double> build_seconds{0.0};
-  // Cache hit/miss baselines: TreeBuildCache counts for its lifetime; the
-  // stats() snapshot subtracts the baseline captured at reset_stats().
+  obs::Counter* evaluations = nullptr;
+  obs::Counter* cache_hits = nullptr;    ///< registry mirror of cache_.hits()
+  obs::Counter* cache_misses = nullptr;  ///< registry mirror of cache_.misses()
+  obs::Gauge* evaluate_seconds = nullptr;
+  obs::Gauge* build_seconds = nullptr;
+
+  // EvalStats window baselines, captured by reset_stats(). Cache hit/miss
+  // windows subtract TreeBuildCache's own lifetime counts — exact even
+  // when several evaluators share one registry.
+  std::uint64_t evals_base = 0;
+  double evaluate_seconds_base = 0.0;
+  double build_seconds_base = 0.0;
   std::size_t hits_base = 0;
   std::size_t misses_base = 0;
 
-  static void add(std::atomic<double>& a, double v) {
-    double cur = a.load(std::memory_order_relaxed);
-    while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  /// Scope guard mirroring the cache counter deltas of one engine call
+  /// into the registry (the cache increments from pool threads; the delta
+  /// is taken on the calling thread around the whole parallel section).
+  struct CacheWindow {
+    Counters& c;
+    const TreeBuildCache& cache;
+    std::size_t h0, m0;
+    CacheWindow(Counters& counters, const TreeBuildCache& build_cache)
+        : c(counters), cache(build_cache), h0(cache.hits()), m0(cache.misses()) {}
+    ~CacheWindow() {
+      c.cache_hits->add(cache.hits() - h0);
+      c.cache_misses->add(cache.misses() - m0);
     }
-  }
+  };
 };
 
 PlanEvaluator::PlanEvaluator(const SystemModel& system, PlannerOptions options)
@@ -40,6 +62,12 @@ PlanEvaluator::PlanEvaluator(const SystemModel& system, PlannerOptions options)
       options_(std::move(options)),
       counters_(std::make_unique<Counters>()) {
   cache_.set_enabled(options_.memoize_builds);
+  obs::Registry& reg = obs::registry_or_global(options_.metrics);
+  counters_->evaluations = &reg.counter("planner.candidates_evaluated");
+  counters_->cache_hits = &reg.counter("planner.cache_hits");
+  counters_->cache_misses = &reg.counter("planner.cache_misses");
+  counters_->evaluate_seconds = &reg.gauge("planner.evaluate_seconds");
+  counters_->build_seconds = &reg.gauge("planner.build_seconds");
 }
 
 PlanEvaluator::~PlanEvaluator() = default;
@@ -61,12 +89,14 @@ void PlanEvaluator::sync_pairs(const PairSet& pairs) {
 }
 
 Topology PlanEvaluator::build_full(const PairSet& pairs, const Partition& partition) {
+  const obs::Span span("planner.build_full");
+  const Counters::CacheWindow cache_window(*counters_, cache_);
   const auto start = std::chrono::steady_clock::now();
   Topology topo = build_topology(*system_, pairs, partition, options_.attr_specs,
                                  options_.allocation, options_.tree,
                                  cache_.enabled() ? &cache_ : nullptr);
-  counters_->evaluations.fetch_add(1, std::memory_order_relaxed);
-  Counters::add(counters_->build_seconds, seconds_since(start));
+  counters_->evaluations->add(1);
+  counters_->build_seconds->add(seconds_since(start));
   return topo;
 }
 
@@ -102,6 +132,8 @@ PlanEvaluator::Result PlanEvaluator::materialize(
 std::vector<PlanEvaluator::Result> PlanEvaluator::evaluate_all(
     const Topology& base, const PairSet& pairs,
     const std::vector<Augmentation>& candidates) {
+  const obs::Span span("planner.evaluate");
+  const Counters::CacheWindow cache_window(*counters_, cache_);
   const auto start = std::chrono::steady_clock::now();
   const Partition p = base.partition();  // sets in entry order
   std::vector<Result> results(candidates.size());
@@ -116,14 +148,16 @@ std::vector<PlanEvaluator::Result> PlanEvaluator::evaluate_all(
   } else {
     pool().parallel_for(candidates.size(), evaluate_one);
   }
-  counters_->evaluations.fetch_add(candidates.size(), std::memory_order_relaxed);
-  Counters::add(counters_->evaluate_seconds, seconds_since(start));
+  counters_->evaluations->add(candidates.size());
+  counters_->evaluate_seconds->add(seconds_since(start));
   return results;
 }
 
 std::optional<PlanEvaluator::Result> PlanEvaluator::best_improving(
     const Topology& base, const PairSet& pairs,
     const std::vector<Augmentation>& candidates, const PlanScore& current) {
+  const obs::Span span("planner.evaluate");
+  const Counters::CacheWindow cache_window(*counters_, cache_);
   const auto start = std::chrono::steady_clock::now();
   const Partition p = base.partition();
   std::vector<PlanScore> scores(candidates.size());
@@ -135,7 +169,7 @@ std::optional<PlanEvaluator::Result> PlanEvaluator::best_improving(
   } else {
     pool().parallel_for(candidates.size(), score_one);
   }
-  counters_->evaluations.fetch_add(candidates.size(), std::memory_order_relaxed);
+  counters_->evaluations->add(candidates.size());
 
   // Serial rank-order scan: strict improvement over the running best, so
   // ties go to the lowest-ranked candidate — identical to serial search.
@@ -149,7 +183,7 @@ std::optional<PlanEvaluator::Result> PlanEvaluator::best_improving(
   }
   std::optional<Result> out;
   if (best) out = materialize(base, p, pairs, candidates, *best, best_score);
-  Counters::add(counters_->evaluate_seconds, seconds_since(start));
+  counters_->evaluate_seconds->add(seconds_since(start));
   return out;
 }
 
@@ -157,6 +191,8 @@ std::optional<PlanEvaluator::Result> PlanEvaluator::first_improving(
     const Topology& base, const PairSet& pairs,
     const std::vector<Augmentation>& candidates, const PlanScore& current,
     std::size_t max_evaluations) {
+  const obs::Span span("planner.evaluate");
+  const Counters::CacheWindow cache_window(*counters_, cache_);
   const auto start = std::chrono::steady_clock::now();
   const Partition p = base.partition();
   const std::size_t budget = std::min(candidates.size(), max_evaluations);
@@ -182,25 +218,27 @@ std::optional<PlanEvaluator::Result> PlanEvaluator::first_improving(
       }
     }
   }
-  counters_->evaluations.fetch_add(evaluated, std::memory_order_relaxed);
-  Counters::add(counters_->evaluate_seconds, seconds_since(start));
+  counters_->evaluations->add(evaluated);
+  counters_->evaluate_seconds->add(seconds_since(start));
   return found;
 }
 
 EvalStats PlanEvaluator::stats() const {
   EvalStats s;
-  s.evaluations = counters_->evaluations.load(std::memory_order_relaxed);
+  s.evaluations = counters_->evaluations->value() - counters_->evals_base;
   s.cache_hits = cache_.hits() - counters_->hits_base;
   s.cache_misses = cache_.misses() - counters_->misses_base;
-  s.evaluate_seconds = counters_->evaluate_seconds.load(std::memory_order_relaxed);
-  s.build_seconds = counters_->build_seconds.load(std::memory_order_relaxed);
+  s.evaluate_seconds =
+      counters_->evaluate_seconds->value() - counters_->evaluate_seconds_base;
+  s.build_seconds =
+      counters_->build_seconds->value() - counters_->build_seconds_base;
   return s;
 }
 
 void PlanEvaluator::reset_stats() {
-  counters_->evaluations.store(0, std::memory_order_relaxed);
-  counters_->evaluate_seconds.store(0.0, std::memory_order_relaxed);
-  counters_->build_seconds.store(0.0, std::memory_order_relaxed);
+  counters_->evals_base = counters_->evaluations->value();
+  counters_->evaluate_seconds_base = counters_->evaluate_seconds->value();
+  counters_->build_seconds_base = counters_->build_seconds->value();
   counters_->hits_base = cache_.hits();
   counters_->misses_base = cache_.misses();
 }

@@ -13,7 +13,11 @@
 //     committed operation did not touch reuses the built trees.
 //
 // The engine also keeps the evaluation counters/timings (EvalStats) that
-// plan(), the adaptive planner, and the Fig. 9/10 benches report.
+// plan(), the adaptive planner, and the Fig. 9/10 benches report. The live
+// counters are `planner.*` metrics in an obs::Registry
+// (PlannerOptions::metrics, defaulting to the global registry), so every
+// registry snapshot — including the BENCH_*.json telemetry — carries them;
+// EvalStats is the windowed view between reset_stats() and stats().
 #pragma once
 
 #include <cstddef>
@@ -29,7 +33,7 @@ namespace remo {
 class ThreadPool;
 
 /// Counters/timings of the engine since the last reset_stats(). Snapshot
-/// type — the live counters are atomics inside the engine.
+/// type — the live counters are registry metrics (see above).
 struct EvalStats {
   /// Topologies built and scored: one per evaluated candidate, plus one
   /// per full-forest build (initial layout, re-layout escape, endpoint

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/sorted_vector.h"
+#include "obs/trace.h"
 #include "planner/evaluator.h"
 
 namespace remo {
@@ -106,6 +107,7 @@ Topology Planner::build_for_partition(const PairSet& pairs, const Partition& p) 
 }
 
 bool Planner::improve_once(Topology& topo, const PairSet& pairs) const {
+  const obs::Span span("planner.iteration");
   const auto candidates = rank_topology_augmentations(
       topo, pairs, system_->cost(), options_.conflicts, options_.max_candidates,
       nullptr, options_.starvation_ranking);
@@ -142,6 +144,7 @@ bool Planner::improve_once(Topology& topo, const PairSet& pairs) const {
 }
 
 Topology Planner::plan(const PairSet& pairs) const {
+  const obs::Span span("planner.plan");
   evaluator_->reset_stats();
   evaluator_->sync_pairs(pairs);
   const auto universe = pairs.attribute_universe();

@@ -18,6 +18,10 @@
 
 namespace remo {
 
+namespace obs {
+class Registry;
+}
+
 enum class PartitionScheme : std::uint8_t { kSingletonSet, kOneSet, kRemo };
 
 const char* to_string(PartitionScheme s) noexcept;
@@ -63,6 +67,13 @@ struct PlannerOptions {
   /// attribute set, remaining-capacity fingerprint). A hit is bit-identical
   /// to a fresh build; switching this off only trades speed.
   bool memoize_builds = true;
+
+  // --- observability (src/obs, DESIGN.md §9) -----------------------------
+  /// Metrics registry the evaluation engine publishes to (the counters
+  /// behind Planner::last_stats / AdaptReport, and the `planner.*` series
+  /// in BENCH_*.json). Null = the process-global registry; inject a
+  /// private instance to keep a test or side-by-side run hermetic.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Lexicographic objective: more collected pairs first; then lower message

@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace remo {
 
@@ -45,6 +47,29 @@ struct Deployment {
   /// per-attribute send periods discount slow-updating attributes so
   /// delivered_ratio can reach 1.0 for any frequency-weight mix.
   double expected_per_epoch = 0.0;
+};
+
+/// `sim.*` metrics mirrored from the run (resolved once; the obs switch is
+/// sampled at simulate() entry). Null pointers = publishing off.
+struct SimMetrics {
+  obs::Counter* epochs = nullptr;
+  obs::Counter* messages_sent = nullptr;
+  obs::Counter* values_delivered = nullptr;
+  obs::Counter* values_dropped = nullptr;
+  obs::Counter* values_rebuffered = nullptr;
+  obs::Histogram* deliveries_per_epoch = nullptr;
+
+  explicit SimMetrics(obs::Registry* registry) {
+    if (!obs::enabled()) return;
+    obs::Registry& reg = obs::registry_or_global(registry);
+    epochs = &reg.counter("sim.epochs");
+    messages_sent = &reg.counter("sim.messages_sent");
+    values_delivered = &reg.counter("sim.values_delivered");
+    values_dropped = &reg.counter("sim.values_dropped");
+    values_rebuffered = &reg.counter("sim.values_rebuffered");
+    deliveries_per_epoch = &reg.histogram(
+        "sim.deliveries_per_epoch", {0.0, 1.0, 10.0, 100.0, 1000.0, 10000.0});
+  }
 };
 
 Deployment deploy(const Topology& topology,
@@ -132,8 +157,15 @@ SimReport simulate(const SystemModel& system, const Topology& topology,
   std::uint64_t sampled_epochs = 0;
   std::vector<bool> down(system.num_vertices(), false);
   const CostModel& cost = system.cost();
+  SimMetrics metrics(config.metrics);
+  std::size_t delivered_total = 0;  // collector arrivals, all epochs
 
   for (std::uint64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const obs::Span epoch_span("sim.epoch");
+    const std::size_t messages_before = report.messages_sent;
+    const std::size_t dropped_before = report.values_dropped;
+    const std::size_t rebuffered_before = report.values_rebuffered;
+    const std::size_t delivered_before = delivered_total;
     source.advance(epoch);
     std::fill(used.begin(), used.end(), 0.0);
     const bool sampling = epoch >= config.warmup;
@@ -209,6 +241,7 @@ SimReport simulate(const SystemModel& system, const Topology& topology,
           // values are regenerated next epoch anyway.
           for (std::size_t i = num_locals; i < payload.size(); ++i)
             sn.buffer.emplace(payload[i].pair, payload[i]);
+          report.values_rebuffered += payload.size() - num_locals;
           report.values_dropped += num_locals;
           continue;
         }
@@ -216,6 +249,7 @@ SimReport simulate(const SystemModel& system, const Topology& topology,
         // unsent relays are re-buffered for the next message — same
         // deferral semantics as the fit == 0 path.
         report.values_dropped += fit < num_locals ? num_locals - fit : 0;
+        report.values_rebuffered += payload.size() - std::max(fit, num_locals);
         for (std::size_t i = std::max(fit, num_locals); i < payload.size(); ++i)
           sn.buffer.emplace(payload[i].pair, payload[i]);
 
@@ -230,6 +264,7 @@ SimReport simulate(const SystemModel& system, const Topology& topology,
           const Relayed& r = payload[i];
           if (sn.parent == kCollectorId) {
             view[r.pair] = r.value;
+            ++delivered_total;
             if (sampling) ++deliveries;
             if (config.on_delivery)
               config.on_delivery(all_pairs[r.pair], epoch, r.value);
@@ -248,6 +283,17 @@ SimReport simulate(const SystemModel& system, const Topology& topology,
           }
         }
       }
+    }
+
+    if (metrics.epochs != nullptr) {
+      metrics.epochs->add(1);
+      metrics.messages_sent->add(report.messages_sent - messages_before);
+      metrics.values_delivered->add(delivered_total - delivered_before);
+      metrics.values_dropped->add(report.values_dropped - dropped_before);
+      metrics.values_rebuffered->add(report.values_rebuffered -
+                                     rebuffered_before);
+      metrics.deliveries_per_epoch->observe(
+          static_cast<double>(delivered_total - delivered_before));
     }
 
     if (config.on_epoch_end) config.on_epoch_end(epoch);

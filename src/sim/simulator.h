@@ -26,6 +26,10 @@
 
 namespace remo {
 
+namespace obs {
+class Registry;
+}
+
 /// A node outage: `node` is down in epochs [at_epoch, recover_epoch). A
 /// down node neither sends nor relays (its relay buffer is lost), and
 /// messages sent to it are lost — the failure model behind the Sec. 6.2
@@ -64,6 +68,11 @@ struct SimConfig {
   /// planned-pair / expected-delivery accounting switches to the new
   /// topology. Return nullptr to keep the current deployment.
   std::function<const Topology*(std::uint64_t epoch)> on_reconfigure;
+  /// Registry the run publishes `sim.*` metrics to (messages sent, values
+  /// delivered/dropped/re-buffered, per-epoch delivery histogram). Null =
+  /// the process-global registry. Publishing happens only while
+  /// obs::enabled() — the SimReport fields are the always-on source.
+  obs::Registry* metrics = nullptr;
 };
 
 struct SimReport {
@@ -84,6 +93,10 @@ struct SimReport {
   std::size_t messages_sent = 0;
   std::size_t values_sent = 0;
   std::size_t values_dropped = 0;
+  /// Relayed values deferred to a later message because the link's
+  /// capacity ran out this epoch (the store half of store-and-forward
+  /// backpressure; each deferral counts once per epoch it waits).
+  std::size_t values_rebuffered = 0;
 
   /// Per-epoch capacity utilization (used / b_i), averaged over epochs.
   double avg_node_utilization = 0.0;

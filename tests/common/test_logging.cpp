@@ -2,12 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace remo {
 namespace {
 
 class LoggingTest : public ::testing::Test {
  protected:
-  void TearDown() override { set_log_level(LogLevel::kWarn); }  // default
+  void TearDown() override {
+    set_log_level(LogLevel::kWarn);  // default
+    set_log_sink({});                // restore stderr
+  }
 };
 
 TEST_F(LoggingTest, LevelRoundTrip) {
@@ -43,6 +50,31 @@ TEST_F(LoggingTest, SuppressedLevelSkipsEvaluation) {
   set_log_level(LogLevel::kDebug);
   REMO_ERROR() << count();
   EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, SinkReceivesLevelPassingMessages) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&captured](LogLevel level, const std::string& message) {
+    captured.emplace_back(level, message);
+  });
+  set_log_level(LogLevel::kInfo);
+  REMO_DEBUG() << "suppressed";  // below the level: never reaches the sink
+  REMO_INFO() << "info " << 7;
+  REMO_ERROR() << "boom";
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], (std::pair{LogLevel::kInfo, std::string("info 7")}));
+  EXPECT_EQ(captured[1], (std::pair{LogLevel::kError, std::string("boom")}));
+}
+
+TEST_F(LoggingTest, EmptySinkRestoresStderrDefault) {
+  int calls = 0;
+  set_log_sink([&calls](LogLevel, const std::string&) { ++calls; });
+  set_log_level(LogLevel::kWarn);
+  REMO_WARN() << "to sink";
+  EXPECT_EQ(calls, 1);
+  set_log_sink({});  // back to stderr: the counter must stop moving
+  REMO_WARN() << "to stderr";
+  EXPECT_EQ(calls, 1);
 }
 
 TEST_F(LoggingTest, MacroIsStatementSafe) {

@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace remo::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_enabled(true); }
+  void TearDown() override { set_enabled(true); }
+};
+
+TEST_F(TraceTest, NestedSpansRecordParentLinks) {
+  TraceRecorder recorder(16);
+  {
+    const Span plan("planner.plan", &recorder);
+    {
+      const Span build("planner.build", &recorder);
+      { const Span commit("planner.commit", &recorder); }
+    }
+  }
+  const auto records = recorder.records();
+  ASSERT_EQ(records.size(), 3u);
+
+  // Completion order: innermost first, root last.
+  EXPECT_EQ(records[0].name, "planner.commit");
+  EXPECT_EQ(records[1].name, "planner.build");
+  EXPECT_EQ(records[2].name, "planner.plan");
+
+  // plan → build → commit parent chain; the root has parent 0.
+  std::map<std::string, SpanRecord> by_name;
+  for (const auto& r : records) by_name[r.name] = r;
+  EXPECT_EQ(by_name["planner.plan"].parent, 0u);
+  EXPECT_EQ(by_name["planner.build"].parent, by_name["planner.plan"].id);
+  EXPECT_EQ(by_name["planner.commit"].parent, by_name["planner.build"].id);
+
+  // A child starts no earlier and ends no later than its parent.
+  const auto& plan = by_name["planner.plan"];
+  const auto& build = by_name["planner.build"];
+  EXPECT_GE(build.start_s, plan.start_s);
+  EXPECT_LE(build.start_s + build.duration_s,
+            plan.start_s + plan.duration_s + 1e-9);
+}
+
+TEST_F(TraceTest, SiblingsShareTheSameParent) {
+  TraceRecorder recorder(16);
+  {
+    const Span plan("plan", &recorder);
+    { const Span a("iter", &recorder); }
+    { const Span b("iter", &recorder); }
+  }
+  const auto records = recorder.records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].parent, records[2].id);
+  EXPECT_EQ(records[1].parent, records[2].id);
+  EXPECT_NE(records[0].id, records[1].id);
+}
+
+TEST_F(TraceTest, RingOverflowDropsOldestAndCounts) {
+  TraceRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    const Span s(i % 2 == 0 ? "even" : "odd", &recorder);
+  }
+  const auto records = recorder.records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  // Oldest-first: the survivors are spans 7..10 (ids are 1-based).
+  EXPECT_EQ(records.front().id, 7u);
+  EXPECT_EQ(records.back().id, 10u);
+}
+
+TEST_F(TraceTest, ClearRestartsEpochAndKeepsCapacity) {
+  TraceRecorder recorder(8);
+  { const Span s("before", &recorder); }
+  recorder.clear();
+  EXPECT_TRUE(recorder.records().empty());
+  EXPECT_EQ(recorder.dropped(), 0u);
+  { const Span s("after", &recorder); }
+  const auto records = recorder.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "after");
+  EXPECT_EQ(recorder.capacity(), 8u);
+}
+
+TEST_F(TraceTest, DisabledSpansAreInertAndRecordNothing) {
+  TraceRecorder recorder(8);
+  set_enabled(false);
+  {
+    const Span s("hidden", &recorder);
+    EXPECT_FALSE(s.active());
+    EXPECT_EQ(s.id(), 0u);
+  }
+  EXPECT_TRUE(recorder.records().empty());
+
+  // A span opened while disabled must not become the parent of one opened
+  // after re-enabling.
+  {
+    const Span outer("hidden-outer", &recorder);
+    set_enabled(true);
+    { const Span inner("visible", &recorder); }
+  }
+  const auto records = recorder.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "visible");
+  EXPECT_EQ(records[0].parent, 0u);
+}
+
+TEST_F(TraceTest, NullRecorderIsInert) {
+  const Span s("nowhere", nullptr);
+  EXPECT_FALSE(s.active());
+}
+
+TEST_F(TraceTest, ParentLinksAreScopedPerRecorder) {
+  // A span on a different recorder must not become the parent of spans
+  // recorded elsewhere (the live-span stack filters by recorder).
+  TraceRecorder a(8), b(8);
+  {
+    const Span outer("a.outer", &a);
+    { const Span inner("b.inner", &b); }
+  }
+  const auto in_b = b.records();
+  ASSERT_EQ(in_b.size(), 1u);
+  EXPECT_EQ(in_b[0].parent, 0u);
+  ASSERT_EQ(a.records().size(), 1u);
+}
+
+}  // namespace
+}  // namespace remo::obs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "planner/planner.h"
 
 namespace remo {
@@ -245,6 +246,43 @@ TEST(Simulator, EmptyTopologyReportsFullErrorNoTraffic) {
   EXPECT_EQ(report.messages_sent, 0u);
   EXPECT_EQ(report.planned_pairs, 0u);
   EXPECT_GT(report.avg_percent_error, 0.0);
+}
+
+TEST(Simulator, BackpressureRebuffersRelaysAndMirrorsMetrics) {
+  // Plan a deep chain under ample capacity, then simulate it on a
+  // squeezed system: relays no longer fit each epoch, so they must be
+  // deferred (store half of store-and-forward), not silently lost. The
+  // run also publishes sim.* into an injected registry; the mirrors
+  // must equal the SimReport exactly.
+  Fixture ample(12, 1, 1e6, 1e6);
+  PlannerOptions chain_opts;
+  chain_opts.partition_scheme = PartitionScheme::kOneSet;
+  chain_opts.tree.scheme = TreeScheme::kChain;
+  auto topo = Planner(ample.system, chain_opts).plan(ample.pairs);
+  ASSERT_GT(topo.entries()[0].tree.height(), 4u);
+
+  // Room for a message of ~2 values per endpoint per epoch (C=10, a=1):
+  // mid-chain nodes accumulate relays they can't flush.
+  Fixture tight(12, 1, 26.0, 60.0);
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  obs::Registry registry;
+  RandomWalkSource src(ample.pairs, 7);
+  SimConfig cfg;
+  cfg.epochs = 50;
+  cfg.warmup = 10;
+  cfg.metrics = &registry;
+  const auto report = simulate(tight.system, topo, ample.pairs, src, cfg);
+  obs::set_enabled(was_enabled);
+
+  EXPECT_GT(report.values_rebuffered, 0u);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("sim.epochs"), cfg.epochs);
+  EXPECT_EQ(snap.counters.at("sim.messages_sent"), report.messages_sent);
+  EXPECT_EQ(snap.counters.at("sim.values_dropped"), report.values_dropped);
+  EXPECT_EQ(snap.counters.at("sim.values_rebuffered"),
+            report.values_rebuffered);
+  EXPECT_EQ(snap.histograms.at("sim.deliveries_per_epoch").count, cfg.epochs);
 }
 
 }  // namespace

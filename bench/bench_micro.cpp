@@ -64,6 +64,72 @@ void BM_CanAttachDeep(benchmark::State& state) {
 }
 BENCHMARK(BM_CanAttachDeep)->Arg(16)->Arg(128);
 
+// ---- tree-kernel probes (ISSUE 4): direct measurements of the arena's
+// hot paths, so future kernel changes see regressions immediately. --------
+
+/// Attach throughput: grow a 3-wide tree to `n` members, then tear it down
+/// and grow it again every iteration. Dominated by try_attach (fused
+/// feasibility walk + apply) and slot recycling.
+void BM_AttachThroughput(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<TreeAttrSpec> specs{{0, FunnelSpec{}, 1.0}, {1, FunnelSpec{}, 1.0}};
+  MonitoringTree t(specs, 1e9, kCost);
+  std::vector<BuildItem> items;
+  for (NodeId id = 1; id <= n; ++id)
+    items.push_back(BuildItem{id, {1, 1}, 1e9});
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId parent = i < 3 ? kCollectorId : static_cast<NodeId>(i / 3);
+      benchmark::DoNotOptimize(t.try_attach(items[i], parent));
+    }
+    state.PauseTiming();
+    for (NodeId c : std::vector<NodeId>(t.children(kCollectorId)))
+      (void)t.detach_branch(c);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AttachThroughput)->Arg(64)->Arg(512);
+
+/// Feasibility-test throughput on a deep chain: the allocation-free upward
+/// walk (scratch buffers, flat arrays) with no mutation.
+void BM_FeasibilityWalk(benchmark::State& state) {
+  auto tree = chain_tree(state.range(0), 4);
+  const BuildItem item{9999, {1, 1, 1, 1}, 1e9};
+  const NodeId deepest = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(tree.can_attach(item, deepest));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FeasibilityWalk)->Arg(16)->Arg(128)->Arg(1024);
+
+/// Rollback cost, snapshot vs journal: undo a detach+reattach of a k-wide
+/// branch either by copying the whole n-member tree up front (the pre-arena
+/// strategy) or by journaling and replaying inverses (the arena strategy).
+/// The journal's cost scales with the branch, not the tree.
+void BM_RollbackSnapshot(benchmark::State& state) {
+  auto tree = chain_tree(state.range(0), 2);
+  const NodeId branch = static_cast<NodeId>(state.range(0) - 8);
+  for (auto _ : state) {
+    MonitoringTree snapshot = tree;
+    auto items = tree.detach_branch(branch);
+    benchmark::DoNotOptimize(items);
+    tree = std::move(snapshot);
+  }
+}
+BENCHMARK(BM_RollbackSnapshot)->Arg(64)->Arg(512);
+
+void BM_RollbackJournal(benchmark::State& state) {
+  auto tree = chain_tree(state.range(0), 2);
+  const NodeId branch = static_cast<NodeId>(state.range(0) - 8);
+  for (auto _ : state) {
+    tree.begin_journal();
+    auto items = tree.detach_branch(branch);
+    benchmark::DoNotOptimize(items);
+    tree.rollback_journal();
+  }
+}
+BENCHMARK(BM_RollbackJournal)->Arg(64)->Arg(512);
+
 void BM_MoveBranch(benchmark::State& state) {
   auto tree = chain_tree(64, 2);
   // Bounce the deepest node between two parents.

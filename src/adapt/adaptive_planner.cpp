@@ -147,7 +147,9 @@ std::vector<std::vector<AttrId>> AdaptivePlanner::direct_apply(
       if (tree.contains(n)) {
         // Removals are always feasible; apply them first so stale values
         // stop flowing even when the additions do not fit.
-        const auto& old_local = tree.local_counts(n);
+        const auto old_span = tree.local_counts(n);
+        const std::vector<std::uint32_t> old_local(old_span.begin(),
+                                                   old_span.end());
         std::vector<std::uint32_t> shrunk(entry.attrs.size());
         for (std::size_t m = 0; m < entry.attrs.size(); ++m)
           shrunk[m] = std::min(old_local[m], desired[m]);

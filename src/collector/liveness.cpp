@@ -11,7 +11,7 @@ void LivenessTracker::sync(const Topology& topology, std::uint64_t epoch) {
   for (const auto& entry : topology.entries()) {
     const auto& specs = entry.tree.attr_specs();
     for (NodeId n : entry.tree.members()) {
-      const auto& local = entry.tree.local_counts(n);
+      const auto local = entry.tree.local_counts(n);
       std::uint64_t interval = 0;
       for (std::size_t m = 0; m < specs.size(); ++m) {
         if (local[m] == 0) continue;

@@ -87,7 +87,7 @@ Deployment deploy(const Topology& topology,
       sn.id = n;
       sn.parent = entry.tree.parent(n);
       sn.depth = entry.tree.depth(n);
-      const auto& local = entry.tree.local_counts(n);
+      const auto local = entry.tree.local_counts(n);
       for (std::size_t m = 0; m < specs.size(); ++m) {
         if (local[m] == 0) continue;
         auto it = pair_index.find(NodeAttrPair{n, specs[m].attr});

@@ -55,21 +55,39 @@ NodeId select_parent(const MonitoringTree& tree, const BuildItem& item,
   return best;
 }
 
+/// A pending node plus its send-cost demand u = C + a·y. The demand depends
+/// only on the item's local counts and the tree's attribute specs — both
+/// fixed for the whole build — so it is computed once per item instead of
+/// once per adjust round.
+struct PendingItem {
+  BuildItem item;
+  Capacity demand = 0;
+};
+
+Capacity item_demand(const MonitoringTree& tree, const BuildItem& item) {
+  double y = 0.0;
+  const auto& specs = tree.attr_specs();
+  for (std::size_t m = 0; m < specs.size(); ++m)
+    y += specs[m].weight * static_cast<double>(specs[m].funnel(item.local[m]));
+  return tree.cost().per_message + tree.cost().per_value * y;
+}
+
 /// One construction pass (the STAR-like construction procedure): tries to
 /// attach every pending item, removing the ones that succeed. Returns the
 /// number of attachments made.
-std::size_t construction_pass(MonitoringTree& tree, std::vector<BuildItem>& pending,
+std::size_t construction_pass(MonitoringTree& tree,
+                              std::vector<PendingItem>& pending,
                               TreeScheme scheme, std::vector<NodeId>* congested) {
   std::size_t attached = 0;
-  std::vector<BuildItem> still_pending;
+  std::vector<PendingItem> still_pending;
   still_pending.reserve(pending.size());
-  for (auto& item : pending) {
-    const NodeId parent = select_parent(tree, item, scheme, congested);
+  for (auto& p : pending) {
+    const NodeId parent = select_parent(tree, p.item, scheme, congested);
     if (parent != kNoNode) {
-      tree.attach(item, parent);
+      tree.attach(p.item, parent);
       ++attached;
     } else {
-      still_pending.push_back(std::move(item));
+      still_pending.push_back(std::move(p));
     }
   }
   pending = std::move(still_pending);
@@ -79,16 +97,9 @@ std::size_t construction_pass(MonitoringTree& tree, std::vector<BuildItem>& pend
 
 /// Minimum send-cost demand over pending items (the u of the cheapest node
 /// that failed to attach) — the d_f demand used by the Theorem 1 gate.
-Capacity min_pending_demand(const MonitoringTree& tree,
-                            const std::vector<BuildItem>& pending) {
+Capacity min_pending_demand(const std::vector<PendingItem>& pending) {
   Capacity best = std::numeric_limits<Capacity>::infinity();
-  for (const auto& item : pending) {
-    double y = 0.0;
-    const auto& specs = tree.attr_specs();
-    for (std::size_t m = 0; m < specs.size(); ++m)
-      y += specs[m].weight * static_cast<double>(specs[m].funnel(item.local[m]));
-    best = std::min(best, tree.cost().per_message + tree.cost().per_value * y);
-  }
+  for (const auto& p : pending) best = std::min(best, p.demand);
   return best;
 }
 
@@ -161,8 +172,8 @@ bool adjust(MonitoringTree& tree, std::vector<NodeId> congested,
       } else {
         // Node-by-node reattach (the basic scheme): detach the branch, then
         // greedily re-insert each node anywhere except dc. All-or-nothing:
-        // restore the snapshot if any node fails.
-        MonitoringTree snapshot = tree;
+        // journal the mutations and roll back if any node fails.
+        tree.begin_journal();
         auto items = tree.detach_branch(b);
         bool ok = true;
         for (const auto& item : items) {
@@ -187,8 +198,11 @@ bool adjust(MonitoringTree& tree, std::vector<NodeId> congested,
           }
           tree.attach(item, best);
         }
-        if (ok) return true;
-        tree = std::move(snapshot);
+        if (ok) {
+          tree.commit_journal();
+          return true;
+        }
+        tree.rollback_journal();
       }
     }
   }
@@ -230,21 +244,25 @@ TreeBuildResult build_tree(std::vector<TreeAttrSpec> attrs,
 
   // Nodes with nothing to report never join; surface them as rejected so
   // accounting stays exact.
-  std::vector<BuildItem> pending;
+  std::vector<PendingItem> pending;
   pending.reserve(items.size());
   for (auto& item : items) {
-    if (item.local_total() == 0)
+    if (item.local_total() == 0) {
       result.rejected.push_back(std::move(item));
-    else
-      pending.push_back(std::move(item));
+    } else {
+      PendingItem p{std::move(item), 0};
+      p.demand = item_demand(result.tree, p.item);
+      pending.push_back(std::move(p));
+    }
   }
 
   // "adds nodes into the constructed tree in the order of decreased
   // available capacity" (Sec. 3.2.1).
-  std::sort(pending.begin(), pending.end(), [](const BuildItem& a, const BuildItem& b) {
-    if (a.avail != b.avail) return a.avail > b.avail;
-    return a.id < b.id;
-  });
+  std::sort(pending.begin(), pending.end(),
+            [](const PendingItem& a, const PendingItem& b) {
+              if (a.item.avail != b.item.avail) return a.item.avail > b.item.avail;
+              return a.item.id < b.item.id;
+            });
 
   std::size_t fruitless = 0;
   while (!pending.empty()) {
@@ -261,7 +279,7 @@ TreeBuildResult build_tree(std::vector<TreeAttrSpec> attrs,
       if (attached == 0) break;
       continue;
     }
-    const Capacity min_demand = min_pending_demand(result.tree, pending);
+    const Capacity min_demand = min_pending_demand(pending);
     const auto adjust_start = std::chrono::steady_clock::now();
     const bool adjusted =
         adjust(result.tree, std::move(congested), min_demand, options, result);
@@ -272,7 +290,7 @@ TreeBuildResult build_tree(std::vector<TreeAttrSpec> attrs,
     if (!adjusted) break;
   }
 
-  for (auto& item : pending) result.rejected.push_back(std::move(item));
+  for (auto& p : pending) result.rejected.push_back(std::move(p.item));
   return result;
 }
 

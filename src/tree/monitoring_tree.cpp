@@ -10,7 +10,13 @@ namespace remo {
 
 namespace {
 constexpr double kEps = 1e-9;
+
+std::uint32_t row_sum(const std::uint32_t* row, std::size_t n) noexcept {
+  std::uint32_t s = 0;
+  for (std::size_t m = 0; m < n; ++m) s += row[m];
+  return s;
 }
+}  // namespace
 
 std::uint64_t send_period(double weight) noexcept {
   const double w = std::clamp(weight, 1e-6, 1.0);
@@ -21,12 +27,20 @@ std::uint64_t send_period(double weight) noexcept {
 MonitoringTree::MonitoringTree(std::vector<TreeAttrSpec> attrs,
                                Capacity collector_avail, CostModel cost)
     : attrs_(std::move(attrs)), cost_(cost) {
-  Vertex root;
-  root.parent = kNoNode;
-  root.local.assign(attrs_.size(), 0);
-  root.in.assign(attrs_.size(), 0);
-  root.avail = collector_avail;
-  vertices_.emplace(kCollectorId, std::move(root));
+  // Slot 0 is the collector, forever.
+  id_.push_back(kCollectorId);
+  parent_.push_back(kNoSlot);
+  depth_.push_back(0);
+  avail_.push_back(collector_avail);
+  y_.push_back(0.0);
+  recv_.push_back(0.0);
+  in_.assign(stride(), 0);
+  local_.assign(stride(), 0);
+  children_.emplace_back();
+  lookup_.assign(1, kRootSlot);
+  walk_delta_.resize(stride());
+  walk_next_.resize(stride());
+  out_scratch_.resize(stride());
 }
 
 std::vector<AttrId> MonitoringTree::attr_ids() const {
@@ -36,66 +50,51 @@ std::vector<AttrId> MonitoringTree::attr_ids() const {
   return ids;
 }
 
-const MonitoringTree::Vertex& MonitoringTree::vat(NodeId id) const {
-  auto it = vertices_.find(id);
-  if (it == vertices_.end()) throw std::out_of_range("node not in tree");
-  return it->second;
+MonitoringTree::Slot MonitoringTree::slot_of(NodeId id) const {
+  if (!contains(id)) throw std::out_of_range("node not in tree");
+  return lookup_[id];
 }
 
-MonitoringTree::Vertex& MonitoringTree::vat(NodeId id) {
-  auto it = vertices_.find(id);
-  if (it == vertices_.end()) throw std::out_of_range("node not in tree");
-  return it->second;
+MonitoringTree::Slot MonitoringTree::alloc_slot() {
+  if (!free_.empty()) {
+    const Slot s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+  const Slot s = static_cast<Slot>(id_.size());
+  id_.push_back(kNoNode);
+  parent_.push_back(kNoSlot);
+  depth_.push_back(0);
+  avail_.push_back(0.0);
+  y_.push_back(0.0);
+  recv_.push_back(0.0);
+  in_.resize(in_.size() + stride(), 0);
+  local_.resize(local_.size() + stride(), 0);
+  children_.emplace_back();
+  return s;
 }
 
-double MonitoringTree::weighted_out(const std::vector<std::uint32_t>& in) const {
+double MonitoringTree::weighted_out(const std::uint32_t* in) const {
   double y = 0.0;
   for (std::size_t m = 0; m < attrs_.size(); ++m)
     y += attrs_[m].weight * static_cast<double>(attrs_[m].funnel(in[m]));
   return y;
 }
 
-std::vector<std::uint32_t> MonitoringTree::out_of(
-    const std::vector<std::uint32_t>& in) const {
-  std::vector<std::uint32_t> out(in.size());
-  for (std::size_t m = 0; m < attrs_.size(); ++m) out[m] = attrs_[m].funnel(in[m]);
-  return out;
+NodeId MonitoringTree::parent(NodeId id) const {
+  const Slot p = parent_[slot_of(id)];
+  return p == kNoSlot ? kNoNode : id_[p];
 }
-
-std::vector<NodeId> MonitoringTree::members() const {
-  std::vector<NodeId> out;
-  out.reserve(vertices_.size() - 1);
-  for (const auto& [id, v] : vertices_)
-    if (id != kCollectorId) out.push_back(id);
-  return out;
-}
-
-NodeId MonitoringTree::parent(NodeId id) const { return vat(id).parent; }
 
 const std::vector<NodeId>& MonitoringTree::children(NodeId id) const {
-  return vat(id).children;
+  return children_[slot_of(id)];
 }
 
-std::size_t MonitoringTree::depth(NodeId id) const {
-  std::size_t d = 0;
-  NodeId cur = id;
-  while (cur != kCollectorId) {
-    cur = vat(cur).parent;
-    ++d;
-  }
-  return d;
-}
+std::size_t MonitoringTree::depth(NodeId id) const { return depth_[slot_of(id)]; }
 
 std::size_t MonitoringTree::height() const {
-  // BFS from the root; O(n).
   std::size_t h = 0;
-  std::deque<std::pair<NodeId, std::size_t>> q{{kCollectorId, 0}};
-  while (!q.empty()) {
-    auto [id, d] = q.front();
-    q.pop_front();
-    h = std::max(h, d);
-    for (NodeId c : vat(id).children) q.emplace_back(c, d + 1);
-  }
+  for (NodeId n : members_) h = std::max<std::size_t>(h, depth_[lookup_[n]]);
   return h;
 }
 
@@ -106,150 +105,151 @@ std::vector<NodeId> MonitoringTree::branch_nodes(NodeId r) const {
     NodeId id = q.front();
     q.pop_front();
     out.push_back(id);
-    for (NodeId c : vat(id).children) q.push_back(c);
+    for (NodeId c : children_[slot_of(id)]) q.push_back(c);
   }
   return out;
 }
 
 bool MonitoringTree::in_subtree(NodeId id, NodeId r) const {
-  NodeId cur = id;
+  Slot cur = slot_of(id);
+  const Slot target = slot_of(r);
   while (true) {
-    if (cur == r) return true;
-    if (cur == kCollectorId) return false;
-    cur = vat(cur).parent;
+    if (cur == target) return true;
+    if (cur == kRootSlot) return false;
+    cur = parent_[cur];
   }
 }
 
 double MonitoringTree::payload(NodeId id) const {
-  return id == kCollectorId ? 0.0 : vat(id).y;
+  const Slot s = slot_of(id);
+  return s == kRootSlot ? 0.0 : y_[s];
 }
 
 Capacity MonitoringTree::send_cost(NodeId id) const {
-  if (id == kCollectorId) return 0.0;
-  return cost_.per_message + cost_.per_value * vat(id).y;
+  const Slot s = slot_of(id);
+  if (s == kRootSlot) return 0.0;
+  return cost_.per_message + cost_.per_value * y_[s];
 }
 
 Capacity MonitoringTree::usage(NodeId id) const {
-  const Vertex& v = vat(id);
-  return (id == kCollectorId ? 0.0 : send_cost(id)) + v.recv;
+  const Slot s = slot_of(id);
+  return (s == kRootSlot ? 0.0 : cost_.per_message + cost_.per_value * y_[s]) +
+         recv_[s];
 }
 
-Capacity MonitoringTree::avail(NodeId id) const { return vat(id).avail; }
+Capacity MonitoringTree::avail(NodeId id) const { return avail_[slot_of(id)]; }
 
 void MonitoringTree::set_avail(NodeId id, Capacity avail) {
   if (avail + 1e-9 < usage(id))
     throw std::invalid_argument("set_avail below current usage");
-  vat(id).avail = avail;
+  const Slot s = slot_of(id);
+  javail(s);
+  avail_[s] = avail;
 }
 
-const std::vector<std::uint32_t>& MonitoringTree::in_counts(NodeId id) const {
-  return vat(id).in;
+std::span<const std::uint32_t> MonitoringTree::in_counts(NodeId id) const {
+  return {in_row(slot_of(id)), stride()};
 }
 
 std::vector<std::uint32_t> MonitoringTree::out_counts(NodeId id) const {
-  return out_of(vat(id).in);
+  const std::uint32_t* in = in_row(slot_of(id));
+  std::vector<std::uint32_t> out(stride());
+  for (std::size_t m = 0; m < attrs_.size(); ++m) out[m] = attrs_[m].funnel(in[m]);
+  return out;
 }
 
-const std::vector<std::uint32_t>& MonitoringTree::local_counts(NodeId id) const {
-  return vat(id).local;
-}
-
-std::size_t MonitoringTree::collected_pairs() const {
-  std::size_t total = 0;
-  for (const auto& [id, v] : vertices_) {
-    if (id == kCollectorId) continue;
-    for (auto x : v.local) total += x;
-  }
-  return total;
+std::span<const std::uint32_t> MonitoringTree::local_counts(NodeId id) const {
+  return {local_row(slot_of(id)), stride()};
 }
 
 Capacity MonitoringTree::total_cost() const {
   Capacity total = 0;
-  for (const auto& [id, v] : vertices_)
-    if (id != kCollectorId) total += send_cost(id);
+  for (NodeId n : members_) {
+    const Slot s = lookup_[n];
+    total += cost_.per_message + cost_.per_value * y_[s];
+  }
   return total;
 }
 
-bool MonitoringTree::feasible_add(NodeId parent,
-                                  const std::vector<std::uint32_t>& child_out,
+bool MonitoringTree::feasible_add(Slot parent, const std::uint32_t* child_out,
                                   double child_u, NodeId* blocker) const {
-  std::vector<std::int64_t> delta(child_out.begin(), child_out.end());
-  return feasible_walk(parent, std::move(delta), child_u, blocker);
+  for (std::size_t m = 0; m < attrs_.size(); ++m)
+    walk_delta_[m] = static_cast<std::int64_t>(child_out[m]);
+  return feasible_walk_scratch(parent, child_u, blocker);
 }
 
-bool MonitoringTree::feasible_walk(NodeId parent, std::vector<std::int64_t> delta,
-                                   Capacity recv_delta, NodeId* blocker) const {
-  NodeId q = parent;
+bool MonitoringTree::feasible_walk_scratch(Slot parent, Capacity recv_delta,
+                                           NodeId* blocker) const {
+  Slot q = parent;
   while (true) {
-    const Vertex& qv = vat(q);
-    if (q == kCollectorId) {
-      if (usage(q) + recv_delta > qv.avail + kEps) {
-        if (blocker) *blocker = q;
+    if (q == kRootSlot) {
+      if (recv_[q] + recv_delta > avail_[q] + kEps) {
+        if (blocker) *blocker = kCollectorId;
         return false;
       }
       return true;
     }
     // New in-counts and the resulting payload change at q.
+    const std::uint32_t* in = in_row(q);
     double new_y = 0.0;
-    std::vector<std::int64_t> next_delta(attrs_.size());
     for (std::size_t m = 0; m < attrs_.size(); ++m) {
-      const auto old_in = qv.in[m];
+      const auto old_in = in[m];
       const auto new_in = static_cast<std::uint32_t>(
-          static_cast<std::int64_t>(old_in) + delta[m]);
+          static_cast<std::int64_t>(old_in) + walk_delta_[m]);
       const auto old_out = attrs_[m].funnel(old_in);
       const auto new_out = attrs_[m].funnel(new_in);
-      next_delta[m] =
+      walk_next_[m] =
           static_cast<std::int64_t>(new_out) - static_cast<std::int64_t>(old_out);
       new_y += attrs_[m].weight * static_cast<double>(new_out);
     }
-    const double dy = new_y - qv.y;
-    if (usage(q) + recv_delta + cost_.per_value * dy > qv.avail + kEps) {
-      if (blocker) *blocker = q;
+    const double dy = new_y - y_[q];
+    const Capacity use = cost_.per_message + cost_.per_value * y_[q] + recv_[q];
+    if (use + recv_delta + cost_.per_value * dy > avail_[q] + kEps) {
+      if (blocker) *blocker = id_[q];
       return false;
     }
     bool changed = false;
-    for (auto d : next_delta)
-      if (d != 0) changed = true;
+    for (std::size_t m = 0; m < attrs_.size(); ++m)
+      if (walk_next_[m] != 0) changed = true;
     if (!changed && dy == 0.0) return true;  // ancestors unaffected
     recv_delta = cost_.per_value * dy;
-    delta = std::move(next_delta);
-    q = qv.parent;
+    walk_delta_.swap(walk_next_);
+    q = parent_[q];
   }
 }
 
-void MonitoringTree::propagate(NodeId parent,
-                               const std::vector<std::uint32_t>& child_out,
+void MonitoringTree::propagate(Slot parent, const std::uint32_t* child_out,
                                int sign) {
-  std::vector<std::int64_t> delta(attrs_.size());
   for (std::size_t m = 0; m < attrs_.size(); ++m)
-    delta[m] = sign * static_cast<std::int64_t>(child_out[m]);
-  propagate_delta(parent, std::move(delta));
+    walk_delta_[m] = sign * static_cast<std::int64_t>(child_out[m]);
+  propagate_scratch(parent);
 }
 
-void MonitoringTree::propagate_delta(NodeId parent, std::vector<std::int64_t> delta) {
-  NodeId q = parent;
+void MonitoringTree::propagate_scratch(Slot parent) {
+  Slot q = parent;
   while (true) {
-    Vertex& qv = vat(q);
-    std::vector<std::int64_t> next_delta(attrs_.size());
+    jloads(q);
+    std::uint32_t* in = in_row(q);
     bool changed = false;
     for (std::size_t m = 0; m < attrs_.size(); ++m) {
-      const auto old_out = attrs_[m].funnel(qv.in[m]);
-      const auto new_in =
-          static_cast<std::int64_t>(qv.in[m]) + delta[m];
-      qv.in[m] = static_cast<std::uint32_t>(new_in);
-      const auto new_out = attrs_[m].funnel(qv.in[m]);
-      next_delta[m] =
+      const auto old_out = attrs_[m].funnel(in[m]);
+      const auto new_in = static_cast<std::int64_t>(in[m]) + walk_delta_[m];
+      in[m] = static_cast<std::uint32_t>(new_in);
+      const auto new_out = attrs_[m].funnel(in[m]);
+      walk_next_[m] =
           static_cast<std::int64_t>(new_out) - static_cast<std::int64_t>(old_out);
-      if (next_delta[m] != 0) changed = true;
+      if (walk_next_[m] != 0) changed = true;
     }
-    const double old_y = qv.y;
-    qv.y = weighted_out(qv.in);
+    const double old_y = y_[q];
+    y_[q] = weighted_out(in);
     // q's message grew/shrank: its parent's cached receive load follows.
-    if (q != kCollectorId && qv.parent != kNoNode)
-      vat(qv.parent).recv += cost_.per_value * (qv.y - old_y);
-    if (q == kCollectorId || !changed) return;
-    delta = std::move(next_delta);
-    q = qv.parent;
+    if (q != kRootSlot) {
+      jloads(parent_[q]);
+      recv_[parent_[q]] += cost_.per_value * (y_[q] - old_y);
+    }
+    if (q == kRootSlot || !changed) return;
+    walk_delta_.swap(walk_next_);
+    q = parent_[q];
   }
 }
 
@@ -258,103 +258,158 @@ bool MonitoringTree::can_attach(const BuildItem& item, NodeId parent,
   if (item.local.size() != attrs_.size())
     throw std::invalid_argument("BuildItem count vector size mismatch");
   if (contains(item.id) || !contains(parent)) return false;
-  const auto out = out_of(item.local);
-  const double y = weighted_out(item.local);
+  for (std::size_t m = 0; m < attrs_.size(); ++m)
+    out_scratch_[m] = attrs_[m].funnel(item.local[m]);
+  const double y = weighted_out(item.local.data());
   const Capacity u = cost_.per_message + cost_.per_value * y;
   if (u > item.avail + kEps) {
     if (blocker) *blocker = item.id;
     return false;
   }
-  return feasible_add(parent, out, u, blocker);
+  return feasible_add(lookup_[parent], out_scratch_.data(), u, blocker);
 }
 
 void MonitoringTree::attach(const BuildItem& item, NodeId parent) {
-  if (!can_attach(item, parent)) std::abort();  // callers must check first
-  Vertex v;
-  v.parent = parent;
-  v.local = item.local;
-  v.in = item.local;
-  v.avail = item.avail;
-  v.y = weighted_out(v.in);
-  const auto out = out_of(v.in);
-  const Capacity u = cost_.per_message + cost_.per_value * v.y;
-  vertices_.emplace(item.id, std::move(v));
-  Vertex& pv = vat(parent);
-  pv.children.push_back(item.id);
-  pv.recv += u;
-  propagate(parent, out, +1);
+  if (!try_attach(item, parent)) std::abort();  // callers must check first
 }
 
-bool MonitoringTree::can_move_branch(NodeId r, NodeId new_parent, NodeId* blocker) {
+bool MonitoringTree::try_attach(const BuildItem& item, NodeId parent,
+                                NodeId* blocker) {
+  if (item.local.size() != attrs_.size())
+    throw std::invalid_argument("BuildItem count vector size mismatch");
+  if (contains(item.id) || !contains(parent)) return false;
+  for (std::size_t m = 0; m < attrs_.size(); ++m)
+    out_scratch_[m] = attrs_[m].funnel(item.local[m]);
+  const double y = weighted_out(item.local.data());
+  const Capacity u = cost_.per_message + cost_.per_value * y;
+  if (u > item.avail + kEps) {
+    if (blocker) *blocker = item.id;
+    return false;
+  }
+  const Slot p = lookup_[parent];
+  if (!feasible_add(p, out_scratch_.data(), u, blocker)) return false;
+
+  // Feasible: apply. out_scratch_ survives alloc_slot (separate storage).
+  const Slot s = alloc_slot();
+  id_[s] = item.id;
+  parent_[s] = p;
+  depth_[s] = depth_[p] + 1;
+  avail_[s] = item.avail;
+  y_[s] = y;
+  recv_[s] = 0.0;
+  std::copy(item.local.begin(), item.local.end(), local_row(s));
+  std::copy(item.local.begin(), item.local.end(), in_row(s));
+  if (item.id >= lookup_.size()) lookup_.resize(item.id + 1, kNoSlot);
+  lookup_[item.id] = s;
+  members_.push_back(item.id);
+  collected_pairs_ += row_sum(local_row(s), stride());
+  jcreate(s, static_cast<std::uint32_t>(members_.size() - 1));
+  jloads(p);
+  children_[p].push_back(item.id);
+  jchild_insert(p);
+  recv_[p] += u;
+  propagate(p, out_scratch_.data(), +1);
+  return true;
+}
+
+void MonitoringTree::unlink(Slot r, const std::uint32_t* out, Capacity u) {
+  const Slot op = parent_[r];
+  auto& kids = children_[op];
+  const auto it = std::find(kids.begin(), kids.end(), id_[r]);
+  jchild_erase(op, static_cast<std::uint32_t>(it - kids.begin()), id_[r]);
+  kids.erase(it);
+  jloads(op);
+  recv_[op] -= u;
+  propagate(op, out, -1);
+}
+
+void MonitoringTree::relink(Slot r, Slot parent, const std::uint32_t* out,
+                            Capacity u) {
+  propagate(parent, out, +1);
+  jloads(parent);
+  children_[parent].push_back(id_[r]);
+  jchild_insert(parent);
+  recv_[parent] += u;
+}
+
+bool MonitoringTree::can_move_branch(NodeId r, NodeId new_parent,
+                                     NodeId* blocker) {
   if (!contains(r) || !contains(new_parent)) return false;
   if (in_subtree(new_parent, r)) return false;  // would create a cycle
-  const NodeId old_parent = vat(r).parent;
-  if (old_parent == new_parent) return false;
+  const Slot rs = lookup_[r];
+  const Slot nps = lookup_[new_parent];
+  const Slot ops = parent_[rs];
+  if (ops == nps) return false;
   // Temporarily unlink, test, relink. Restoring is exact because the
   // branch's internal state never changes.
   const auto out = out_counts(r);
   const Capacity u = send_cost(r);
-  {
-    Vertex& opv = vat(old_parent);
-    opv.children.erase(std::find(opv.children.begin(), opv.children.end(), r));
-    opv.recv -= u;
-  }
-  propagate(old_parent, out, -1);
-  const bool ok = feasible_add(new_parent, out, u, blocker);
-  propagate(old_parent, out, +1);
-  {
-    Vertex& opv = vat(old_parent);
-    opv.children.push_back(r);
-    opv.recv += u;
-  }
+  unlink(rs, out.data(), u);
+  const bool ok = feasible_add(nps, out.data(), u, blocker);
+  relink(rs, ops, out.data(), u);
   return ok;
 }
 
 bool MonitoringTree::move_branch(NodeId r, NodeId new_parent) {
   if (!contains(r) || !contains(new_parent)) return false;
   if (in_subtree(new_parent, r)) return false;
-  const NodeId old_parent = vat(r).parent;
-  if (old_parent == new_parent) return false;
+  const Slot rs = lookup_[r];
+  const Slot nps = lookup_[new_parent];
+  const Slot ops = parent_[rs];
+  if (ops == nps) return false;
   const auto out = out_counts(r);
   const Capacity u = send_cost(r);
-  {
-    Vertex& opv = vat(old_parent);
-    opv.children.erase(std::find(opv.children.begin(), opv.children.end(), r));
-    opv.recv -= u;
-  }
-  propagate(old_parent, out, -1);
-  if (!feasible_add(new_parent, out, u, nullptr)) {
-    propagate(old_parent, out, +1);
-    Vertex& opv = vat(old_parent);
-    opv.children.push_back(r);
-    opv.recv += u;
+  unlink(rs, out.data(), u);
+  if (!feasible_add(nps, out.data(), u, nullptr)) {
+    relink(rs, ops, out.data(), u);
     return false;
   }
-  propagate(new_parent, out, +1);
-  Vertex& npv = vat(new_parent);
-  npv.children.push_back(r);
-  npv.recv += u;
-  vat(r).parent = new_parent;
+  relink(rs, nps, out.data(), u);
+  jparent(rs);
+  parent_[rs] = nps;
+  // Re-base the cached depth of the whole branch.
+  const std::int64_t shift = static_cast<std::int64_t>(depth_[nps]) + 1 -
+                             static_cast<std::int64_t>(depth_[rs]);
+  if (shift != 0) {
+    std::deque<Slot> q{rs};
+    while (!q.empty()) {
+      const Slot s = q.front();
+      q.pop_front();
+      jdepth(s);
+      depth_[s] = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(depth_[s]) + shift);
+      for (NodeId c : children_[s]) q.push_back(lookup_[c]);
+    }
+  }
   return true;
 }
 
 std::vector<BuildItem> MonitoringTree::detach_branch(NodeId r) {
+  const Slot rs = slot_of(r);
+  if (rs == kRootSlot) throw std::out_of_range("cannot detach the collector");
   const auto nodes = branch_nodes(r);
-  const NodeId old_parent = vat(r).parent;
   const auto out = out_counts(r);
-  {
-    Vertex& opv = vat(old_parent);
-    opv.children.erase(std::find(opv.children.begin(), opv.children.end(), r));
-    opv.recv -= send_cost(r);
-  }
-  propagate(old_parent, out, -1);
+  unlink(rs, out.data(), send_cost(r));
   std::vector<BuildItem> items;
   items.reserve(nodes.size());
   for (NodeId id : nodes) {
-    const Vertex& v = vat(id);
-    items.push_back(BuildItem{id, v.local, v.avail});
+    const Slot s = lookup_[id];
+    items.push_back(BuildItem{
+        id, std::vector<std::uint32_t>(local_row(s), local_row(s) + stride()),
+        avail_[s]});
   }
-  for (NodeId id : nodes) vertices_.erase(id);
+  for (NodeId id : nodes) {
+    const Slot s = lookup_[id];
+    const auto mit = std::find(members_.begin(), members_.end(), id);
+    jdestroy(s, static_cast<std::uint32_t>(mit - members_.begin()));
+    collected_pairs_ -= row_sum(local_row(s), stride());
+    members_.erase(mit);
+    lookup_[id] = kNoSlot;
+    id_[s] = kNoNode;
+    parent_[s] = kNoSlot;
+    children_[s].clear();
+    free_.push_back(s);
+  }
   return items;
 }
 
@@ -363,73 +418,285 @@ bool MonitoringTree::can_update_local(
   if (new_local.size() != attrs_.size())
     throw std::invalid_argument("local count vector size mismatch");
   if (!contains(id) || id == kCollectorId) return false;
-  const Vertex& v = vat(id);
-  std::vector<std::uint32_t> new_in(attrs_.size());
-  std::vector<std::int64_t> out_delta(attrs_.size());
+  const Slot s = lookup_[id];
+  const std::uint32_t* in = in_row(s);
+  const std::uint32_t* local = local_row(s);
+  // out_scratch_ holds the would-be in-counts; walk_delta_ the out deltas.
   for (std::size_t m = 0; m < attrs_.size(); ++m) {
-    new_in[m] = v.in[m] - v.local[m] + new_local[m];
-    out_delta[m] = static_cast<std::int64_t>(attrs_[m].funnel(new_in[m])) -
-                   static_cast<std::int64_t>(attrs_[m].funnel(v.in[m]));
+    out_scratch_[m] = in[m] - local[m] + new_local[m];
+    walk_delta_[m] = static_cast<std::int64_t>(attrs_[m].funnel(out_scratch_[m])) -
+                     static_cast<std::int64_t>(attrs_[m].funnel(in[m]));
   }
-  const double dy = weighted_out(new_in) - v.y;
+  const double dy = weighted_out(out_scratch_.data()) - y_[s];
   // Only the node's own send cost changes locally; receives are untouched.
-  if (usage(id) + cost_.per_value * dy > v.avail + kEps) return false;
-  return feasible_walk(v.parent, std::move(out_delta), cost_.per_value * dy,
-                       nullptr);
+  const Capacity use = cost_.per_message + cost_.per_value * y_[s] + recv_[s];
+  if (use + cost_.per_value * dy > avail_[s] + kEps) return false;
+  return feasible_walk_scratch(parent_[s], cost_.per_value * dy, nullptr);
 }
 
 bool MonitoringTree::update_local(NodeId id,
                                   const std::vector<std::uint32_t>& new_local) {
   if (!can_update_local(id, new_local)) return false;
-  Vertex& v = vat(id);
-  std::vector<std::int64_t> out_delta(attrs_.size());
-  const auto old_out = out_of(v.in);
-  const double old_y = v.y;
-  for (std::size_t m = 0; m < attrs_.size(); ++m)
-    v.in[m] = v.in[m] - v.local[m] + new_local[m];
-  v.local = new_local;
-  v.y = weighted_out(v.in);
-  const auto new_out = out_of(v.in);
-  for (std::size_t m = 0; m < attrs_.size(); ++m)
-    out_delta[m] = static_cast<std::int64_t>(new_out[m]) -
-                   static_cast<std::int64_t>(old_out[m]);
-  vat(v.parent).recv += cost_.per_value * (v.y - old_y);
-  propagate_delta(v.parent, std::move(out_delta));
+  const Slot s = lookup_[id];
+  jlocal(s);
+  jloads(s);
+  std::uint32_t* in = in_row(s);
+  std::uint32_t* local = local_row(s);
+  const double old_y = y_[s];
+  for (std::size_t m = 0; m < attrs_.size(); ++m) {
+    const auto old_out = attrs_[m].funnel(in[m]);
+    in[m] = in[m] - local[m] + new_local[m];
+    walk_delta_[m] = static_cast<std::int64_t>(attrs_[m].funnel(in[m])) -
+                     static_cast<std::int64_t>(old_out);
+  }
+  collected_pairs_ -= row_sum(local, stride());
+  std::copy(new_local.begin(), new_local.end(), local);
+  collected_pairs_ += row_sum(local, stride());
+  y_[s] = weighted_out(in);
+  jloads(parent_[s]);
+  recv_[parent_[s]] += cost_.per_value * (y_[s] - old_y);
+  propagate_scratch(parent_[s]);
   return true;
 }
+
+// ---- undo journal ---------------------------------------------------------
+
+void MonitoringTree::begin_journal() {
+  if (journal_on_) std::abort();  // not re-entrant
+  journal_on_ = true;
+}
+
+void MonitoringTree::commit_journal() {
+  journal_on_ = false;
+  journal_.clear();
+  jcounts_.clear();
+  jnodes_.clear();
+}
+
+void MonitoringTree::rollback_journal() {
+  journal_on_ = false;  // replay below mutates raw state, no re-recording
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    const JournalEntry& e = *it;
+    using K = JournalEntry::Kind;
+    switch (e.kind) {
+      case K::kLoads:
+        std::copy_n(jcounts_.data() + e.counts, stride(), in_row(e.slot));
+        y_[e.slot] = e.y;
+        recv_[e.slot] = e.recv;
+        break;
+      case K::kLocal: {
+        std::uint32_t* local = local_row(e.slot);
+        collected_pairs_ -= row_sum(local, stride());
+        std::copy_n(jcounts_.data() + e.counts, stride(), local);
+        collected_pairs_ += row_sum(local, stride());
+        break;
+      }
+      case K::kAvail:
+        avail_[e.slot] = e.avail;
+        break;
+      case K::kDepth:
+        depth_[e.slot] = e.depth;
+        break;
+      case K::kParent:
+        parent_[e.slot] = e.parent;
+        depth_[e.slot] = e.depth;
+        break;
+      case K::kChildInsert:
+        children_[e.slot].erase(children_[e.slot].begin() + e.pos);
+        break;
+      case K::kChildErase:
+        children_[e.slot].insert(children_[e.slot].begin() + e.pos, e.id);
+        break;
+      case K::kCreate:
+        collected_pairs_ -= row_sum(local_row(e.slot), stride());
+        lookup_[id_[e.slot]] = kNoSlot;
+        id_[e.slot] = kNoNode;
+        parent_[e.slot] = kNoSlot;
+        children_[e.slot].clear();
+        members_.erase(members_.begin() + e.pos);
+        free_.push_back(e.slot);
+        break;
+      case K::kDestroy: {
+        // LIFO discipline: the most recently freed slot is this one.
+        if (free_.empty() || free_.back() != e.slot) std::abort();
+        free_.pop_back();
+        id_[e.slot] = e.id;
+        parent_[e.slot] = e.parent;
+        depth_[e.slot] = e.depth;
+        avail_[e.slot] = e.avail;
+        y_[e.slot] = e.y;
+        recv_[e.slot] = e.recv;
+        std::copy_n(jcounts_.data() + e.counts, stride(), in_row(e.slot));
+        std::copy_n(jcounts_.data() + e.counts + stride(), stride(),
+                    local_row(e.slot));
+        children_[e.slot].assign(jnodes_.begin() + e.kids,
+                                 jnodes_.begin() + e.kids + e.nkids);
+        if (e.id >= lookup_.size()) lookup_.resize(e.id + 1, kNoSlot);
+        lookup_[e.id] = e.slot;
+        members_.insert(members_.begin() + e.pos, e.id);
+        collected_pairs_ += row_sum(local_row(e.slot), stride());
+        break;
+      }
+    }
+  }
+  journal_.clear();
+  jcounts_.clear();
+  jnodes_.clear();
+}
+
+void MonitoringTree::jloads(Slot s) {
+  if (!journal_on_) return;
+  JournalEntry e;
+  e.kind = JournalEntry::Kind::kLoads;
+  e.slot = s;
+  e.y = y_[s];
+  e.recv = recv_[s];
+  e.counts = jcounts_.size();
+  jcounts_.insert(jcounts_.end(), in_row(s), in_row(s) + stride());
+  journal_.push_back(e);
+}
+
+void MonitoringTree::jlocal(Slot s) {
+  if (!journal_on_) return;
+  JournalEntry e;
+  e.kind = JournalEntry::Kind::kLocal;
+  e.slot = s;
+  e.counts = jcounts_.size();
+  jcounts_.insert(jcounts_.end(), local_row(s), local_row(s) + stride());
+  journal_.push_back(e);
+}
+
+void MonitoringTree::javail(Slot s) {
+  if (!journal_on_) return;
+  JournalEntry e;
+  e.kind = JournalEntry::Kind::kAvail;
+  e.slot = s;
+  e.avail = avail_[s];
+  journal_.push_back(e);
+}
+
+void MonitoringTree::jdepth(Slot s) {
+  if (!journal_on_) return;
+  JournalEntry e;
+  e.kind = JournalEntry::Kind::kDepth;
+  e.slot = s;
+  e.depth = depth_[s];
+  journal_.push_back(e);
+}
+
+void MonitoringTree::jparent(Slot s) {
+  if (!journal_on_) return;
+  JournalEntry e;
+  e.kind = JournalEntry::Kind::kParent;
+  e.slot = s;
+  e.parent = parent_[s];
+  e.depth = depth_[s];
+  journal_.push_back(e);
+}
+
+void MonitoringTree::jchild_insert(Slot p) {
+  if (!journal_on_) return;
+  JournalEntry e;
+  e.kind = JournalEntry::Kind::kChildInsert;
+  e.slot = p;
+  e.pos = static_cast<std::uint32_t>(children_[p].size() - 1);
+  journal_.push_back(e);
+}
+
+void MonitoringTree::jchild_erase(Slot p, std::uint32_t pos, NodeId child) {
+  if (!journal_on_) return;
+  JournalEntry e;
+  e.kind = JournalEntry::Kind::kChildErase;
+  e.slot = p;
+  e.pos = pos;
+  e.id = child;
+  journal_.push_back(e);
+}
+
+void MonitoringTree::jcreate(Slot s, std::uint32_t member_pos) {
+  if (!journal_on_) return;
+  JournalEntry e;
+  e.kind = JournalEntry::Kind::kCreate;
+  e.slot = s;
+  e.pos = member_pos;
+  journal_.push_back(e);
+}
+
+void MonitoringTree::jdestroy(Slot s, std::uint32_t member_pos) {
+  if (!journal_on_) return;
+  JournalEntry e;
+  e.kind = JournalEntry::Kind::kDestroy;
+  e.slot = s;
+  e.parent = parent_[s];
+  e.id = id_[s];
+  e.pos = member_pos;
+  e.depth = depth_[s];
+  e.avail = avail_[s];
+  e.y = y_[s];
+  e.recv = recv_[s];
+  e.counts = jcounts_.size();
+  jcounts_.insert(jcounts_.end(), in_row(s), in_row(s) + stride());
+  jcounts_.insert(jcounts_.end(), local_row(s), local_row(s) + stride());
+  e.kids = jnodes_.size();
+  e.nkids = static_cast<std::uint32_t>(children_[s].size());
+  jnodes_.insert(jnodes_.end(), children_[s].begin(), children_[s].end());
+  journal_.push_back(e);
+}
+
+// ---- validation -----------------------------------------------------------
 
 bool MonitoringTree::validate() const {
   // Parent/child symmetry and acyclicity via BFS from the collector.
   std::size_t seen = 0;
   std::deque<NodeId> q{kCollectorId};
-  std::unordered_map<NodeId, bool> visited;
+  std::vector<bool> visited(id_.size(), false);
   while (!q.empty()) {
     NodeId id = q.front();
     q.pop_front();
-    if (visited[id]) return false;  // cycle or duplicate child link
-    visited[id] = true;
+    if (!contains(id)) return false;
+    const Slot s = lookup_[id];
+    if (visited[s]) return false;  // cycle or duplicate child link
+    visited[s] = true;
     ++seen;
-    for (NodeId c : vat(id).children) {
-      if (!contains(c) || vat(c).parent != id) return false;
+    for (NodeId c : children_[s]) {
+      if (!contains(c) || parent_[lookup_[c]] != s) return false;
+      if (depth_[lookup_[c]] != depth_[s] + 1) return false;  // stale cache
       q.push_back(c);
     }
   }
-  if (seen != vertices_.size()) return false;  // unreachable vertices
+  if (seen != members_.size() + 1) return false;  // unreachable vertices
+
+  // Arena bookkeeping: members list matches live slots exactly, in some
+  // order, without duplicates; free slots are dead; lookup is consistent.
+  std::size_t live = 0, pairs = 0;
+  for (Slot s = 0; s < id_.size(); ++s) {
+    if (id_[s] == kNoNode) continue;
+    ++live;
+    if (id_[s] >= lookup_.size() || lookup_[id_[s]] != s) return false;
+    if (s != kRootSlot) pairs += row_sum(local_row(s), stride());
+  }
+  if (live != members_.size() + 1) return false;
+  for (NodeId n : members_)
+    if (n == kCollectorId || !contains(n)) return false;
+  for (Slot s : free_)
+    if (s >= id_.size() || id_[s] != kNoNode) return false;
+  if (pairs != collected_pairs_) return false;
 
   // Recompute in-counts bottom-up and check caches + capacity.
-  for (const auto& [id, v] : vertices_) {
-    if (v.local.size() != attrs_.size() || v.in.size() != attrs_.size()) return false;
-    std::vector<std::uint32_t> expect = v.local;
-    for (NodeId c : v.children) {
-      const auto out = out_of(vat(c).in);
-      for (std::size_t m = 0; m < attrs_.size(); ++m) expect[m] += out[m];
-    }
-    if (expect != v.in) return false;
-    if (std::abs(weighted_out(v.in) - v.y) > 1e-6) return false;
+  for (Slot s = 0; s < id_.size(); ++s) {
+    if (id_[s] == kNoNode) continue;
+    std::vector<std::uint32_t> expect(local_row(s), local_row(s) + stride());
     double expect_recv = 0.0;
-    for (NodeId c : v.children) expect_recv += send_cost(c);
-    if (std::abs(expect_recv - v.recv) > 1e-6) return false;
-    if (usage(id) > v.avail + 1e-6) return false;
+    for (NodeId c : children_[s]) {
+      const Slot cs = lookup_[c];
+      for (std::size_t m = 0; m < attrs_.size(); ++m)
+        expect[m] += attrs_[m].funnel(in_row(cs)[m]);
+      expect_recv += cost_.per_message + cost_.per_value * y_[cs];
+    }
+    if (!std::equal(expect.begin(), expect.end(), in_row(s))) return false;
+    if (std::abs(weighted_out(in_row(s)) - y_[s]) > 1e-6) return false;
+    if (std::abs(expect_recv - recv_[s]) > 1e-6) return false;
+    if (usage(id_[s]) > avail_[s] + 1e-6) return false;
   }
   return true;
 }

@@ -15,11 +15,27 @@
 // All mutating operations maintain these quantities incrementally and never
 // leave the tree in a capacity-violating state: feasibility is checked
 // before any change is applied.
+//
+// Storage is a flat slot arena in structure-of-arrays layout (DESIGN.md
+// §10): per-vertex fields live in dense vectors indexed by slot, with a
+// direct-indexed NodeId→slot table at the API edge, so the builder's hot
+// queries (depth, slack, membership, feasibility walks) are pointer-free
+// array reads. Consequences callers rely on:
+//   - members() is a cached list in *insertion order* — iteration order is
+//     a deterministic function of the operation sequence, never of hashing
+//     (this is what makes equal-score parent ties in the builder
+//     reproducible across platforms);
+//   - feasibility walks and load propagation reuse per-tree scratch
+//     buffers: const queries allocate nothing, but a single tree instance
+//     must not be queried from two threads at once;
+//   - an optional undo journal records reversible mutations between
+//     begin_journal() and rollback_journal()/commit_journal(), so
+//     composite operations (the adjuster's node-by-node reattach) roll
+//     back by replaying inverses instead of deep-copying the tree.
 #pragma once
 
 #include <cstdint>
-#include <optional>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -70,16 +86,20 @@ class MonitoringTree {
   std::size_t num_attrs() const noexcept { return attrs_.size(); }
   const CostModel& cost() const noexcept { return cost_; }
 
-  bool contains(NodeId id) const { return vertices_.count(id) != 0; }
-  /// Member monitoring nodes (excludes the collector), unsorted.
-  std::vector<NodeId> members() const;
+  bool contains(NodeId id) const noexcept {
+    return id < lookup_.size() && lookup_[id] != kNoSlot;
+  }
+  /// Member monitoring nodes (excludes the collector), in insertion order.
+  /// The list is stable: attach appends, detach erases in place, moves keep
+  /// positions — iteration order never depends on node-id hashing.
+  const std::vector<NodeId>& members() const noexcept { return members_; }
   /// Number of member monitoring nodes (excludes the collector).
-  std::size_t size() const noexcept { return vertices_.size() - 1; }
-  bool empty() const noexcept { return size() == 0; }
+  std::size_t size() const noexcept { return members_.size(); }
+  bool empty() const noexcept { return members_.empty(); }
 
   NodeId parent(NodeId id) const;
   const std::vector<NodeId>& children(NodeId id) const;
-  /// Depth of `id`; the collector has depth 0.
+  /// Depth of `id`; the collector has depth 0. Cached, O(1).
   std::size_t depth(NodeId id) const;
   /// Max depth over members (0 for an empty tree).
   std::size_t height() const;
@@ -102,16 +122,17 @@ class MonitoringTree {
   /// Must not go below current usage — that would invalidate the tree.
   void set_avail(NodeId id, Capacity avail);
   /// Per-metric incoming counts (aligned with attr_specs()).
-  const std::vector<std::uint32_t>& in_counts(NodeId id) const;
+  std::span<const std::uint32_t> in_counts(NodeId id) const;
   /// Per-metric outgoing counts out_i[m] = fnl^m(in_i[m]).
   std::vector<std::uint32_t> out_counts(NodeId id) const;
   /// Local (x_i) per-metric counts.
-  const std::vector<std::uint32_t>& local_counts(NodeId id) const;
+  std::span<const std::uint32_t> local_counts(NodeId id) const;
   /// Total local values over members: the node-attribute pairs this tree
-  /// collects (the planner's objective contribution).
-  std::size_t collected_pairs() const;
+  /// collects (the planner's objective contribution). Cached, O(1).
+  std::size_t collected_pairs() const noexcept { return collected_pairs_; }
   /// Σ_i u_i over members: total message volume per unit time (C_cur /
-  /// C_adj in the Sec. 4.2 throttle formula).
+  /// C_adj in the Sec. 4.2 throttle formula). Summed in member insertion
+  /// order (deterministic).
   Capacity total_cost() const;
   /// One message per member per unit time.
   std::size_t total_messages() const noexcept { return size(); }
@@ -124,6 +145,12 @@ class MonitoringTree {
                   NodeId* blocker = nullptr) const;
   /// Attach; aborts the process if infeasible (callers check first).
   void attach(const BuildItem& item, NodeId parent);
+  /// Fused feasibility-test + attach: performs the upward feasibility walk
+  /// once and applies the attachment on success (false, tree unchanged, on
+  /// failure). Equivalent to `can_attach(...) && (attach(...), true)` at
+  /// half the walking cost — the builder's commit path.
+  bool try_attach(const BuildItem& item, NodeId parent,
+                  NodeId* blocker = nullptr);
 
   /// Can the branch rooted at `r` be re-parented under `new_parent`?
   /// `new_parent` must not be inside the branch.
@@ -144,50 +171,120 @@ class MonitoringTree {
   /// updates). Returns false — tree unchanged — if infeasible.
   bool update_local(NodeId id, const std::vector<std::uint32_t>& new_local);
 
+  // ---- undo journal ----------------------------------------------------
+  /// Start recording reversible mutations. While journaling, every mutating
+  /// operation appends inverse records; rollback_journal() replays them in
+  /// reverse, restoring the tree bit-exactly — including member-list and
+  /// child-list ordering — as if the operations never ran. Not re-entrant.
+  void begin_journal();
+  /// Accept the journaled mutations and drop the records.
+  void commit_journal();
+  /// Revert every mutation since begin_journal().
+  void rollback_journal();
+  bool journaling() const noexcept { return journal_on_; }
+
   /// Exhaustive invariant re-check (for tests): recomputes counts bottom-up
-  /// and verifies cached values, parent/child symmetry, acyclicity, and
-  /// capacity constraints. Returns false on any violation.
+  /// and verifies cached values, parent/child symmetry, acyclicity, arena
+  /// bookkeeping (lookup table, member list, free list), and capacity
+  /// constraints. Returns false on any violation.
   bool validate() const;
 
  private:
-  struct Vertex {
-    NodeId parent = kNoNode;
-    std::vector<NodeId> children;
-    std::vector<std::uint32_t> local;  // x_i per metric
-    std::vector<std::uint32_t> in;     // in_i per metric
-    double y = 0.0;                    // cached weighted payload
-    double recv = 0.0;                 // cached Σ_{children c} u_c
-    Capacity avail = 0;
-  };
+  using Slot = std::uint32_t;
+  static constexpr Slot kNoSlot = 0xffffffffu;
+  static constexpr Slot kRootSlot = 0;
 
-  const Vertex& vat(NodeId id) const;
-  Vertex& vat(NodeId id);
-  double weighted_out(const std::vector<std::uint32_t>& in) const;
-  std::vector<std::uint32_t> out_of(const std::vector<std::uint32_t>& in) const;
+  std::size_t stride() const noexcept { return attrs_.size(); }
+  std::uint32_t* in_row(Slot s) noexcept { return in_.data() + s * stride(); }
+  const std::uint32_t* in_row(Slot s) const noexcept {
+    return in_.data() + s * stride();
+  }
+  std::uint32_t* local_row(Slot s) noexcept { return local_.data() + s * stride(); }
+  const std::uint32_t* local_row(Slot s) const noexcept {
+    return local_.data() + s * stride();
+  }
 
-  /// Feasibility walk for adding count-delta `delta_out` as a *new* child
-  /// message of cost `child_u` under `parent`. Simulates the upward
-  /// propagation without mutating. `extra_at_parent`: cost already freed or
-  /// spent at the parent in the same composite operation (used by move).
-  bool feasible_add(NodeId parent, const std::vector<std::uint32_t>& child_out,
-                    double child_u, NodeId* blocker) const;
+  Slot slot_of(NodeId id) const;           // throws std::out_of_range if absent
+  Slot alloc_slot();                       // from the free list, or grows arena
+  double weighted_out(const std::uint32_t* in) const;
 
-  /// Generalized upward feasibility walk: would adding `delta` to
-  /// `parent`'s in-counts plus `recv_delta` to its receive cost overload
-  /// any ancestor?
-  bool feasible_walk(NodeId parent, std::vector<std::int64_t> delta,
-                     Capacity recv_delta, NodeId* blocker) const;
+  /// Feasibility walk for adding count-delta `delta` (pre-loaded into
+  /// `walk_delta_`) as recv_delta of new receive cost under `parent`.
+  /// Simulates the upward propagation without mutating.
+  bool feasible_walk_scratch(Slot parent, Capacity recv_delta,
+                             NodeId* blocker) const;
+  /// Feasibility walk for a new child message with out-vector `child_out`
+  /// and cost `child_u` joining `parent`.
+  bool feasible_add(Slot parent, const std::uint32_t* child_out, double child_u,
+                    NodeId* blocker) const;
 
-  /// Apply (sign=+1) or undo (sign=-1) the upward propagation of a child
-  /// message with out-vector `child_out` joining/leaving `parent`.
-  void propagate(NodeId parent, const std::vector<std::uint32_t>& child_out,
-                 int sign);
-  /// Signed-delta variant of propagate().
-  void propagate_delta(NodeId parent, std::vector<std::int64_t> delta);
+  /// Apply the upward propagation of delta (pre-loaded into `walk_delta_`)
+  /// to `parent`'s in-counts plus follow-on payload changes.
+  void propagate_scratch(Slot parent);
+  /// Signed upward propagation of a child message joining (+1) or leaving
+  /// (-1) `parent`.
+  void propagate(Slot parent, const std::uint32_t* child_out, int sign);
+
+  /// Unlink branch root `r` from its parent and subtract its message from
+  /// the ancestor loads (shared by move/detach). `out` is r's out-vector.
+  void unlink(Slot r, const std::uint32_t* out, Capacity u);
+  /// Inverse of unlink (move-infeasible restore path).
+  void relink(Slot r, Slot parent, const std::uint32_t* out, Capacity u);
+
+  // -- journal helpers (no-ops unless journal_on_) --
+  void jloads(Slot s);                      // snapshot (in row, y, recv)
+  void jlocal(Slot s);                      // snapshot local row
+  void javail(Slot s);
+  void jdepth(Slot s);
+  void jparent(Slot s);                     // snapshot (parent, depth)
+  void jchild_insert(Slot p);               // child was appended to p
+  void jchild_erase(Slot p, std::uint32_t pos, NodeId child);
+  void jcreate(Slot s, std::uint32_t member_pos);
+  void jdestroy(Slot s, std::uint32_t member_pos);
 
   std::vector<TreeAttrSpec> attrs_;
   CostModel cost_;
-  std::unordered_map<NodeId, Vertex> vertices_;
+
+  // Arena (structure of arrays, indexed by slot; slot 0 = collector).
+  std::vector<NodeId> id_;          // kNoNode marks a free slot
+  std::vector<Slot> parent_;        // kNoSlot for the root and free slots
+  std::vector<std::uint32_t> depth_;
+  std::vector<Capacity> avail_;
+  std::vector<double> y_;           // cached weighted payload
+  std::vector<double> recv_;        // cached Σ_{children c} u_c
+  std::vector<std::uint32_t> in_;   // stride()-flattened per-metric counts
+  std::vector<std::uint32_t> local_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<Slot> free_;          // LIFO recycled slots
+  std::vector<Slot> lookup_;        // NodeId -> slot, direct-indexed
+  std::vector<NodeId> members_;     // insertion-ordered live members
+  std::size_t collected_pairs_ = 0;
+
+  // Reusable walk scratch: const queries allocate nothing per ancestor hop.
+  mutable std::vector<std::int64_t> walk_delta_, walk_next_;
+  mutable std::vector<std::uint32_t> out_scratch_;
+
+  // Undo journal.
+  struct JournalEntry {
+    enum class Kind : std::uint8_t {
+      kLoads, kLocal, kAvail, kDepth, kParent, kChildInsert, kChildErase,
+      kCreate, kDestroy,
+    };
+    Kind kind;
+    Slot slot = kNoSlot;
+    Slot parent = kNoSlot;
+    NodeId id = kNoNode;
+    std::uint32_t pos = 0;
+    std::uint32_t depth = 0;
+    double y = 0.0, recv = 0.0, avail = 0.0;
+    std::size_t counts = 0;  // offset into jcounts_
+    std::size_t kids = 0;    // offset into jnodes_
+    std::uint32_t nkids = 0;
+  };
+  bool journal_on_ = false;
+  std::vector<JournalEntry> journal_;
+  std::vector<std::uint32_t> jcounts_;  // pooled count-row snapshots
+  std::vector<NodeId> jnodes_;          // pooled children-list snapshots
 };
 
 }  // namespace remo

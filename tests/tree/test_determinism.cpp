@@ -1,0 +1,170 @@
+// Determinism regression tests (ISSUE 4, satellite 1): member iteration is
+// guaranteed insertion order — never hash order — so two trees holding
+// identical content iterate identically regardless of how they were grown,
+// and equal-score parent ties in greedy scans resolve the same way on every
+// platform and every run.
+#include <gtest/gtest.h>
+
+#include "tree/builder.h"
+#include "tree/monitoring_tree.h"
+
+namespace remo {
+namespace {
+
+const CostModel kCost{10.0, 1.0};
+
+std::vector<TreeAttrSpec> holistic_attrs(std::size_t n) {
+  std::vector<TreeAttrSpec> out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(TreeAttrSpec{static_cast<AttrId>(i), FunnelSpec{}, 1.0});
+  return out;
+}
+
+BuildItem item(NodeId id, std::vector<std::uint32_t> local, Capacity avail) {
+  return BuildItem{id, std::move(local), avail};
+}
+
+/// The select_parent scan shape: first strict improvement wins, so on a
+/// full tie the result is the earliest vertex in iteration order. With a
+/// hash map this depended on bucket layout; with the arena it is the
+/// attach order.
+NodeId greedy_tie_parent(const MonitoringTree& t, const BuildItem& it) {
+  NodeId best = kNoNode;
+  double best_slack = -1e300;
+  auto consider = [&](NodeId v) {
+    if (!t.can_attach(it, v)) return;
+    if (t.slack(v) > best_slack) {  // strict: ties keep the earlier vertex
+      best_slack = t.slack(v);
+      best = v;
+    }
+  };
+  consider(kCollectorId);
+  for (NodeId v : t.members()) consider(v);
+  return best;
+}
+
+TEST(Determinism, DifferentGrowthHistoriesSameContentSameOrder) {
+  // Tree A: members 1..5 attached directly.
+  MonitoringTree a(holistic_attrs(1), 1000.0, kCost);
+  for (NodeId n = 1; n <= 5; ++n) a.attach(item(n, {1}, 100.0), kCollectorId);
+
+  // Tree B: same final content via a different history — extra members 6/7
+  // attached in between and detached again, plus a move that is undone.
+  MonitoringTree b(holistic_attrs(1), 1000.0, kCost);
+  b.attach(item(1, {1}, 100.0), kCollectorId);
+  b.attach(item(6, {1}, 100.0), kCollectorId);
+  b.attach(item(2, {1}, 100.0), kCollectorId);
+  b.attach(item(3, {1}, 100.0), kCollectorId);
+  b.attach(item(7, {1}, 100.0), 6);
+  b.attach(item(4, {1}, 100.0), kCollectorId);
+  b.attach(item(5, {1}, 100.0), kCollectorId);
+  ASSERT_TRUE(b.move_branch(4, 3));
+  ASSERT_TRUE(b.move_branch(4, kCollectorId));
+  (void)b.detach_branch(6);  // removes 6 and 7
+
+  // Identical content...
+  ASSERT_EQ(a.size(), b.size());
+  for (NodeId n = 1; n <= 5; ++n) {
+    EXPECT_EQ(a.parent(n), b.parent(n));
+    EXPECT_EQ(a.avail(n), b.avail(n));
+    EXPECT_EQ(a.usage(n), b.usage(n));
+  }
+  EXPECT_EQ(a.total_cost(), b.total_cost());
+  // ...and identical iteration order: survivors keep their relative
+  // insertion order, independent of the removed nodes and the moves.
+  EXPECT_EQ(a.members(), b.members());
+  EXPECT_EQ(a.members(), (std::vector<NodeId>{1, 2, 3, 4, 5}));
+}
+
+TEST(Determinism, EqualScoreTiesResolveByInsertionOrder) {
+  // All five members have identical depth, slack, and loads: a full tie.
+  // The greedy scan must deterministically keep the earliest-attached one.
+  auto grow = [](std::initializer_list<NodeId> order) {
+    MonitoringTree t(holistic_attrs(1), 1000.0, kCost);
+    for (NodeId n : order) t.attach(item(n, {1}, 100.0), kCollectorId);
+    return t;
+  };
+  MonitoringTree a = grow({3, 1, 4, 2, 5});
+  const BuildItem it9 = item(9, {1}, 100.0);
+  // Members only: the collector's slack differs, members are all tied.
+  NodeId best = kNoNode;
+  double best_slack = -1e300;
+  for (NodeId v : a.members()) {
+    if (!a.can_attach(it9, v)) continue;
+    if (a.slack(v) > best_slack) {
+      best_slack = a.slack(v);
+      best = v;
+    }
+  }
+  EXPECT_EQ(best, 3u);  // first attached, not smallest id, not hash order
+
+  // The same content attached in a different order picks ITS first vertex:
+  // the tie-break is a pure function of construction history.
+  MonitoringTree b = grow({5, 1, 2, 4, 3});
+  best = kNoNode;
+  best_slack = -1e300;
+  for (NodeId v : b.members()) {
+    if (!b.can_attach(it9, v)) continue;
+    if (b.slack(v) > best_slack) {
+      best_slack = b.slack(v);
+      best = v;
+    }
+  }
+  EXPECT_EQ(best, 5u);
+}
+
+TEST(Determinism, IdenticallyGrownTreesPlanIdentically) {
+  // Two trees grown through different histories but identical final content
+  // must drive the greedy scan to the same plan, edge for edge.
+  auto build_pair = [] {
+    MonitoringTree a(holistic_attrs(2), 2000.0, kCost);
+    for (NodeId n = 1; n <= 6; ++n)
+      a.attach(item(n, {1, n % 2}, 80.0), kCollectorId);
+
+    MonitoringTree b(holistic_attrs(2), 2000.0, kCost);
+    b.attach(item(8, {1, 1}, 80.0), kCollectorId);
+    for (NodeId n = 1; n <= 6; ++n)
+      b.attach(item(n, {1, n % 2}, 80.0), kCollectorId);
+    (void)b.detach_branch(8);
+    return std::pair<MonitoringTree, MonitoringTree>{std::move(a), std::move(b)};
+  };
+  auto [a, b] = build_pair();
+  ASSERT_EQ(a.members(), b.members());
+
+  // Greedily attach the same batch to both; every choice must coincide.
+  for (NodeId n = 10; n < 16; ++n) {
+    const BuildItem it = item(n, {1, 0}, 60.0);
+    const NodeId pa = greedy_tie_parent(a, it);
+    const NodeId pb = greedy_tie_parent(b, it);
+    ASSERT_EQ(pa, pb) << "diverged at item " << n;
+    if (pa == kNoNode) break;
+    a.attach(it, pa);
+    b.attach(it, pb);
+  }
+  ASSERT_EQ(a.members(), b.members());
+  for (NodeId n : a.members()) EXPECT_EQ(a.parent(n), b.parent(n));
+  EXPECT_EQ(a.total_cost(), b.total_cost());  // bit-identical accumulation
+}
+
+TEST(Determinism, BuildTreeIsReproducibleRunToRun) {
+  // Same inputs → byte-identical tree, including member order, across
+  // repeated builds in one process (catches any residual address- or
+  // hash-dependent iteration in the builder).
+  std::vector<BuildItem> items;
+  for (NodeId n = 1; n <= 24; ++n)
+    items.push_back(item(n, {1, n % 3 == 0 ? 1u : 0u}, 35.0 + (n % 4)));
+  TreeBuildOptions opts;
+  opts.scheme = TreeScheme::kAdaptive;
+  auto r1 = build_tree(holistic_attrs(2), items, 220.0, kCost, opts);
+  auto r2 = build_tree(holistic_attrs(2), items, 220.0, kCost, opts);
+  ASSERT_EQ(r1.tree.members(), r2.tree.members());
+  for (NodeId n : r1.tree.members()) {
+    EXPECT_EQ(r1.tree.parent(n), r2.tree.parent(n));
+    EXPECT_EQ(r1.tree.usage(n), r2.tree.usage(n));
+  }
+  EXPECT_EQ(r1.tree.total_cost(), r2.tree.total_cost());
+  EXPECT_EQ(r1.tree.collected_pairs(), r2.tree.collected_pairs());
+}
+
+}  // namespace
+}  // namespace remo

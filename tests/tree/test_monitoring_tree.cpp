@@ -156,9 +156,12 @@ TEST(MonitoringTree, MoveBranchPreservesCollectorPayload) {
   t.attach(item(1, {1}, 100.0), kCollectorId);
   t.attach(item(2, {1}, 100.0), 1);
   t.attach(item(3, {1}, 100.0), 2);
-  const auto before = t.in_counts(kCollectorId);
+  const std::vector<std::uint32_t> before(t.in_counts(kCollectorId).begin(),
+                                          t.in_counts(kCollectorId).end());
   ASSERT_TRUE(t.move_branch(3, 1));
-  EXPECT_EQ(t.in_counts(kCollectorId), before);
+  const std::vector<std::uint32_t> after(t.in_counts(kCollectorId).begin(),
+                                         t.in_counts(kCollectorId).end());
+  EXPECT_EQ(after, before);
   EXPECT_TRUE(t.validate());
 }
 

@@ -1,0 +1,288 @@
+// Property test for the flat-arena tree kernel (DESIGN.md §10): random
+// op sequences (attach / detach_branch / move_branch / update_local /
+// journaled-batch-then-rollback) over 20 seeded workloads, checked after
+// every op against a deliberately naive map-based reference model that
+// recomputes all loads from scratch. The arena's incremental caches
+// (in/y/recv, depth, member list, collected-pairs counter) must agree with
+// the reference's ground-truth recomputation, and a rolled-back journal
+// must restore the tree bit-exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "tree/monitoring_tree.h"
+
+namespace remo {
+namespace {
+
+const CostModel kCost{10.0, 1.0};
+
+// ---- reference model ------------------------------------------------------
+
+/// Map-based mirror of tree content. Carries only the primary state
+/// (structure, local counts, capacities); every derived quantity is
+/// recomputed from scratch on demand.
+struct RefModel {
+  std::vector<TreeAttrSpec> attrs;
+  CostModel cost;
+  std::map<NodeId, NodeId> parent;
+  std::map<NodeId, std::vector<NodeId>> children;  // in arena child order
+  std::map<NodeId, std::vector<std::uint32_t>> local;
+  std::map<NodeId, Capacity> avail;
+  std::vector<NodeId> member_order;  // expected insertion order
+
+  RefModel(std::vector<TreeAttrSpec> a, Capacity collector_avail, CostModel c)
+      : attrs(std::move(a)), cost(c) {
+    parent[kCollectorId] = kNoNode;
+    children[kCollectorId] = {};
+    local[kCollectorId].assign(attrs.size(), 0);
+    avail[kCollectorId] = collector_avail;
+  }
+
+  void add(const BuildItem& item, NodeId p) {
+    parent[item.id] = p;
+    children[item.id] = {};
+    children[p].push_back(item.id);
+    local[item.id] = item.local;
+    avail[item.id] = item.avail;
+    member_order.push_back(item.id);
+  }
+
+  void remove_branch(NodeId r) {
+    auto& sibs = children[parent[r]];
+    sibs.erase(std::find(sibs.begin(), sibs.end(), r));
+    std::vector<NodeId> stack{r};
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      for (NodeId c : children[n]) stack.push_back(c);
+      parent.erase(n);
+      children.erase(n);
+      local.erase(n);
+      avail.erase(n);
+      member_order.erase(
+          std::find(member_order.begin(), member_order.end(), n));
+    }
+  }
+
+  void move(NodeId r, NodeId np) {
+    auto& sibs = children[parent[r]];
+    sibs.erase(std::find(sibs.begin(), sibs.end(), r));
+    parent[r] = np;
+    children[np].push_back(r);
+  }
+
+  /// A move_branch that fails its feasibility walk unlinks and relinks the
+  /// branch, leaving it at the BACK of its old parent's child list (same
+  /// as the pre-arena kernel). Mirror that side effect.
+  void failed_move(NodeId r) { move(r, parent[r]); }
+
+  std::vector<std::uint32_t> in_of(NodeId n) const {
+    std::vector<std::uint32_t> in = local.at(n);
+    for (NodeId c : children.at(n)) {
+      const auto child_in = in_of(c);
+      for (std::size_t m = 0; m < attrs.size(); ++m)
+        in[m] += attrs[m].funnel(child_in[m]);
+    }
+    return in;
+  }
+
+  double y_of(NodeId n) const {
+    const auto in = in_of(n);
+    double y = 0.0;
+    for (std::size_t m = 0; m < attrs.size(); ++m)
+      y += attrs[m].weight * static_cast<double>(attrs[m].funnel(in[m]));
+    return y;
+  }
+
+  Capacity send_cost(NodeId n) const {
+    if (n == kCollectorId) return 0.0;
+    return cost.per_message + cost.per_value * y_of(n);
+  }
+
+  Capacity usage(NodeId n) const {
+    Capacity u = send_cost(n);
+    for (NodeId c : children.at(n)) u += send_cost(c);
+    return u;
+  }
+
+  std::size_t collected_pairs() const {
+    std::size_t total = 0;
+    for (const auto& [n, l] : local) {
+      if (n == kCollectorId) continue;
+      for (auto v : l) total += v;
+    }
+    return total;
+  }
+
+  Capacity total_cost() const {
+    Capacity total = 0;
+    for (NodeId n : member_order) total += send_cost(n);
+    return total;
+  }
+};
+
+void expect_matches(const MonitoringTree& tree, const RefModel& ref,
+                    int step) {
+  ASSERT_EQ(tree.size(), ref.member_order.size()) << "step " << step;
+  // Satellite guarantee: member iteration is insertion order, exactly.
+  ASSERT_EQ(tree.members(), ref.member_order) << "step " << step;
+  ASSERT_EQ(tree.collected_pairs(), ref.collected_pairs()) << "step " << step;
+  ASSERT_NEAR(tree.total_cost(), ref.total_cost(), 1e-9) << "step " << step;
+  for (NodeId n : ref.member_order) {
+    ASSERT_EQ(tree.parent(n), ref.parent.at(n)) << "node " << n;
+    ASSERT_EQ(tree.children(n), ref.children.at(n)) << "node " << n;
+    ASSERT_NEAR(tree.usage(n), ref.usage(n), 1e-9) << "node " << n;
+    ASSERT_NEAR(tree.payload(n), ref.y_of(n), 1e-9) << "node " << n;
+    const auto in = tree.in_counts(n);
+    const auto expect_in = ref.in_of(n);
+    ASSERT_TRUE(std::equal(in.begin(), in.end(), expect_in.begin(),
+                           expect_in.end()))
+        << "node " << n;
+  }
+  ASSERT_NEAR(tree.usage(kCollectorId), ref.usage(kCollectorId), 1e-9);
+  ASSERT_TRUE(tree.validate()) << "step " << step;
+}
+
+// ---- bit-exact state capture for rollback checks --------------------------
+
+struct TreeImage {
+  std::vector<NodeId> members;
+  std::vector<NodeId> parents;
+  std::vector<std::vector<NodeId>> kids;
+  std::vector<std::vector<std::uint32_t>> in, local;
+  std::vector<double> y, usage, avail;
+  std::size_t pairs = 0;
+  double cost = 0.0;
+
+  bool operator==(const TreeImage&) const = default;
+};
+
+TreeImage capture(const MonitoringTree& t) {
+  TreeImage img;
+  img.members = t.members();
+  auto grab = [&](NodeId n) {
+    img.parents.push_back(t.parent(n));
+    img.kids.push_back(t.children(n));
+    const auto in = t.in_counts(n);
+    img.in.emplace_back(in.begin(), in.end());
+    const auto local = t.local_counts(n);
+    img.local.emplace_back(local.begin(), local.end());
+    img.y.push_back(t.payload(n));
+    img.usage.push_back(t.usage(n));
+    img.avail.push_back(t.avail(n));
+  };
+  grab(kCollectorId);
+  for (NodeId n : img.members) grab(n);
+  img.pairs = t.collected_pairs();
+  img.cost = t.total_cost();
+  return img;
+}
+
+// ---- the property test ----------------------------------------------------
+
+class TreeReferenceModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeReferenceModel, ArenaMatchesMapModelAfterEveryOp) {
+  const std::uint64_t seed = GetParam();
+  Rng rng{seed};
+  // Vary funnel/weight/capacity per seed so all aggregation paths and both
+  // tight and slack capacity regimes are exercised.
+  const AggType aggs[] = {AggType::kHolistic, AggType::kSum, AggType::kMax,
+                          AggType::kTopK, AggType::kDistinct};
+  std::vector<TreeAttrSpec> attrs{
+      {0, FunnelSpec{aggs[seed % 5], 3}, seed % 4 == 0 ? 0.5 : 1.0},
+      {1, FunnelSpec{AggType::kHolistic}, 1.0},
+  };
+  const Capacity base_avail = 40.0 + 20.0 * static_cast<double>(seed % 4);
+  MonitoringTree tree(attrs, /*collector_avail=*/400.0, kCost);
+  RefModel ref(attrs, 400.0, kCost);
+
+  NodeId next_id = 1;
+  auto random_item = [&] {
+    BuildItem item{next_id,
+                   {static_cast<std::uint32_t>(rng.below(2)),
+                    static_cast<std::uint32_t>(rng.below(2))},
+                   base_avail * rng.uniform(0.5, 1.5)};
+    if (item.local_total() == 0) item.local[0] = 1;
+    return item;
+  };
+  auto random_vertex = [&]() -> NodeId {
+    if (ref.member_order.empty() || rng.bernoulli(0.2)) return kCollectorId;
+    return ref.member_order[rng.below(ref.member_order.size())];
+  };
+
+  // Single mutation attempt applied to BOTH tree and ref; returns whether
+  // the tree accepted it.
+  auto mutate = [&](bool mirror) {
+    const auto op = rng.below(10);
+    if (op < 5 || ref.member_order.empty()) {
+      const BuildItem item = random_item();
+      const NodeId p = random_vertex();
+      if (!tree.try_attach(item, p)) return false;
+      if (mirror) ref.add(item, p);
+      ++next_id;
+      return true;
+    }
+    if (op < 7) {
+      const NodeId r = ref.member_order[rng.below(ref.member_order.size())];
+      const NodeId target = random_vertex();
+      // During a journaled batch ref is intentionally stale: r/target may
+      // already have been detached from the tree this batch.
+      if (!tree.contains(r) || !tree.contains(target)) return false;
+      if (target == r || tree.in_subtree(target, r) ||
+          tree.parent(r) == target)
+        return false;
+      if (!tree.move_branch(r, target)) {
+        if (mirror) ref.failed_move(r);
+        return false;
+      }
+      if (mirror) ref.move(r, target);
+      return true;
+    }
+    if (op < 8) {
+      const NodeId n = ref.member_order[rng.below(ref.member_order.size())];
+      std::vector<std::uint32_t> counts{
+          static_cast<std::uint32_t>(rng.below(3)),
+          static_cast<std::uint32_t>(rng.below(3))};
+      if (!tree.update_local(n, counts)) return false;
+      if (mirror) ref.local[n] = counts;
+      return true;
+    }
+    const NodeId r = ref.member_order[rng.below(ref.member_order.size())];
+    if (!tree.contains(r)) return false;  // stale pick inside a batch
+    (void)tree.detach_branch(r);
+    if (mirror) ref.remove_branch(r);
+    return true;
+  };
+
+  std::size_t applied = 0, rollbacks = 0;
+  for (int step = 0; step < 250; ++step) {
+    if (!ref.member_order.empty() && rng.bernoulli(0.15)) {
+      // Journaled batch, then rollback: the arena must restore bit-exactly
+      // (same doubles, same member order, same child order) — the
+      // snapshot-free path the adjuster relies on.
+      const TreeImage before = capture(tree);
+      tree.begin_journal();
+      const auto batch = 1 + rng.below(4);
+      for (std::uint32_t i = 0; i < batch; ++i) mutate(/*mirror=*/false);
+      tree.rollback_journal();
+      ASSERT_EQ(capture(tree), before) << "rollback at step " << step;
+      ASSERT_TRUE(tree.validate()) << "rollback at step " << step;
+      ++rollbacks;
+    } else {
+      if (mutate(/*mirror=*/true)) ++applied;
+      expect_matches(tree, ref, step);
+    }
+  }
+  EXPECT_GT(applied, 60u);
+  EXPECT_GT(rollbacks, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeReferenceModel,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace remo

@@ -9,6 +9,10 @@ namespace {
 
 const CostModel kCost{10.0, 1.0};
 
+std::vector<std::uint32_t> vec(std::span<const std::uint32_t> s) {
+  return {s.begin(), s.end()};
+}
+
 std::vector<TreeAttrSpec> holistic_attrs(std::size_t n) {
   std::vector<TreeAttrSpec> out;
   for (std::size_t i = 0; i < n; ++i)
@@ -28,7 +32,7 @@ TEST(UpdateLocal, DecreaseAlwaysFeasible) {
   auto t = chain3();
   ASSERT_TRUE(t.can_update_local(2, {0, 0}));
   ASSERT_TRUE(t.update_local(2, {0, 0}));
-  EXPECT_EQ(t.local_counts(2), (std::vector<std::uint32_t>{0, 0}));
+  EXPECT_EQ(vec(t.local_counts(2)), (std::vector<std::uint32_t>{0, 0}));
   // Node 2 still relays node 3's values.
   EXPECT_DOUBLE_EQ(t.payload(2), 1.0);
   EXPECT_TRUE(t.validate());
@@ -55,10 +59,10 @@ TEST(UpdateLocal, InfeasibleIncreaseRejectedAndUnchanged) {
   // Now push node 2 up to where node 1 would exceed 38:
   // each added value at 2 costs node 1 +2 (receive +1, send +1).
   ASSERT_TRUE(t.can_update_local(2, {1, 1}));
-  const auto before_counts = t.in_counts(1);
+  const auto before_counts = vec(t.in_counts(1));
   EXPECT_FALSE(t.can_update_local(2, {8, 8}));  // way past the budget
   EXPECT_FALSE(t.update_local(2, {8, 8}));
-  EXPECT_EQ(t.in_counts(1), before_counts);  // no partial mutation
+  EXPECT_EQ(vec(t.in_counts(1)), before_counts);  // no partial mutation
   EXPECT_TRUE(t.validate());
 }
 
@@ -76,7 +80,7 @@ TEST(UpdateLocal, SizeMismatchThrows) {
 
 TEST(UpdateLocal, NoopUpdateKeepsEverything) {
   auto t = chain3();
-  const auto local = t.local_counts(2);
+  const auto local = vec(t.local_counts(2));
   const double cost_before = t.total_cost();
   ASSERT_TRUE(t.update_local(2, local));
   EXPECT_DOUBLE_EQ(t.total_cost(), cost_before);

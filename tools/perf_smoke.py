@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate for the tree/planner kernel (ISSUE 4, satellite 5).
+
+Compares a fresh BENCH_fig10.json (bench_fig10_optimization --json) against
+the committed baseline bench/baselines/BENCH_fig10.json:
+
+  * planning time ("par+cache (ms)" in the plan-evaluation-engine section)
+    must not regress by more than GATE (default 2.0x, generous on purpose:
+    CI machines are noisy and slower than the box the baseline came from);
+  * collected pairs must match the baseline exactly — the kernel may get
+    faster, never worse.
+
+Usage: perf_smoke.py BASELINE.json CURRENT.json [--gate 2.0]
+Exits non-zero with a diagnostic on any violation. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+ENGINE_SECTION = "plan-evaluation engine"
+TIME_COLUMN = "par+cache (ms)"
+COLLECTED_COLUMN = "collected"
+NODES_COLUMN = "nodes"
+
+
+def engine_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for section in doc["sections"]:
+        if section["title"].startswith(ENGINE_SECTION):
+            headers = section["headers"]
+            return {
+                int(row[headers.index(NODES_COLUMN)]): {
+                    "ms": float(row[headers.index(TIME_COLUMN)]),
+                    "collected": int(row[headers.index(COLLECTED_COLUMN)]),
+                }
+                for row in section["rows"]
+            }
+    sys.exit(f"{path}: no '{ENGINE_SECTION}' section found")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--gate", type=float, default=2.0,
+                    help="max allowed planning-time ratio current/baseline")
+    args = ap.parse_args()
+
+    base = engine_rows(args.baseline)
+    cur = engine_rows(args.current)
+    failures = []
+    print(f"{'nodes':>6} {'base ms':>9} {'cur ms':>9} {'ratio':>6}  collected")
+    for nodes, b in sorted(base.items()):
+        if nodes not in cur:
+            failures.append(f"n={nodes}: missing from current run")
+            continue
+        c = cur[nodes]
+        ratio = c["ms"] / b["ms"] if b["ms"] > 0 else float("inf")
+        match = "==" if c["collected"] == b["collected"] else "!="
+        print(f"{nodes:>6} {b['ms']:>9.1f} {c['ms']:>9.1f} {ratio:>6.2f}  "
+              f"{b['collected']} {match} {c['collected']}")
+        if ratio > args.gate:
+            failures.append(
+                f"n={nodes}: planning time {c['ms']:.1f} ms is "
+                f"{ratio:.2f}x baseline {b['ms']:.1f} ms (gate {args.gate}x)")
+        if c["collected"] != b["collected"]:
+            failures.append(
+                f"n={nodes}: collected pairs {c['collected']} != "
+                f"baseline {b['collected']}")
+    if failures:
+        print("\nPERF SMOKE FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

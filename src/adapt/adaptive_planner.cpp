@@ -147,6 +147,7 @@ std::vector<std::vector<AttrId>> AdaptivePlanner::direct_apply(
       if (tree.contains(n)) {
         // Removals are always feasible; apply them first so stale values
         // stop flowing even when the additions do not fit.
+        // remo-lint: allow(span-store) copied into old_local below before any mutation; old_span is dead once update_local runs
         const auto old_span = tree.local_counts(n);
         const std::vector<std::uint32_t> old_local(old_span.begin(),
                                                    old_span.end());

@@ -1,23 +1,26 @@
 #include "adapt/repair.h"
 
 #include <algorithm>
-#include <unordered_set>
+
+#include "common/check.h"
+#include "common/sorted_vector.h"
 
 namespace remo {
 
 namespace {
 
 /// Shallowest feasible attach point for `item`, excluding suspected
-/// vertices; ties break by ascending node id. kNoNode if none.
+/// vertices (`suspect` sorted-unique); ties break by ascending node id.
+/// kNoNode if none.
 NodeId best_attach_point(const MonitoringTree& tree, const BuildItem& item,
-                         const std::unordered_set<NodeId>& suspect) {
+                         const std::vector<NodeId>& suspect) {
   std::vector<NodeId> targets = tree.members();
   std::sort(targets.begin(), targets.end());
   targets.insert(targets.begin(), kCollectorId);
   NodeId best = kNoNode;
   std::size_t best_depth = 0;
   for (NodeId v : targets) {
-    if (suspect.count(v) != 0) continue;
+    if (set_contains(suspect, v)) continue;
     const std::size_t d = tree.depth(v);
     if (best != kNoNode && d >= best_depth) continue;
     if (!tree.can_attach(item, v)) continue;
@@ -33,7 +36,11 @@ RepairResult repair_topology(const Topology& topo, const SystemModel& system,
                              const std::vector<NodeId>& suspected) {
   RepairResult res;
   res.topo = topo;
-  const std::unordered_set<NodeId> suspect(suspected.begin(), suspected.end());
+  // Sorted-unique: membership is a binary search and — unlike a hash set —
+  // iteration order is deterministic (DESIGN.md §10, lint rule
+  // unordered-iteration).
+  std::vector<NodeId> suspect(suspected.begin(), suspected.end());
+  sort_unique(suspect);
   if (suspect.empty()) return res;
 
   for (auto& entry : res.topo.mutable_entries()) {
@@ -78,7 +85,7 @@ RepairResult repair_topology(const Topology& topo, const SystemModel& system,
     // candidate target for its former children.
     for (const bool suspects_pass : {false, true}) {
       for (const BuildItem& orig : removed) {
-        if ((suspect.count(orig.id) != 0) != suspects_pass) continue;
+        if (set_contains(suspect, orig.id) != suspects_pass) continue;
         BuildItem item = orig;
         item.avail = std::max<Capacity>(
             0, system.capacity(item.id) - res.topo.node_usage(item.id));
@@ -99,6 +106,11 @@ RepairResult repair_topology(const Topology& topo, const SystemModel& system,
   }
 
   res.outcome.repair_messages = edge_diff(topo, res.topo);
+  // Repair relaxes per-tree avails up to the global remaining budget, but
+  // may never overdraw a node across the forest.
+  REMO_VALIDATE(res.topo.validate(system),
+                "repair_topology broke capacity invariants (", suspect.size(),
+                " suspects, ", res.outcome.trees_touched, " trees touched)");
   return res;
 }
 
@@ -107,9 +119,7 @@ RepairOutcome park_members(Topology& topo, const SystemModel& system,
                            const PairSet& pairs) {
   RepairOutcome out;
   std::vector<NodeId> sorted(members.begin(), members.end());
-  std::sort(sorted.begin(), sorted.end());
-  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-  const std::unordered_set<NodeId> parked(sorted.begin(), sorted.end());
+  sort_unique(sorted);
 
   for (auto& entry : topo.mutable_entries()) {
     MonitoringTree& tree = entry.tree;
@@ -137,7 +147,7 @@ RepairOutcome park_members(Topology& topo, const SystemModel& system,
       }
       item.avail = std::max<Capacity>(
           0, system.capacity(m) - topo.node_usage(m));
-      const NodeId target = best_attach_point(tree, item, parked);
+      const NodeId target = best_attach_point(tree, item, sorted);
       if (target == kNoNode) {
         ++out.members_dropped;
         out.pairs_dropped += item.local_total();
@@ -148,6 +158,8 @@ RepairOutcome park_members(Topology& topo, const SystemModel& system,
     }
     entry.collected_pairs = tree.collected_pairs();
   }
+  REMO_VALIDATE(topo.validate(system), "park_members broke capacity invariants (",
+                sorted.size(), " members, ", out.suspects_parked, " parked)");
   return out;
 }
 

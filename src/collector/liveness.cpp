@@ -11,6 +11,7 @@ void LivenessTracker::sync(const Topology& topology, std::uint64_t epoch) {
   for (const auto& entry : topology.entries()) {
     const auto& specs = entry.tree.attr_specs();
     for (NodeId n : entry.tree.members()) {
+      // remo-lint: allow(span-store) read-only scan of a const topology; no tree mutation while the view lives
       const auto local = entry.tree.local_counts(n);
       std::uint64_t interval = 0;
       for (std::size_t m = 0; m < specs.size(); ++m) {

@@ -1,0 +1,49 @@
+#include "common/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace remo {
+
+namespace {
+
+// -1 = not yet initialized from the environment.
+std::atomic<int> g_validation{-1};
+
+int validation_from_env() noexcept {
+  const char* v = std::getenv("REMO_VALIDATE");
+  return (v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0) ? 1 : 0;
+}
+
+}  // namespace
+
+bool validation_enabled() noexcept {
+  int v = g_validation.load(std::memory_order_relaxed);
+  if (v < 0) {
+    // Racing first calls all compute the same value; the store is idempotent.
+    v = validation_from_env();
+    g_validation.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+void set_validation_enabled(bool on) noexcept {
+  g_validation.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void assert_fail(const char* kind, const char* expr, const char* file,
+                 int line, const std::string& context) {
+  // One stderr write per field: abort handlers and death tests both scrape
+  // this output, so keep it line-oriented and flush before aborting.
+  std::fprintf(stderr, "%s failed: %s\n  at %s:%d\n", kind, expr, file, line);
+  if (!context.empty()) std::fprintf(stderr, "  context: %s\n", context.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace remo

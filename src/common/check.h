@@ -1,0 +1,98 @@
+// Contract macros (DESIGN.md §11): the three enforcement tiers every REMO
+// invariant check goes through.
+//
+//   REMO_ASSERT(cond, ...)   always on, every build type. For contracts whose
+//                            violation means the process is about to compute
+//                            a wrong plan or corrupt a tree. Prints the
+//                            expression, location, and the formatted context
+//                            arguments (streamed, so pass the violated
+//                            quantities: `REMO_ASSERT(u <= b, "usage=", u,
+//                            " budget=", b)`), then aborts.
+//   REMO_DCHECK(cond, ...)   compiled in only when REMO_DCHECK_ENABLED —
+//                            debug builds (!NDEBUG) and sanitizer builds
+//                            (REMO_SANITIZE defines REMO_FORCE_DCHECK). For
+//                            checks too hot for release binaries: per-access
+//                            view-freshness checks, per-hop walk guards.
+//   REMO_VALIDATE(cond, ...) runtime-gated deep validation: evaluated only
+//                            while remo::validation_enabled() — initialized
+//                            from the REMO_VALIDATE environment variable and
+//                            overridable with set_validation_enabled(). For
+//                            whole-structure re-checks (MonitoringTree::
+//                            validate(), Topology::validate(), planner /
+//                            task-manager / repair invariant hooks) that are
+//                            O(system) per mutating operation: `ctest -L
+//                            validate` runs the recovery and builder suites
+//                            with the gate on; production pays one relaxed
+//                            atomic load per hook site.
+//
+// REMO_ASSERT is usable inside constexpr functions: the failure branch calls
+// a non-constexpr handler, so a violation during constant evaluation is a
+// compile error and a violation at runtime aborts with context.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#if !defined(NDEBUG) || defined(REMO_FORCE_DCHECK)
+#define REMO_DCHECK_ENABLED 1
+#else
+#define REMO_DCHECK_ENABLED 0
+#endif
+
+namespace remo {
+
+/// True while deep REMO_VALIDATE checks are live. First call reads the
+/// REMO_VALIDATE environment variable (enabled iff set to anything but "" or
+/// "0"); set_validation_enabled() overrides it at any point (tests flip it
+/// on in SetUp so the gate does not depend on the harness environment).
+bool validation_enabled() noexcept;
+void set_validation_enabled(bool on) noexcept;
+
+namespace detail {
+
+[[noreturn]] void assert_fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& context);
+
+template <typename... Ts>
+std::string format_context(const Ts&... parts) {
+  if constexpr (sizeof...(parts) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream os;
+    (os << ... << parts);
+    return os.str();
+  }
+}
+
+}  // namespace detail
+}  // namespace remo
+
+#define REMO_ASSERT(cond, ...)                                       \
+  (static_cast<bool>(cond)                                           \
+       ? static_cast<void>(0)                                        \
+       : ::remo::detail::assert_fail(                                \
+             "REMO_ASSERT", #cond, __FILE__, __LINE__,               \
+             ::remo::detail::format_context(__VA_ARGS__)))
+
+#if REMO_DCHECK_ENABLED
+#define REMO_DCHECK(cond, ...)                                       \
+  (static_cast<bool>(cond)                                           \
+       ? static_cast<void>(0)                                        \
+       : ::remo::detail::assert_fail(                                \
+             "REMO_DCHECK", #cond, __FILE__, __LINE__,               \
+             ::remo::detail::format_context(__VA_ARGS__)))
+#else
+#define REMO_DCHECK(cond, ...) static_cast<void>(0)
+#endif
+
+#define REMO_VALIDATE(cond, ...)                                     \
+  do {                                                               \
+    if (::remo::validation_enabled()) {                              \
+      if (!static_cast<bool>(cond)) {                                \
+        ::remo::detail::assert_fail(                                 \
+            "REMO_VALIDATE", #cond, __FILE__, __LINE__,              \
+            ::remo::detail::format_context(__VA_ARGS__));            \
+      }                                                              \
+    }                                                                \
+  } while (false)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "planner/export.h"
@@ -235,6 +236,8 @@ bool MonitoringSystem::end_epoch(std::uint64_t epoch) {
       options_.recovery.on_repair(res.outcome, epoch);
     if (res.outcome.repair_messages > 0) {
       planner_->adopt(std::move(res.topo), now);
+      REMO_VALIDATE(planner_->topology().validate(system_),
+                    "adopted repair topology violates capacity at epoch ", epoch);
       liveness_.sync(planner_->topology(), epoch);
       // The redeploy drops in-flight relays: grant every up node a fresh
       // deadline window so deep members aren't falsely suspected.
@@ -287,6 +290,9 @@ bool MonitoringSystem::reoptimize_after_outage(std::uint64_t epoch) {
     planner_->adopt(std::move(patched), now);
   }
   ++repair_report_.replans_after_outage;
+  REMO_VALIDATE(planner_->topology().validate(system_),
+                "post-outage replan topology violates capacity at epoch ", epoch,
+                " (", still_down.size(), " suspects planned around)");
   const std::size_t moved = edge_diff(before, planner_->topology());
   repair_report_.repair_messages += moved;
   liveness_.sync(planner_->topology(), epoch);

@@ -8,8 +8,7 @@
 // the number of values per message (0.2% -> 1.4% for 1 -> 256 values).
 #pragma once
 
-#include <cassert>
-
+#include "common/check.h"
 #include "common/types.h"
 
 namespace remo {
@@ -22,7 +21,15 @@ struct CostModel {
   double per_value = 1.0;
 
   constexpr CostModel() = default;
-  constexpr CostModel(double c, double a) : per_message(c), per_value(a) {}
+  constexpr CostModel(double c, double a) : per_message(c), per_value(a) {
+    // Negative parameters would make message_cost() a credit: feasibility
+    // walks (u_i ≤ b_i) and the Sec. 4.2 throttle both assume costs are
+    // monotone in the payload. Contract-checked here so every downstream
+    // accounting path can rely on it (REMO_ASSERT is constexpr-safe: a
+    // violating constant expression fails to compile).
+    REMO_ASSERT(c >= 0.0, "per-message overhead C=", c, " (must be >= 0)");
+    REMO_ASSERT(a >= 0.0, "per-value cost a=", a, " (must be >= 0)");
+  }
 
   /// Cost of sending (or receiving) one message carrying `values` values.
   constexpr Capacity message_cost(std::size_t values) const noexcept {
@@ -37,6 +44,10 @@ struct CostModel {
   /// How many values amortize the per-message overhead down to `frac` of
   /// total message cost. Used by heuristics to reason about batching.
   constexpr double values_for_overhead_fraction(double frac) const noexcept {
+    REMO_ASSERT(frac > 0.0 && frac <= 1.0,
+                "overhead fraction=", frac, " outside (0, 1]");
+    REMO_ASSERT(per_value > 0.0, "per-value cost a=", per_value,
+                " (fraction undefined for a free value)");
     // frac = C / (C + a·x)  =>  x = C (1 - frac) / (a · frac)
     return per_message * (1.0 - frac) / (per_value * frac);
   }

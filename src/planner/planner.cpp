@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/sorted_vector.h"
 #include "obs/trace.h"
 #include "planner/evaluator.h"
@@ -101,9 +102,25 @@ std::size_t Planner::last_evaluations() const noexcept {
 
 EvalStats Planner::last_stats() const { return evaluator_->stats(); }
 
+void Planner::check_invariants(const Topology& topo, const PairSet& pairs) const {
+  if (!validation_enabled()) return;  // skip the partition materialization
+  REMO_VALIDATE(topo.validate(*system_),
+                "planner topology violates capacity constraints (", topo.num_trees(),
+                " trees, ", topo.collected_pairs(), " collected pairs)");
+  const Partition p = topo.partition();
+  REMO_VALIDATE(p.valid_over(pairs.attribute_universe()),
+                "planner partition is not a partition of the attribute universe: ",
+                p.to_string());
+  REMO_VALIDATE(options_.conflicts.satisfied_by(p),
+                "planner partition co-locates conflicting attributes: ",
+                p.to_string());
+}
+
 Topology Planner::build_for_partition(const PairSet& pairs, const Partition& p) const {
   evaluator_->sync_pairs(pairs);
-  return evaluator_->build_full(pairs, p);
+  Topology topo = evaluator_->build_full(pairs, p);
+  check_invariants(topo, pairs);
+  return topo;
 }
 
 bool Planner::improve_once(Topology& topo, const PairSet& pairs) const {
@@ -140,6 +157,7 @@ bool Planner::improve_once(Topology& topo, const PairSet& pairs) const {
 
   if (!best) return false;
   topo = std::move(best->topo);
+  check_invariants(topo, pairs);
   return true;
 }
 
@@ -152,6 +170,7 @@ Topology Planner::plan(const PairSet& pairs) const {
                           ? Partition::one_set(universe)
                           : Partition::singleton(universe);
   Topology topo = evaluator_->build_full(pairs, initial);
+  check_invariants(topo, pairs);
   if (options_.partition_scheme != PartitionScheme::kRemo) return topo;
 
   for (std::size_t iter = 0; iter < options_.max_iterations; ++iter)
@@ -191,6 +210,7 @@ Topology Planner::plan(const PairSet& pairs) const {
         if (!improve_once(topo, pairs)) break;
     }
   }
+  check_invariants(topo, pairs);
   return topo;
 }
 

@@ -127,6 +127,13 @@ class Planner {
   /// no evaluated candidate improves (search converged).
   bool improve_once(Topology& topo, const PairSet& pairs) const;
 
+  /// Deep invariant hook (REMO_VALIDATE, DESIGN.md §11): the topology
+  /// satisfies every capacity constraint, its implied partition is a valid
+  /// partition of the pair set's attribute universe, and no conflict
+  /// constraint is violated. Invoked after every committed planner result
+  /// when validation is enabled; no-op (one relaxed atomic load) otherwise.
+  void check_invariants(const Topology& topo, const PairSet& pairs) const;
+
   /// Diagnostics: candidate topologies evaluated by the last plan() call
   /// (accumulated since then across improve_once/build_for_partition).
   std::size_t last_evaluations() const noexcept;

@@ -87,6 +87,7 @@ Deployment deploy(const Topology& topology,
       sn.id = n;
       sn.parent = entry.tree.parent(n);
       sn.depth = entry.tree.depth(n);
+      // remo-lint: allow(span-store) deployment snapshot of a const topology; consumed in this loop before any mutation
       const auto local = entry.tree.local_counts(n);
       for (std::size_t m = 0; m < specs.size(); ++m) {
         if (local[m] == 0) continue;

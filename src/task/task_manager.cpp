@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/sorted_vector.h"
 
 namespace remo {
@@ -46,10 +47,15 @@ TaskId TaskManager::add_task(MonitoringTask t) {
   sort_unique(t.nodes);
   const TaskId id = t.id;
   tasks_.emplace(id, std::move(t));
+  check_invariants();
   return id;
 }
 
-bool TaskManager::remove_task(TaskId id) { return tasks_.erase(id) > 0; }
+bool TaskManager::remove_task(TaskId id) {
+  const bool erased = tasks_.erase(id) > 0;
+  check_invariants();
+  return erased;
+}
 
 bool TaskManager::modify_task(MonitoringTask t) {
   auto it = tasks_.find(t.id);
@@ -57,7 +63,22 @@ bool TaskManager::modify_task(MonitoringTask t) {
   sort_unique(t.attrs);
   sort_unique(t.nodes);
   it->second = std::move(t);
+  check_invariants();
   return true;
+}
+
+void TaskManager::check_invariants() const {
+  if (!validation_enabled()) return;
+  for (const auto& [id, t] : tasks_) {
+    REMO_VALIDATE(t.id == id, "task keyed by id=", id, " carries id=", t.id);
+    REMO_VALIDATE(is_sorted_unique(t.attrs),
+                  "task ", id, ": attribute list not sorted-unique (",
+                  t.attrs.size(), " entries)");
+    REMO_VALIDATE(is_sorted_unique(t.nodes), "task ", id,
+                  ": node list not sorted-unique (", t.nodes.size(), " entries)");
+    REMO_VALIDATE(id < next_id_, "task id=", id,
+                  " not below next_id_=", next_id_);
+  }
 }
 
 const MonitoringTask* TaskManager::find(TaskId id) const {

@@ -47,6 +47,13 @@ class TaskManager {
   /// deduplication — used to report dedup savings.
   std::size_t raw_pair_count() const;
 
+  /// Deep invariant hook (REMO_VALIDATE, DESIGN.md §11): every stored task
+  /// carries the id it is keyed by, its attribute/node lists are
+  /// sorted-unique (dedup and frequency lookups binary-search them), and
+  /// next_id_ is past every issued id. Invoked after every mutating call
+  /// when validation is enabled; no-op otherwise.
+  void check_invariants() const;
+
  private:
   void expand_into(const MonitoringTask& t, PairSet& out) const;
 

@@ -14,6 +14,7 @@ namespace {
 /// Parent-selection criterion per scheme. Returns kNoNode if no vertex can
 /// feasibly accept `item`; otherwise the chosen parent. Blocking vertices
 /// encountered during the scan are appended to `congested`.
+// REMO_HOT: called once per pending item per construction pass.
 NodeId select_parent(const MonitoringTree& tree, const BuildItem& item,
                      TreeScheme scheme, std::vector<NodeId>* congested) {
   NodeId best = kNoNode;

@@ -18,6 +18,16 @@ std::uint32_t row_sum(const std::uint32_t* row, std::size_t n) noexcept {
 }
 }  // namespace
 
+#if REMO_DCHECK_ENABLED
+void CountSpan::check_fresh() const {
+  REMO_DCHECK(owner_ == nullptr || generation_ == owner_->debug_generation(),
+              "stale CountSpan: tree mutated since the view was taken "
+              "(view generation=", generation_,
+              " tree generation=", owner_ ? owner_->debug_generation() : 0,
+              ") — copy in_counts()/local_counts() before mutating");
+}
+#endif
+
 std::uint64_t send_period(double weight) noexcept {
   const double w = std::clamp(weight, 1e-6, 1.0);
   return std::max<std::uint64_t>(
@@ -145,10 +155,16 @@ void MonitoringTree::set_avail(NodeId id, Capacity avail) {
   const Slot s = slot_of(id);
   javail(s);
   avail_[s] = avail;
+  bump_generation();
+  deep_validate("set_avail");
 }
 
-std::span<const std::uint32_t> MonitoringTree::in_counts(NodeId id) const {
-  return {in_row(slot_of(id)), stride()};
+CountSpan MonitoringTree::in_counts(NodeId id) const {
+#if REMO_DCHECK_ENABLED
+  return CountSpan{in_row(slot_of(id)), stride(), this, generation_};
+#else
+  return CountSpan{in_row(slot_of(id)), stride()};
+#endif
 }
 
 std::vector<std::uint32_t> MonitoringTree::out_counts(NodeId id) const {
@@ -158,8 +174,12 @@ std::vector<std::uint32_t> MonitoringTree::out_counts(NodeId id) const {
   return out;
 }
 
-std::span<const std::uint32_t> MonitoringTree::local_counts(NodeId id) const {
-  return {local_row(slot_of(id)), stride()};
+CountSpan MonitoringTree::local_counts(NodeId id) const {
+#if REMO_DCHECK_ENABLED
+  return CountSpan{local_row(slot_of(id)), stride(), this, generation_};
+#else
+  return CountSpan{local_row(slot_of(id)), stride()};
+#endif
 }
 
 Capacity MonitoringTree::total_cost() const {
@@ -171,6 +191,7 @@ Capacity MonitoringTree::total_cost() const {
   return total;
 }
 
+// REMO_HOT: one call per candidate parent per construction pass.
 bool MonitoringTree::feasible_add(Slot parent, const std::uint32_t* child_out,
                                   double child_u, NodeId* blocker) const {
   for (std::size_t m = 0; m < attrs_.size(); ++m)
@@ -178,6 +199,8 @@ bool MonitoringTree::feasible_add(Slot parent, const std::uint32_t* child_out,
   return feasible_walk_scratch(parent, child_u, blocker);
 }
 
+// REMO_HOT: the innermost loop of every build — zero allocations per
+// ancestor hop (walk buffers are preallocated per tree).
 bool MonitoringTree::feasible_walk_scratch(Slot parent, Capacity recv_delta,
                                            NodeId* blocker) const {
   Slot q = parent;
@@ -225,6 +248,7 @@ void MonitoringTree::propagate(Slot parent, const std::uint32_t* child_out,
   propagate_scratch(parent);
 }
 
+// REMO_HOT: runs once per committed mutation, walking the ancestor chain.
 void MonitoringTree::propagate_scratch(Slot parent) {
   Slot q = parent;
   while (true) {
@@ -270,7 +294,11 @@ bool MonitoringTree::can_attach(const BuildItem& item, NodeId parent,
 }
 
 void MonitoringTree::attach(const BuildItem& item, NodeId parent) {
-  if (!try_attach(item, parent)) std::abort();  // callers must check first
+  NodeId blocker = kNoNode;
+  const bool ok = try_attach(item, parent, &blocker);
+  REMO_ASSERT(ok, "infeasible attach (callers must check first): node=",
+              item.id, " under parent=", parent, " blocked at node=", blocker,
+              " item avail=", item.avail);
 }
 
 bool MonitoringTree::try_attach(const BuildItem& item, NodeId parent,
@@ -309,6 +337,8 @@ bool MonitoringTree::try_attach(const BuildItem& item, NodeId parent,
   jchild_insert(p);
   recv_[p] += u;
   propagate(p, out_scratch_.data(), +1);
+  bump_generation();
+  deep_validate("try_attach");
   return true;
 }
 
@@ -347,6 +377,9 @@ bool MonitoringTree::can_move_branch(NodeId r, NodeId new_parent,
   unlink(rs, out.data(), u);
   const bool ok = feasible_add(nps, out.data(), u, blocker);
   relink(rs, ops, out.data(), u);
+  // State is restored exactly, but the arena was touched in between:
+  // invalidate outstanding views taken before the probe.
+  bump_generation();
   return ok;
 }
 
@@ -381,6 +414,8 @@ bool MonitoringTree::move_branch(NodeId r, NodeId new_parent) {
       for (NodeId c : children_[s]) q.push_back(lookup_[c]);
     }
   }
+  bump_generation();
+  deep_validate("move_branch");
   return true;
 }
 
@@ -410,6 +445,8 @@ std::vector<BuildItem> MonitoringTree::detach_branch(NodeId r) {
     children_[s].clear();
     free_.push_back(s);
   }
+  bump_generation();
+  deep_validate("detach_branch");
   return items;
 }
 
@@ -456,13 +493,16 @@ bool MonitoringTree::update_local(NodeId id,
   jloads(parent_[s]);
   recv_[parent_[s]] += cost_.per_value * (y_[s] - old_y);
   propagate_scratch(parent_[s]);
+  bump_generation();
+  deep_validate("update_local");
   return true;
 }
 
 // ---- undo journal ---------------------------------------------------------
 
 void MonitoringTree::begin_journal() {
-  if (journal_on_) std::abort();  // not re-entrant
+  REMO_ASSERT(!journal_on_, "begin_journal is not re-entrant: ",
+              journal_.size(), " record(s) already pending");
   journal_on_ = true;
 }
 
@@ -518,7 +558,10 @@ void MonitoringTree::rollback_journal() {
         break;
       case K::kDestroy: {
         // LIFO discipline: the most recently freed slot is this one.
-        if (free_.empty() || free_.back() != e.slot) std::abort();
+        REMO_ASSERT(!free_.empty() && free_.back() == e.slot,
+                    "journal rollback out of order: expected slot ", e.slot,
+                    " on top of the free list, found ",
+                    free_.empty() ? -1 : static_cast<std::int64_t>(free_.back()));
         free_.pop_back();
         id_[e.slot] = e.id;
         parent_[e.slot] = e.parent;
@@ -542,6 +585,8 @@ void MonitoringTree::rollback_journal() {
   journal_.clear();
   jcounts_.clear();
   jnodes_.clear();
+  bump_generation();
+  deep_validate("rollback_journal");
 }
 
 void MonitoringTree::jloads(Slot s) {

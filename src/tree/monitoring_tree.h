@@ -38,11 +38,69 @@
 #include <span>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
 #include "cost/cost_model.h"
 #include "tree/funnel.h"
 
 namespace remo {
+
+class MonitoringTree;
+
+/// A borrowed per-metric count row (`in_counts` / `local_counts`): a view
+/// into the owning tree's arena, invalidated by ANY subsequent mutation of
+/// that tree (the arena reallocates and slots are recycled). Do not store
+/// one across a mutating call — copy the values instead. In debug and
+/// sanitizer builds (REMO_DCHECK_ENABLED) the view captures the tree's
+/// mutation generation and every element access re-checks freshness, so a
+/// stale dereference aborts with context instead of reading recycled
+/// memory; release builds compile it down to a bare (pointer, size) pair.
+class CountSpan {
+ public:
+  CountSpan() = default;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  const std::uint32_t* data() const {
+    check_fresh();
+    return data_;
+  }
+  const std::uint32_t* begin() const {
+    check_fresh();
+    return data_;
+  }
+  const std::uint32_t* end() const {
+    check_fresh();
+    return data_ + size_;
+  }
+  std::uint32_t operator[](std::size_t i) const {
+    check_fresh();
+    REMO_DCHECK(i < size_, "index ", i, " >= size ", size_);
+    return data_[i];
+  }
+  operator std::span<const std::uint32_t>() const {  // NOLINT(google-explicit-constructor)
+    check_fresh();
+    return {data_, size_};
+  }
+
+ private:
+  friend class MonitoringTree;
+
+  const std::uint32_t* data_ = nullptr;
+  std::size_t size_ = 0;
+#if REMO_DCHECK_ENABLED
+  CountSpan(const std::uint32_t* data, std::size_t size,
+            const MonitoringTree* owner, std::uint64_t generation) noexcept
+      : data_(data), size_(size), owner_(owner), generation_(generation) {}
+  void check_fresh() const;  // aborts via REMO_DCHECK when stale
+  const MonitoringTree* owner_ = nullptr;
+  std::uint64_t generation_ = 0;
+#else
+  CountSpan(const std::uint32_t* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+  void check_fresh() const noexcept {}
+#endif
+};
 
 /// One attribute delivered by a tree, with its funnel and frequency weight.
 struct TreeAttrSpec {
@@ -121,12 +179,13 @@ class MonitoringTree {
   /// to bind in-place patches to the node's *global* remaining budget).
   /// Must not go below current usage — that would invalidate the tree.
   void set_avail(NodeId id, Capacity avail);
-  /// Per-metric incoming counts (aligned with attr_specs()).
-  std::span<const std::uint32_t> in_counts(NodeId id) const;
+  /// Per-metric incoming counts (aligned with attr_specs()). The returned
+  /// view is invalidated by any mutation; see CountSpan.
+  CountSpan in_counts(NodeId id) const;
   /// Per-metric outgoing counts out_i[m] = fnl^m(in_i[m]).
   std::vector<std::uint32_t> out_counts(NodeId id) const;
-  /// Local (x_i) per-metric counts.
-  std::span<const std::uint32_t> local_counts(NodeId id) const;
+  /// Local (x_i) per-metric counts. View semantics as in_counts().
+  CountSpan local_counts(NodeId id) const;
   /// Total local values over members: the node-attribute pairs this tree
   /// collects (the planner's objective contribution). Cached, O(1).
   std::size_t collected_pairs() const noexcept { return collected_pairs_; }
@@ -183,11 +242,18 @@ class MonitoringTree {
   void rollback_journal();
   bool journaling() const noexcept { return journal_on_; }
 
-  /// Exhaustive invariant re-check (for tests): recomputes counts bottom-up
-  /// and verifies cached values, parent/child symmetry, acyclicity, arena
-  /// bookkeeping (lookup table, member list, free list), and capacity
-  /// constraints. Returns false on any violation.
+  /// Exhaustive invariant re-check (for tests and the REMO_VALIDATE deep
+  /// hooks): recomputes counts bottom-up and verifies cached values,
+  /// parent/child symmetry, acyclicity, arena bookkeeping (lookup table,
+  /// member list, free list), and capacity constraints. Returns false on
+  /// any violation.
   bool validate() const;
+
+#if REMO_DCHECK_ENABLED
+  /// Mutation counter backing CountSpan's staleness check (debug/sanitizer
+  /// builds only): bumped by every operation that changes tree state.
+  std::uint64_t debug_generation() const noexcept { return generation_; }
+#endif
 
  private:
   using Slot = std::uint32_t;
@@ -207,6 +273,20 @@ class MonitoringTree {
   Slot slot_of(NodeId id) const;           // throws std::out_of_range if absent
   Slot alloc_slot();                       // from the free list, or grows arena
   double weighted_out(const std::uint32_t* in) const;
+
+  /// Invalidate outstanding CountSpans (no-op in release builds). Every
+  /// mutating operation calls this before returning.
+  void bump_generation() noexcept {
+#if REMO_DCHECK_ENABLED
+    ++generation_;
+#endif
+  }
+  /// Deep-validation hook: every mutating operation funnels through this
+  /// before returning, so under REMO_VALIDATE=1 an invariant break aborts
+  /// at the operation that introduced it, not at some later read.
+  void deep_validate(const char* op) const {
+    REMO_VALIDATE(validate(), "MonitoringTree invariants broken after ", op);
+  }
 
   /// Feasibility walk for adding count-delta `delta` (pre-loaded into
   /// `walk_delta_`) as recv_delta of new receive cost under `parent`.
@@ -285,6 +365,10 @@ class MonitoringTree {
   std::vector<JournalEntry> journal_;
   std::vector<std::uint32_t> jcounts_;  // pooled count-row snapshots
   std::vector<NodeId> jnodes_;          // pooled children-list snapshots
+
+#if REMO_DCHECK_ENABLED
+  std::uint64_t generation_ = 0;  // see debug_generation()
+#endif
 };
 
 }  // namespace remo

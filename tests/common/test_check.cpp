@@ -1,0 +1,93 @@
+// Contract-macro semantics (common/check.h, DESIGN.md §11): REMO_ASSERT is
+// always on and reports expression + context, REMO_DCHECK compiles away in
+// plain release builds, REMO_VALIDATE is gated at runtime.
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace remo {
+namespace {
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, AssertFiresAndReportsExpression) {
+  const int got = 7;
+  EXPECT_DEATH(REMO_ASSERT(got == 3, "expected 3, got=", got),
+               "REMO_ASSERT failed: got == 3");
+}
+
+TEST(CheckDeathTest, AssertFormatsContextWithValues) {
+  const int got = 7;
+  EXPECT_DEATH(REMO_ASSERT(got == 3, "expected 3, got=", got),
+               "context: expected 3, got=7");
+}
+
+TEST(CheckDeathTest, AssertWithoutContextStillReportsExpression) {
+  EXPECT_DEATH(REMO_ASSERT(1 + 1 == 3), "REMO_ASSERT failed: 1 \\+ 1 == 3");
+}
+
+TEST(CheckTest, AssertPassesSilently) {
+  REMO_ASSERT(2 + 2 == 4, "arithmetic broke");  // must not abort
+}
+
+TEST(CheckTest, AssertConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  REMO_ASSERT(++calls > 0, "calls=", calls);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, AssertIsConstexprSafe) {
+  // A violating constant expression would fail to compile; a satisfied one
+  // must be usable in constant evaluation.
+  constexpr auto checked = [] {
+    REMO_ASSERT(3 > 2, "ordering");
+    return 1;
+  }();
+  static_assert(checked == 1);
+}
+
+#if REMO_DCHECK_ENABLED
+TEST(CheckDeathTest, DcheckFiresInDebugBuilds) {
+  const int slot = 5;
+  EXPECT_DEATH(REMO_DCHECK(slot < 4, "slot=", slot, " size=4"),
+               "REMO_DCHECK failed: slot < 4");
+}
+#else
+TEST(CheckTest, DcheckCompilesAwayInReleaseBuilds) {
+  int calls = 0;
+  REMO_DCHECK(++calls > 100, "side effect must not run");
+  EXPECT_EQ(calls, 0);  // the condition itself is not evaluated
+}
+#endif
+
+class ValidateGateTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_validation_enabled(false); }
+};
+
+TEST_F(ValidateGateTest, DisabledGateSkipsConditionEntirely) {
+  set_validation_enabled(false);
+  EXPECT_FALSE(validation_enabled());
+  int calls = 0;
+  REMO_VALIDATE(++calls > 0, "never evaluated");
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(ValidateGateTest, EnabledGatePassesOnTrue) {
+  set_validation_enabled(true);
+  EXPECT_TRUE(validation_enabled());
+  int calls = 0;
+  REMO_VALIDATE(++calls == 1, "calls=", calls);
+  EXPECT_EQ(calls, 1);
+}
+
+using ValidateGateDeathTest = ValidateGateTest;
+
+TEST_F(ValidateGateDeathTest, EnabledGateAbortsOnFalse) {
+  set_validation_enabled(true);
+  EXPECT_DEATH(REMO_VALIDATE(false, "deep invariant broken"),
+               "REMO_VALIDATE failed: false");
+}
+
+}  // namespace
+}  // namespace remo

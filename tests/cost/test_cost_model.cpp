@@ -42,6 +42,24 @@ TEST(CostModel, ValuesForOverheadFraction) {
               1e-3);
 }
 
+TEST(CostModelDeathTest, NegativeParametersRejectedWithQuantities) {
+  // The contract prints the violated quantity, not just the expression
+  // (common/check.h; DESIGN.md §11).
+  EXPECT_DEATH((CostModel{-1.0, 1.0}), "per-message overhead C=-1");
+  EXPECT_DEATH((CostModel{20.0, -0.5}), "per-value cost a=-0.5");
+}
+
+TEST(CostModelDeathTest, OverheadFractionDomainChecked) {
+  const CostModel m{20.0, 1.0};
+  EXPECT_DEATH((void)m.values_for_overhead_fraction(0.0),
+               "overhead fraction=0 outside \\(0, 1\\]");
+  EXPECT_DEATH((void)m.values_for_overhead_fraction(1.5),
+               "overhead fraction=1.5 outside \\(0, 1\\]");
+  const CostModel free_values{20.0, 0.0};
+  EXPECT_DEATH((void)free_values.values_for_overhead_fraction(0.5),
+               "fraction undefined for a free value");
+}
+
 TEST(CostModel, PaperCalibration) {
   // Fig. 2 reports ~6% root CPU at 16 messages and ~68% at 256: linear in
   // message count. Calibrate C to the 16-node point and check the

@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Self-test fixtures for tools/remo_lint.py.
+
+Each rule gets a known-bad snippet (must be flagged) and a known-good
+twin (must pass), plus coverage of the suppression mechanics. Run by the
+`lint.self_test` ctest entry and the CI lint job; a lint change that
+silently stops catching a class of bug fails here first.
+"""
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+import remo_lint  # noqa: E402
+
+
+def lint_snippet(code: str, relpath: str = "planner/snippet.cpp"):
+    """Lint `code` as if it lived at src/<relpath>; returns rule names."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "src" / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(code, encoding="utf-8")
+        violations = remo_lint.lint_file(path, Path("src") / relpath)
+    return [(v.rule, v.line) for v in violations]
+
+
+def rules_of(code: str, relpath: str = "planner/snippet.cpp"):
+    return [r for r, _ in lint_snippet(code, relpath)]
+
+
+class UnorderedIterationTest(unittest.TestCase):
+    BAD = """
+        #include <unordered_set>
+        void f() {
+          std::unordered_set<int> suspects;
+          for (int s : suspects) use(s);
+        }
+    """
+
+    def test_flags_range_for_over_unordered(self):
+        self.assertIn("unordered-iteration", rules_of(self.BAD))
+
+    def test_lookup_only_is_fine(self):
+        good = """
+            #include <unordered_set>
+            void f() {
+              std::unordered_set<int> suspects;
+              if (suspects.count(3) != 0) act();
+            }
+        """
+        self.assertNotIn("unordered-iteration", rules_of(good))
+
+    def test_sorted_vector_iteration_is_fine(self):
+        good = """
+            void f() {
+              std::vector<int> suspects;
+              for (int s : suspects) use(s);
+            }
+        """
+        self.assertNotIn("unordered-iteration", rules_of(good))
+
+    def test_nested_template_args_resolve_declared_name(self):
+        bad = """
+            void f() {
+              std::unordered_map<int, std::vector<std::pair<int, int>>> adj;
+              for (auto& kv : adj) use(kv);
+            }
+        """
+        self.assertIn("unordered-iteration", rules_of(bad))
+
+    def test_rule_scoped_to_order_sensitive_dirs(self):
+        # Hash iteration outside the planning/tree/adapt/partition paths
+        # (e.g. the collector's liveness table) is allowed.
+        self.assertNotIn("unordered-iteration",
+                         rules_of(self.BAD, relpath="collector/snippet.cpp"))
+
+
+class RawRandomTest(unittest.TestCase):
+    def test_flags_std_rand(self):
+        self.assertIn("raw-random", rules_of("int x = std::rand();"))
+
+    def test_flags_srand_time(self):
+        self.assertIn("raw-random", rules_of("srand(time(nullptr));"))
+
+    def test_rng_header_is_fine(self):
+        good = """
+            #include "common/rng.h"
+            void f() { Rng rng(42); auto x = rng.next(); }
+        """
+        self.assertEqual(rules_of(good), [])
+
+    def test_identifiers_containing_rand_are_fine(self):
+        self.assertEqual(rules_of("int operand = opera.nd(); int x = grand(1);"), [])
+
+
+class NakedAssertTest(unittest.TestCase):
+    def test_flags_assert_call(self):
+        self.assertIn("naked-assert", rules_of("void f(int n) { assert(n > 0); }"))
+
+    def test_flags_cassert_include(self):
+        self.assertIn("naked-assert", rules_of("#include <cassert>"))
+
+    def test_static_assert_is_fine(self):
+        self.assertEqual(rules_of("static_assert(sizeof(int) == 4);"), [])
+
+    def test_remo_assert_is_fine(self):
+        good = 'void f(int n) { REMO_ASSERT(n > 0, "n=", n); REMO_DCHECK(n < 9); }'
+        self.assertEqual(rules_of(good), [])
+
+    def test_comment_mentions_are_fine(self):
+        self.assertEqual(rules_of("// callers assert(ownership) elsewhere"), [])
+
+
+class SpanStoreTest(unittest.TestCase):
+    def test_flags_auto_binding(self):
+        bad = "void f() { const auto local = tree.local_counts(n); }"
+        self.assertIn("span-store", rules_of(bad))
+
+    def test_flags_span_typed_binding(self):
+        bad = "std::span<const std::uint32_t> s = tree.in_counts(n);"
+        self.assertIn("span-store", rules_of(bad))
+
+    def test_same_statement_consumption_is_fine(self):
+        good = "auto v = vec(tree.in_counts(n));"
+        # `vec(...)` copies; the temporary view dies inside the statement.
+        self.assertEqual(rules_of(good), [])
+
+    def test_vector_copy_is_fine(self):
+        good = "std::vector<std::uint32_t> v(tree.local_counts(n).begin(), tree.local_counts(n).end());"
+        self.assertEqual(rules_of(good), [])
+
+
+class HotAllocTest(unittest.TestCase):
+    def test_flags_new_in_hot_function(self):
+        bad = """
+            // REMO_HOT: inner loop of the build.
+            void walk() {
+              auto* scratch = new int[64];
+              use(scratch);
+            }
+        """
+        self.assertIn("hot-alloc", rules_of(bad))
+
+    def test_flags_malloc_in_hot_function(self):
+        bad = """
+            // REMO_HOT
+            void walk() { void* p = malloc(64); }
+        """
+        self.assertIn("hot-alloc", rules_of(bad))
+
+    def test_allocation_outside_hot_function_is_fine(self):
+        good = """
+            void setup() { auto p = std::make_unique<int>(1); }
+            // REMO_HOT
+            void walk() { use(); }
+            void teardown() { auto* q = new int(2); delete q; }
+        """
+        self.assertEqual(rules_of(good), [])
+
+    def test_word_new_in_comment_is_fine(self):
+        good = """
+            // REMO_HOT
+            void walk() {
+              // appends the new parent to the scratch ring
+              use();
+            }
+        """
+        self.assertEqual(rules_of(good), [])
+
+
+class SuppressionTest(unittest.TestCase):
+    def test_allow_with_reason_waives_line_below(self):
+        code = """
+            // remo-lint: allow(span-store) read-only, tree is const here
+            const auto local = tree.local_counts(n);
+        """
+        self.assertEqual(rules_of(code), [])
+
+    def test_allow_with_reason_waives_same_line(self):
+        code = ("const auto local = tree.local_counts(n);"
+                "  // remo-lint: allow(span-store) consumed this statement group")
+        self.assertEqual(rules_of(code), [])
+
+    def test_reasonless_allow_is_itself_flagged(self):
+        code = """
+            // remo-lint: allow(span-store)
+            const auto local = tree.local_counts(n);
+        """
+        rules = rules_of(code)
+        self.assertIn("suppression", rules)
+        self.assertIn("span-store", rules)  # the waiver did not take effect
+
+    def test_allow_is_per_rule(self):
+        code = """
+            // remo-lint: allow(naked-assert) migration staged in next PR
+            const auto local = tree.local_counts(n);
+        """
+        self.assertIn("span-store", rules_of(code))
+
+
+class CommentAndStringStrippingTest(unittest.TestCase):
+    def test_block_comments_are_ignored(self):
+        code = """
+            /* for (int s : suspects) — historical note
+               assert(false) std::rand() */
+            void f() {}
+        """
+        self.assertEqual(rules_of(code), [])
+
+    def test_string_literals_are_ignored(self):
+        code = 'const char* msg = "assert(x) failed near std::rand()";'
+        self.assertEqual(rules_of(code), [])
+
+    def test_line_numbers_survive_stripping(self):
+        code = "// line one\n\nint x = std::rand();\n"
+        self.assertEqual(lint_snippet(code), [("raw-random", 3)])
+
+
+class CliTest(unittest.TestCase):
+    def test_exit_zero_on_clean_tree(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = Path(tmp) / "src"
+            src.mkdir()
+            (src / "ok.cpp").write_text("void f() {}\n", encoding="utf-8")
+            self.assertEqual(remo_lint.run([str(src)]), 0)
+
+    def test_exit_one_on_violation(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = Path(tmp) / "src"
+            src.mkdir()
+            (src / "bad.cpp").write_text("int x = std::rand();\n", encoding="utf-8")
+            self.assertEqual(remo_lint.run([str(src)]), 1)
+
+    def test_exit_two_on_missing_path(self):
+        self.assertEqual(remo_lint.run(["/nonexistent/remo-lint-path"]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -100,6 +100,11 @@ MonitoringSystem::RewriteState MonitoringSystem::rebuild_internal_tasks() {
   ReliabilityRewriter::register_aliases(system_, rewritten.alias_of);
 
   manager_ = TaskManager(&system_);
+  // A federated core owns only its shard's node subset: arm the task
+  // manager's scope check so a misrouted subtask aborts under
+  // REMO_VALIDATE instead of silently dropping pairs. The standalone
+  // system keeps the historic universe-wide tolerance.
+  if (options_.shard.scoped()) manager_.set_owned_vertices(system_.num_vertices());
   for (auto& t : rewritten.tasks) manager_.add_task(std::move(t));
 
   RewriteState state;
@@ -162,6 +167,11 @@ void MonitoringSystem::replan(double now) {
   planner_.reset();
   constraint_signature_.clear();
   ensure_planned(now);
+}
+
+std::vector<NodeAttrPair> MonitoringSystem::collected_pairs(double now) {
+  ensure_planned(now);
+  return collected_pairs_of(planner_->topology());
 }
 
 MonitoringSystem::Status MonitoringSystem::status(double now) {

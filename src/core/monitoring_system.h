@@ -80,6 +80,18 @@ struct RepairReport {
   }
 };
 
+/// This core's identity within a sharded federation (src/federation,
+/// DESIGN.md §12). The defaults describe the historic standalone system:
+/// one shard owning the whole universe. A federated core (count > 1)
+/// scopes its task-manager invariants to its own node subset and labels
+/// its metrics per shard.
+struct ShardIdentity {
+  std::uint32_t index = 0;  ///< which shard, in [0, count)
+  std::uint32_t count = 1;  ///< total shards in the federation
+  bool scoped() const noexcept { return count > 1; }
+  std::string label() const { return "shard" + std::to_string(index); }
+};
+
 struct MonitoringSystemOptions {
   PlannerOptions planner;
   /// Adaptation scheme used when tasks change after the initial plan.
@@ -101,6 +113,10 @@ struct MonitoringSystemOptions {
   /// functional source. (`planner.metrics` injects the engine's registry
   /// independently.)
   obs::Registry* metrics = nullptr;
+  /// Which shard of a federation this core is (defaults: the standalone
+  /// singleton). Set by FederatedMonitoringSystem; a scoped core validates
+  /// that every task node lies inside its own subset (REMO_VALIDATE).
+  ShardIdentity shard;
 };
 
 class MonitoringSystem {
@@ -126,6 +142,12 @@ class MonitoringSystem {
   const Topology& topology(double now = 0.0);
   /// Force a full from-scratch replan regardless of the adaptation scheme.
   void replan(double now = 0.0);
+
+  /// The identities of the pairs the current topology collects, sorted by
+  /// (node, attr) — see collected_pairs_of() in planner/topology.h. This
+  /// is the per-shard stream the federation root merges; attribute ids
+  /// are raw (SSDP/DSDP replicas keep their alias ids).
+  std::vector<NodeAttrPair> collected_pairs(double now = 0.0);
 
   struct Status {
     std::size_t tasks = 0;

@@ -1,0 +1,71 @@
+#include "federation/aggregator.h"
+
+#include <algorithm>
+
+namespace remo::federation {
+
+MonitoringSystem::Status merge_status(
+    const std::vector<MonitoringSystem::Status>& per_shard) {
+  MonitoringSystem::Status out;
+  std::vector<RepairReport> repairs;
+  repairs.reserve(per_shard.size());
+  for (const auto& s : per_shard) {
+    out.tasks += s.tasks;
+    out.pairs += s.pairs;
+    out.collected += s.collected;
+    out.trees += s.trees;
+    out.message_volume += s.message_volume;
+    out.adaptations += s.adaptations;
+    out.adaptation_messages += s.adaptation_messages;
+    repairs.push_back(s.repair);
+  }
+  out.coverage = out.pairs == 0
+                     ? 1.0
+                     : static_cast<double>(out.collected) /
+                           static_cast<double>(out.pairs);
+  out.repair = merge_repair_reports(repairs);
+  return out;
+}
+
+RepairReport merge_repair_reports(const std::vector<RepairReport>& per_shard) {
+  RepairReport out;
+  for (const auto& r : per_shard) {
+    out.outages_detected += r.outages_detected;
+    out.recoveries_detected += r.recoveries_detected;
+    out.repair_passes += r.repair_passes;
+    out.repair_messages += r.repair_messages;
+    out.orphans_reattached += r.orphans_reattached;
+    out.suspects_parked += r.suspects_parked;
+    out.members_dropped += r.members_dropped;
+    out.pairs_dropped += r.pairs_dropped;
+    out.replans_after_outage += r.replans_after_outage;
+    out.detect_lag_sum += r.detect_lag_sum;
+    out.repair_lag_sum += r.repair_lag_sum;
+  }
+  return out;
+}
+
+std::vector<NodeAttrPair> pairs_to_global(std::vector<NodeAttrPair> local,
+                                          const ShardRouter& router,
+                                          std::uint32_t shard) {
+  for (auto& p : local) p.node = router.to_global(shard, p.node);
+  // Local order is (node, attr)-sorted and to_global is strictly
+  // increasing in the local id, so the stream stays sorted — kept as an
+  // explicit sort-on-debt guard in case a caller feeds an unsorted list.
+  if (!std::is_sorted(local.begin(), local.end()))
+    std::sort(local.begin(), local.end());
+  return local;
+}
+
+std::vector<NodeAttrPair> merge_pair_streams(
+    std::vector<std::vector<NodeAttrPair>> per_shard) {
+  std::size_t total = 0;
+  for (const auto& s : per_shard) total += s.size();
+  std::vector<NodeAttrPair> out;
+  out.reserve(total);
+  for (auto& s : per_shard) out.insert(out.end(), s.begin(), s.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace remo::federation

@@ -1,0 +1,39 @@
+// The root-of-roots aggregation tier (DESIGN.md §12): pure merge
+// functions that fold per-shard core outputs — Status, RepairReport,
+// collected-pair streams — into one federation-wide view. Kept free of
+// facade state so the merges are unit-testable and reusable by benches.
+#pragma once
+
+#include <vector>
+
+#include "core/monitoring_system.h"
+#include "federation/shard_router.h"
+
+namespace remo::federation {
+
+/// Sums per-shard status counters into the root view. `coverage` is
+/// recomputed from the merged pair counts (1.0 when nothing is
+/// requested); `tasks` sums per-shard subtask counts — the facade
+/// overwrites it with the user-facing task count, since a cross-shard
+/// task appears in every shard it spans.
+MonitoringSystem::Status merge_status(
+    const std::vector<MonitoringSystem::Status>& per_shard);
+
+/// Sums every lifetime counter of the per-shard repair loops, including
+/// the lag sums behind the mean detect/repair latencies.
+RepairReport merge_repair_reports(const std::vector<RepairReport>& per_shard);
+
+/// Translates one shard's collected-pair stream into global node ids
+/// (sorted; the shard-local order is preserved by the monotonic id map).
+std::vector<NodeAttrPair> pairs_to_global(std::vector<NodeAttrPair> local,
+                                          const ShardRouter& router,
+                                          std::uint32_t shard);
+
+/// K-way merge of per-shard global-id streams into one sorted stream.
+/// Shards partition the node space, so the inputs are disjoint and the
+/// output size is the sum of the input sizes — the pair-count
+/// conservation the federation tests pin.
+std::vector<NodeAttrPair> merge_pair_streams(
+    std::vector<std::vector<NodeAttrPair>> per_shard);
+
+}  // namespace remo::federation

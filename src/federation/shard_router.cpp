@@ -1,0 +1,113 @@
+#include "federation/shard_router.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/sorted_vector.h"
+
+namespace remo::federation {
+
+ShardRouter::ShardRouter(std::size_t num_nodes, std::size_t num_shards)
+    : num_nodes_(num_nodes), num_shards_(std::max<std::size_t>(1, num_shards)) {}
+
+std::uint32_t ShardRouter::shard_of(NodeId global) const {
+  REMO_ASSERT(global != kCollectorId, "the collector has no owning shard");
+  REMO_ASSERT(global <= num_nodes_, "node n", global, " outside the ",
+              num_nodes_, "-node universe");
+  return static_cast<std::uint32_t>((global - 1) % num_shards_);
+}
+
+NodeId ShardRouter::to_local(NodeId global) const noexcept {
+  if (global == kCollectorId) return kCollectorId;
+  return static_cast<NodeId>(1 + (global - 1) / num_shards_);
+}
+
+NodeId ShardRouter::to_global(std::uint32_t shard, NodeId local) const noexcept {
+  if (local == kCollectorId) return kCollectorId;
+  return static_cast<NodeId>(1 + (static_cast<std::size_t>(local) - 1) * num_shards_ +
+                             shard);
+}
+
+std::size_t ShardRouter::shard_size(std::uint32_t shard) const {
+  REMO_ASSERT(shard < num_shards_, "shard ", shard, " >= ", num_shards_);
+  return num_nodes_ / num_shards_ + (shard < num_nodes_ % num_shards_ ? 1 : 0);
+}
+
+std::vector<NodeId> ShardRouter::shard_nodes(std::uint32_t shard) const {
+  std::vector<NodeId> out;
+  out.reserve(shard_size(shard));
+  for (NodeId g = static_cast<NodeId>(shard + 1); g <= num_nodes_;
+       g += static_cast<NodeId>(num_shards_))
+    out.push_back(g);
+  return out;
+}
+
+SystemModel ShardRouter::shard_system(const SystemModel& global, std::uint32_t shard,
+                                      Capacity collector_capacity) const {
+  REMO_ASSERT(global.num_nodes() == num_nodes_, "router covers ", num_nodes_,
+              " nodes but the system model has ", global.num_nodes());
+  SystemModel local(shard_size(shard), 0.0, global.cost());
+  local.set_collector_capacity(collector_capacity > 0.0
+                                   ? collector_capacity
+                                   : global.capacity(kCollectorId));
+  for (NodeId g : shard_nodes(shard)) {
+    const NodeId l = to_local(g);
+    local.set_capacity(l, global.capacity(g));
+    local.set_observable(l, global.observable(g));
+  }
+  return local;
+}
+
+std::vector<ShardRouter::RoutedSubtask> ShardRouter::route(
+    const MonitoringTask& task) const {
+  if (num_shards_ == 1) {
+    // Fast path and the K=1 compatibility contract: the singleton shard
+    // sees the submission byte-for-byte as the unsharded system would.
+    RoutedSubtask sub{0, task};
+    sub.task.origin_id = task.id;
+    sub.task.home_shard = 0;
+    return {std::move(sub)};
+  }
+
+  std::vector<NodeId> nodes = task.nodes;
+  sort_unique(nodes);
+
+  // Bucket the in-range nodes per shard, in ascending global (== local)
+  // order. A flat per-shard vector keeps this allocation-light and the
+  // output ordering deterministic.
+  std::vector<std::vector<NodeId>> by_shard(num_shards_);
+  for (NodeId g : nodes) {
+    if (g == kCollectorId || g > num_nodes_) continue;
+    by_shard[shard_of(g)].push_back(to_local(g));
+  }
+
+  std::vector<RoutedSubtask> out;
+  for (std::uint32_t s = 0; s < num_shards_; ++s) {
+    if (by_shard[s].empty()) continue;
+    RoutedSubtask sub;
+    sub.shard = s;
+    sub.task = task;
+    sub.task.origin_id = task.id;
+    sub.task.home_shard = s;
+    sub.task.nodes = std::move(by_shard[s]);
+    // DSDP identical-value groups are membership lists too: keep each
+    // group's members owned by this shard (local ids), drop emptied groups.
+    if (!task.identical_groups.empty()) {
+      std::vector<std::vector<NodeId>> groups;
+      for (const auto& group : task.identical_groups) {
+        std::vector<NodeId> g_local;
+        for (NodeId g : group) {
+          if (g == kCollectorId || g > num_nodes_ || shard_of(g) != s) continue;
+          g_local.push_back(to_local(g));
+        }
+        sort_unique(g_local);
+        if (!g_local.empty()) groups.push_back(std::move(g_local));
+      }
+      sub.task.identical_groups = std::move(groups);
+    }
+    out.push_back(std::move(sub));
+  }
+  return out;
+}
+
+}  // namespace remo::federation

@@ -1,0 +1,83 @@
+// Deterministic node-space sharding for the federation tier (DESIGN.md
+// §12). A federation splits the global node universe [1, n] across K
+// shard-local monitoring cores; the router owns the (pure, stateless)
+// bijection between global node ids and (shard, local id) coordinates and
+// splits task submissions into per-shard subtasks along it.
+//
+// The assignment is round-robin by id — shard(g) = (g-1) mod K — which
+//   - balances shard sizes to within one node,
+//   - gives closed-form O(1) maps both ways (no tables to keep in sync),
+//   - is bit-deterministic across runs, platforms, and insertion orders
+//     (a property test pins this; hash-based placement would not be).
+// With K = 1 every map is the identity, which is what makes the
+// FederatedMonitoringSystem facade bit-compatible with the singleton
+// MonitoringSystem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/system_model.h"
+#include "task/task.h"
+
+namespace remo::federation {
+
+class ShardRouter {
+ public:
+  /// Routes `num_nodes` global monitoring nodes (ids 1..num_nodes) across
+  /// `num_shards` shards. `num_shards` is clamped to at least 1.
+  ShardRouter(std::size_t num_nodes, std::size_t num_shards);
+
+  std::size_t num_shards() const noexcept { return num_shards_; }
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+
+  /// Shard owning global node `global` (1-based; not the collector).
+  std::uint32_t shard_of(NodeId global) const;
+  /// Global id -> the owning shard's local id. The collector (0) maps to
+  /// the shard-local collector (0) in every shard.
+  NodeId to_local(NodeId global) const noexcept;
+  /// Inverse: (shard, local id) -> global id; (s, 0) -> 0.
+  NodeId to_global(std::uint32_t shard, NodeId local) const noexcept;
+
+  /// Monitoring nodes assigned to `shard` (count, and the global ids in
+  /// ascending order — which is also ascending local-id order).
+  std::size_t shard_size(std::uint32_t shard) const;
+  std::vector<NodeId> shard_nodes(std::uint32_t shard) const;
+
+  /// The shard-local system model: `shard`'s nodes with dense local ids,
+  /// capacities and observable sets copied from `global`, plus the shard's
+  /// own collector. `collector_capacity` = 0 inherits the global
+  /// collector's capacity (each shard root is assumed to be as provisioned
+  /// as the old singleton root); pass a positive value to model thinner
+  /// per-shard roots.
+  SystemModel shard_system(const SystemModel& global, std::uint32_t shard,
+                           Capacity collector_capacity = 0.0) const;
+
+  /// One per-shard piece of a routed task, expressed in the shard's local
+  /// node-id space with routing metadata (origin_id/home_shard) filled in.
+  struct RoutedSubtask {
+    std::uint32_t shard = 0;
+    MonitoringTask task;
+  };
+
+  /// Splits `task` into per-shard subtasks: each shard receives the task's
+  /// nodes it owns (translated to local ids), the full attribute list, and
+  /// the task's frequency/aggregation/reliability settings. Shards with no
+  /// nodes get no subtask; the result is ordered by ascending shard.
+  /// Node ids outside [1, num_nodes] are dropped (the singleton task
+  /// manager skips them at dedup time; here they have no owning shard).
+  /// DSDP identical_groups are filtered to each shard's membership —
+  /// groups that span shards degrade to their per-shard remnants (see
+  /// DESIGN.md §12 for the caveat).
+  ///
+  /// With num_shards == 1 the task is passed through verbatim (no
+  /// reordering, no dropping) so the K=1 facade is bit-identical to the
+  /// unsharded system.
+  std::vector<RoutedSubtask> route(const MonitoringTask& task) const;
+
+ private:
+  std::size_t num_nodes_;
+  std::size_t num_shards_;
+};
+
+}  // namespace remo::federation

@@ -117,4 +117,21 @@ Registry& Registry::global() {
   return *instance;
 }
 
+std::string labeled_name(const std::string& name, const std::string& label) {
+  const std::size_t dot = name.find('.');
+  if (dot == std::string::npos) return label + "." + name;
+  return name.substr(0, dot + 1) + label + name.substr(dot);
+}
+
+void publish_labeled(const RegistrySnapshot& snap, const std::string& label,
+                     Registry& out) {
+  for (const auto& [name, value] : snap.counters) {
+    Counter& c = out.counter(labeled_name(name, label));
+    c.reset();
+    c.add(value);
+  }
+  for (const auto& [name, value] : snap.gauges)
+    out.gauge(labeled_name(name, label)).set(value);
+}
+
 }  // namespace remo::obs

@@ -155,4 +155,19 @@ inline Registry& registry_or_global(Registry* r) {
   return r != nullptr ? *r : Registry::global();
 }
 
+/// Inserts `label` after a metric name's first dotted component:
+/// ("planner.cache_hits", "shard0") -> "planner.shard0.cache_hits".
+/// Unqualified names gain the label as a prefix ("foo" -> "shard0.foo").
+std::string labeled_name(const std::string& name, const std::string& label);
+
+/// Re-publishes a registry snapshot into `out` under labeled names — the
+/// federation tier's per-shard metric labels (DESIGN.md §12): each shard
+/// core publishes `planner.*` / `recovery.*` into a private registry, and
+/// the root republishes them as `planner.shard<k>.*` so one snapshot
+/// carries every shard side by side. Counters and gauges are copied with
+/// set semantics (idempotent per publish); histograms are skipped —
+/// bucket counts are not settable through the hot-path-safe API.
+void publish_labeled(const RegistrySnapshot& snap, const std::string& label,
+                     Registry& out);
+
 }  // namespace remo::obs

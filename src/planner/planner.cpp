@@ -104,6 +104,16 @@ EvalStats Planner::last_stats() const { return evaluator_->stats(); }
 
 void Planner::check_invariants(const Topology& topo, const PairSet& pairs) const {
   if (!validation_enabled()) return;  // skip the partition materialization
+  // Scope: the planner owns exactly its SystemModel's node subset. Under
+  // federation that is one shard's nodes in local ids, not the global
+  // universe — a member outside [0, num_vertices) means the shard router
+  // leaked a foreign node into this core (and would otherwise surface as
+  // an opaque out_of_range throw inside validate()).
+  for (const auto& entry : topo.entries())
+    for (NodeId m : entry.tree.members())
+      REMO_VALIDATE(m < system_->num_vertices(), "topology member n", m,
+                    " outside this planner's node scope (", system_->num_vertices(),
+                    " vertices; shard-local planners own only their subset)");
   REMO_VALIDATE(topo.validate(*system_),
                 "planner topology violates capacity constraints (", topo.num_trees(),
                 " trees, ", topo.collected_pairs(), " collected pairs)");

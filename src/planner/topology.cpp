@@ -302,6 +302,20 @@ std::size_t edge_diff(const Topology& before, const Topology& after) {
   return diff;
 }
 
+std::vector<NodeAttrPair> collected_pairs_of(const Topology& topo) {
+  std::vector<NodeAttrPair> out;
+  out.reserve(topo.collected_pairs());
+  for (const auto& entry : topo.entries()) {
+    const std::vector<AttrId> attrs = entry.tree.attr_ids();
+    for (NodeId member : entry.tree.members())
+      for (std::size_t m = 0; m < attrs.size(); ++m)
+        if (entry.tree.local_counts(member)[m] > 0)
+          out.push_back(NodeAttrPair{member, attrs[m]});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 Topology build_topology(const SystemModel& system, const PairSet& pairs,
                         const Partition& partition, const AttrSpecTable& specs,
                         AllocationScheme allocation, const TreeBuildOptions& tree_opts,

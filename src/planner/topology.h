@@ -91,6 +91,15 @@ class Topology {
 /// message volume M_adapt of Sec. 4.2.
 std::size_t edge_diff(const Topology& before, const Topology& after);
 
+/// The identities of the pairs a topology collects: every (member node,
+/// attribute) with a nonzero local count, over all trees, sorted by
+/// (node, attr). Because the trees' attribute sets partition the universe
+/// the list is duplicate-free; its size equals collected_pairs(). This is
+/// the per-shard stream the federation root merges (src/federation), and
+/// the byte-comparable ground truth behind the K=1 equivalence tests.
+/// Attribute ids are raw (reliability replicas keep their alias ids).
+std::vector<NodeAttrPair> collected_pairs_of(const Topology& topo);
+
 /// Build the complete forest for `partition`. Tree build order follows the
 /// allocation scheme (kOrdered sorts by ascending candidate-set size).
 /// `cache` (optional) memoizes the per-set tree builds; a hit returns a

@@ -57,6 +57,14 @@ struct MonitoringTask {
   /// same value; the rewriter draws one source per group per replica.
   std::vector<std::vector<NodeId>> identical_groups;
 
+  // ---- federation routing metadata (src/federation, DESIGN.md §12) ------
+  /// When a task is split into per-shard subtasks, each subtask records
+  /// the user-facing task id it was carved from (0 = not a routed
+  /// subtask) and the shard that owns it. Outside a federation both stay
+  /// at their defaults and nothing reads them.
+  TaskId origin_id = 0;
+  std::uint32_t home_shard = 0;
+
   bool operator==(const MonitoringTask&) const = default;
 };
 

@@ -78,6 +78,12 @@ void TaskManager::check_invariants() const {
                   ": node list not sorted-unique (", t.nodes.size(), " entries)");
     REMO_VALIDATE(id < next_id_, "task id=", id,
                   " not below next_id_=", next_id_);
+    if (owned_vertices_ > 0) {
+      for (NodeId n : t.nodes)
+        REMO_VALIDATE(n != kCollectorId && n < owned_vertices_, "task ", id,
+                      " references node n", n, " outside the owned shard scope [1, ",
+                      owned_vertices_, ") — misrouted subtask?");
+    }
   }
 }
 

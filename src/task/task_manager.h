@@ -47,11 +47,25 @@ class TaskManager {
   /// deduplication — used to report dedup savings.
   std::size_t raw_pair_count() const;
 
+  /// Restrict this manager's ownership to node ids below `num_vertices` —
+  /// the shard's node subset under federation (src/federation, DESIGN.md
+  /// §12). Once scoped, check_invariants() flags any task node outside
+  /// [1, num_vertices): a routed subtask referencing a foreign node means
+  /// the shard router misassigned it. 0 (the default) keeps the historic
+  /// universe-wide tolerance, where out-of-range nodes are silently
+  /// skipped by dedup().
+  void set_owned_vertices(std::size_t num_vertices) noexcept {
+    owned_vertices_ = num_vertices;
+  }
+  std::size_t owned_vertices() const noexcept { return owned_vertices_; }
+
   /// Deep invariant hook (REMO_VALIDATE, DESIGN.md §11): every stored task
   /// carries the id it is keyed by, its attribute/node lists are
-  /// sorted-unique (dedup and frequency lookups binary-search them), and
-  /// next_id_ is past every issued id. Invoked after every mutating call
-  /// when validation is enabled; no-op otherwise.
+  /// sorted-unique (dedup and frequency lookups binary-search them),
+  /// next_id_ is past every issued id, and — when scoped via
+  /// set_owned_vertices() — every task node lies in the owned shard
+  /// subset. Invoked after every mutating call when validation is
+  /// enabled; no-op otherwise.
   void check_invariants() const;
 
  private:
@@ -61,6 +75,7 @@ class TaskManager {
   bool filter_observable_;
   std::map<TaskId, MonitoringTask> tasks_;
   TaskId next_id_ = 1;
+  std::size_t owned_vertices_ = 0;  ///< 0 = unscoped (universe-wide)
 };
 
 }  // namespace remo

@@ -1,0 +1,247 @@
+#include "federation/federated_system.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "federation/aggregator.h"
+#include "obs/metrics.h"
+
+namespace remo::federation {
+namespace {
+
+const CostModel kCost{10.0, 1.0};
+
+SystemModel make_system(std::size_t n = 12, Capacity cap = 150.0) {
+  SystemModel s(n, cap, kCost);
+  s.set_collector_capacity(600.0);
+  for (NodeId id = 1; id <= n; ++id) s.set_observable(id, {0, 1, 2, 3});
+  return s;
+}
+
+MonitoringTask task(std::vector<AttrId> attrs, std::vector<NodeId> nodes) {
+  MonitoringTask t;
+  t.attrs = std::move(attrs);
+  t.nodes = std::move(nodes);
+  return t;
+}
+
+FederationOptions shards(std::size_t k) {
+  FederationOptions o;
+  o.num_shards = k;
+  return o;
+}
+
+class FederatedSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_validation_enabled(true); }
+  void TearDown() override { set_validation_enabled(false); }
+};
+
+TEST_F(FederatedSystemTest, SpansKShardLocalCores) {
+  FederatedMonitoringSystem fed(make_system(10), shards(4));
+  EXPECT_EQ(fed.num_shards(), 4u);
+  EXPECT_EQ(fed.router().num_nodes(), 10u);
+  // Shards partition the universe: 10 nodes over 4 shards = 3,3,2,2.
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < fed.num_shards(); ++s)
+    total += fed.shard(s).system().num_nodes();
+  EXPECT_EQ(total, 10u);
+}
+
+TEST_F(FederatedSystemTest, CrossShardTaskSplitsAndMerges) {
+  FederatedMonitoringSystem fed(make_system(), shards(3));
+  const TaskId id = fed.add_task(task({0, 1}, {1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(fed.num_tasks(), 1u);
+
+  const auto& stats = fed.routing();
+  EXPECT_EQ(stats.tasks_submitted, 1u);
+  EXPECT_EQ(stats.cross_shard_tasks, 1u);
+  EXPECT_EQ(stats.single_shard_tasks, 0u);
+  EXPECT_EQ(stats.subtasks_active, 3u);  // nodes 1..6 hit all 3 shards
+  EXPECT_EQ(stats.routed_node_refs, 6u);
+
+  // The merged status counts the task once and the pairs in full.
+  const auto status = fed.status();
+  EXPECT_EQ(status.tasks, 1u);
+  EXPECT_EQ(status.pairs, 12u);
+  EXPECT_EQ(status.collected, 12u);
+  EXPECT_DOUBLE_EQ(status.coverage, 1.0);
+
+  EXPECT_TRUE(fed.remove_task(id));
+  EXPECT_FALSE(fed.remove_task(id));
+  EXPECT_EQ(fed.routing().subtasks_active, 0u);
+  EXPECT_EQ(fed.status(1.0).pairs, 0u);
+}
+
+TEST_F(FederatedSystemTest, SingleShardTaskStaysLocal) {
+  FederatedMonitoringSystem fed(make_system(), shards(3));
+  // Nodes 1, 4, 7 all land on shard 0 under round-robin over K=3.
+  fed.add_task(task({2}, {1, 4, 7}));
+  EXPECT_EQ(fed.routing().single_shard_tasks, 1u);
+  EXPECT_EQ(fed.routing().cross_shard_tasks, 0u);
+  EXPECT_EQ(fed.shard(0).status().pairs, 3u);
+  EXPECT_EQ(fed.shard(1).status().pairs, 0u);
+  EXPECT_EQ(fed.shard(2).status().pairs, 0u);
+}
+
+TEST_F(FederatedSystemTest, CollectedPairsComeBackInGlobalIds) {
+  FederatedMonitoringSystem fed(make_system(), shards(4));
+  const std::vector<NodeId> nodes{1, 2, 5, 8, 11};
+  fed.add_task(task({0, 3}, nodes));
+  const auto pairs = fed.collected_pairs();
+  EXPECT_EQ(pairs.size(), nodes.size() * 2);
+  EXPECT_TRUE(std::is_sorted(pairs.begin(), pairs.end()));
+  std::set<NodeId> seen;
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(std::count(nodes.begin(), nodes.end(), p.node) > 0)
+        << "pair reported for unrequested node n" << p.node;
+    seen.insert(p.node);
+  }
+  EXPECT_EQ(seen.size(), nodes.size());
+}
+
+TEST_F(FederatedSystemTest, ModifyTaskReRoutesAcrossShards) {
+  FederatedMonitoringSystem fed(make_system(), shards(2));
+  // Shard 0 owns odd ids, shard 1 even ids.
+  const TaskId id = fed.add_task(task({0}, {1, 3}));
+  EXPECT_EQ(fed.routing().subtasks_active, 1u);
+
+  MonitoringTask t = task({0, 1}, {2, 4});  // moves wholly to shard 1
+  t.id = id;
+  EXPECT_TRUE(fed.modify_task(t));
+  EXPECT_EQ(fed.routing().subtasks_active, 1u);
+  EXPECT_EQ(fed.shard(0).status(1.0).pairs, 0u);
+  EXPECT_EQ(fed.shard(1).status(1.0).pairs, 4u);
+
+  MonitoringTask wider = task({0}, {1, 2, 3, 4});  // now spans both
+  wider.id = id;
+  EXPECT_TRUE(fed.modify_task(wider));
+  EXPECT_EQ(fed.routing().subtasks_active, 2u);
+  EXPECT_EQ(fed.status(2.0).pairs, 4u);
+
+  MonitoringTask unknown = task({0}, {1});
+  unknown.id = 999;
+  EXPECT_FALSE(fed.modify_task(unknown));
+}
+
+TEST_F(FederatedSystemTest, TopologyAccessorIsKOneOnly) {
+  FederatedMonitoringSystem solo(make_system(), shards(1));
+  solo.add_task(task({0}, {1, 2, 3}));
+  EXPECT_GE(solo.topology().num_trees(), 1u);
+  // K>1 has no single forest; the accessor aborts (not testable here),
+  // but every shard's forest is reachable and valid.
+  FederatedMonitoringSystem fed(make_system(), shards(2));
+  fed.add_task(task({0}, {1, 2, 3, 4}));
+  for (std::size_t s = 0; s < fed.num_shards(); ++s) {
+    EXPECT_TRUE(
+        fed.shard(s).topology().validate(fed.shard(s).system()));
+  }
+}
+
+TEST_F(FederatedSystemTest, ReplanKeepsCoverage) {
+  FederatedMonitoringSystem fed(make_system(), shards(3));
+  fed.add_task(task({0, 1, 2}, {1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  const auto before = fed.status();
+  fed.replan(1.0);
+  const auto after = fed.status(1.0);
+  EXPECT_EQ(after.pairs, before.pairs);
+  EXPECT_EQ(after.collected, before.collected);
+}
+
+TEST_F(FederatedSystemTest, PublishMetricsLabelsPerShardSeries) {
+  obs::Registry sink;
+  FederationOptions opts = shards(2);
+  opts.metrics = &sink;
+  FederatedMonitoringSystem fed(make_system(), std::move(opts));
+  fed.add_task(task({0, 1}, {1, 2, 3, 4}));
+  (void)fed.status();  // force planning so shard planners publish
+  fed.publish_metrics();
+
+  const auto snap = sink.snapshot();
+  EXPECT_EQ(snap.counters.at("federation.tasks_submitted"), 1u);
+  EXPECT_EQ(snap.counters.at("federation.tasks_cross_shard"), 1u);
+  EXPECT_EQ(snap.counters.at("federation.subtasks_active"), 2u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("federation.shards"), 2.0);
+  // Per-shard planner series republished under shard labels.
+  bool shard0 = false, shard1 = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.find(".shard0.") != std::string::npos) shard0 = true;
+    if (name.find(".shard1.") != std::string::npos) shard1 = true;
+  }
+  EXPECT_TRUE(shard0);
+  EXPECT_TRUE(shard1);
+
+  // Publishing is idempotent: a second publish must not double anything.
+  fed.publish_metrics();
+  EXPECT_EQ(sink.snapshot().counters.at("federation.tasks_submitted"), 1u);
+}
+
+TEST_F(FederatedSystemTest, ExportJsonWrapsShardsInEnvelope) {
+  FederatedMonitoringSystem fed(make_system(), shards(2));
+  fed.add_task(task({0}, {1, 2}));
+  const std::string json = fed.export_json();
+  EXPECT_NE(json.find("\"federation\""), std::string::npos);
+  EXPECT_NE(json.find("\"shards\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"tasks_submitted\":1"), std::string::npos);
+  const std::string dot = fed.export_dot();
+  EXPECT_NE(dot.find("// shard 1"), std::string::npos);
+}
+
+TEST_F(FederatedSystemTest, RecoveryLoopRunsPerShard) {
+  FederationOptions opts = shards(2);
+  opts.shard.recovery.enabled = true;
+  std::vector<NodeId> detected;  // global ids, via the facade's wrapper
+  opts.shard.recovery.on_detect = [&detected](const LivenessEvent& ev) {
+    if (ev.down) detected.push_back(ev.node);
+  };
+  FederatedMonitoringSystem fed(make_system(), std::move(opts));
+  fed.add_task(task({0, 1}, {1, 2, 3, 4, 5, 6}));
+  (void)fed.status();
+
+  // Feed deliveries for every node except n3 and n6; after enough silent
+  // epochs those two (one per shard) are suspected down.
+  for (std::uint64_t epoch = 1; epoch <= 12; ++epoch) {
+    for (NodeId g : {1, 2, 4, 5}) fed.on_delivery({g, 0}, epoch);
+    fed.end_epoch(epoch);
+  }
+  const RepairReport report = fed.repair_report();
+  EXPECT_GE(report.outages_detected, 2u);
+  EXPECT_GE(report.repair_passes, 2u);  // one per affected shard
+  // The wrapper reported global ids: n3 (shard 0) and n6 (shard 1).
+  EXPECT_NE(std::find(detected.begin(), detected.end(), 3u), detected.end());
+  EXPECT_NE(std::find(detected.begin(), detected.end(), 6u), detected.end());
+  // Deliveries were routed to the owning shard's tracker: under K=2 the
+  // silent globals n3/n6 are shard-locals n2 (shard 0) and n3 (shard 1),
+  // and every node that kept delivering stayed up.
+  EXPECT_TRUE(fed.shard(0).liveness().is_down(2));
+  EXPECT_TRUE(fed.shard(1).liveness().is_down(3));
+  EXPECT_FALSE(fed.shard(0).liveness().is_down(1));  // global n1
+  EXPECT_FALSE(fed.shard(1).liveness().is_down(2));  // global n4
+}
+
+TEST_F(FederatedSystemTest, MergeStatusRecomputesCoverage) {
+  MonitoringSystem::Status a, b;
+  a.pairs = 10;
+  a.collected = 5;
+  b.pairs = 10;
+  b.collected = 10;
+  const auto merged = merge_status({a, b});
+  EXPECT_EQ(merged.pairs, 20u);
+  EXPECT_EQ(merged.collected, 15u);
+  EXPECT_DOUBLE_EQ(merged.coverage, 0.75);
+  EXPECT_DOUBLE_EQ(merge_status({}).coverage, 1.0);
+}
+
+TEST_F(FederatedSystemTest, MergePairStreamsSortsDisjointInputs) {
+  const std::vector<NodeAttrPair> a{{1, 0}, {3, 1}};
+  const std::vector<NodeAttrPair> b{{2, 0}, {4, 1}};
+  const auto merged = merge_pair_streams({a, b});
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(merged.begin(), merged.end()));
+}
+
+}  // namespace
+}  // namespace remo::federation

@@ -1,0 +1,177 @@
+#include "federation/shard_router.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace remo::federation {
+namespace {
+
+TEST(ShardRouter, IdMapsAreABijection) {
+  const ShardRouter router(100, 7);
+  std::set<std::pair<std::uint32_t, NodeId>> seen;
+  for (NodeId g = 1; g <= 100; ++g) {
+    const std::uint32_t s = router.shard_of(g);
+    const NodeId l = router.to_local(g);
+    EXPECT_LT(s, 7u);
+    EXPECT_GE(l, 1u);
+    EXPECT_EQ(router.to_global(s, l), g) << "round trip broke at n" << g;
+    EXPECT_TRUE(seen.insert({s, l}).second)
+        << "two globals mapped to shard " << s << " local " << l;
+  }
+  // The collector is shared: id 0 in every shard.
+  for (std::uint32_t s = 0; s < 7; ++s) {
+    EXPECT_EQ(router.to_global(s, kCollectorId), kCollectorId);
+  }
+  EXPECT_EQ(router.to_local(kCollectorId), kCollectorId);
+}
+
+TEST(ShardRouter, ShardSizesBalancedWithinOne) {
+  const ShardRouter router(103, 8);
+  std::size_t total = 0, lo = 103, hi = 0;
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    const std::size_t size = router.shard_size(s);
+    EXPECT_EQ(size, router.shard_nodes(s).size());
+    total += size;
+    lo = std::min(lo, size);
+    hi = std::max(hi, size);
+  }
+  EXPECT_EQ(total, 103u);
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(ShardRouter, ShardNodesAscendingAndOwned) {
+  const ShardRouter router(50, 4);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    const auto nodes = router.shard_nodes(s);
+    EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+    for (NodeId g : nodes) EXPECT_EQ(router.shard_of(g), s);
+  }
+}
+
+TEST(ShardRouter, ZeroShardsClampedToOne) {
+  const ShardRouter router(10, 0);
+  EXPECT_EQ(router.num_shards(), 1u);
+  EXPECT_EQ(router.to_local(7), 7u);  // K=1: identity
+  EXPECT_EQ(router.to_global(0, 7), 7u);
+}
+
+TEST(ShardRouter, ShardSystemCopiesCapacitiesAndObservables) {
+  SystemModel global(10, 0.0, CostModel{10.0, 1.0});
+  global.set_collector_capacity(500.0);
+  for (NodeId n = 1; n <= 10; ++n) {
+    global.set_capacity(n, 10.0 * n);
+    global.set_observable(n, {static_cast<AttrId>(n), static_cast<AttrId>(n + 1)});
+  }
+  const ShardRouter router(10, 3);
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    const SystemModel local = router.shard_system(global, s);
+    EXPECT_EQ(local.num_nodes(), router.shard_size(s));
+    // Collector capacity inherited from the global root by default.
+    EXPECT_DOUBLE_EQ(local.capacity(kCollectorId), 500.0);
+    for (NodeId g : router.shard_nodes(s)) {
+      const NodeId l = router.to_local(g);
+      EXPECT_DOUBLE_EQ(local.capacity(l), global.capacity(g));
+      EXPECT_EQ(local.observable(l), global.observable(g));
+    }
+  }
+  // An explicit per-shard collector capacity overrides the inheritance.
+  const SystemModel thin = router.shard_system(global, 0, 42.0);
+  EXPECT_DOUBLE_EQ(thin.capacity(kCollectorId), 42.0);
+}
+
+MonitoringTask task(std::vector<AttrId> attrs, std::vector<NodeId> nodes) {
+  MonitoringTask t;
+  t.id = 17;
+  t.attrs = std::move(attrs);
+  t.nodes = std::move(nodes);
+  t.frequency = 2.5;
+  return t;
+}
+
+TEST(ShardRouter, SingleShardRoutePassesTaskVerbatim) {
+  const ShardRouter router(10, 1);
+  // Unsorted, duplicated, even out-of-range — K=1 must not normalize:
+  // the singleton shard has to see the submission byte-for-byte.
+  const MonitoringTask t = task({3, 1}, {5, 2, 2, 99});
+  const auto subs = router.route(t);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].shard, 0u);
+  EXPECT_EQ(subs[0].task.nodes, t.nodes);
+  EXPECT_EQ(subs[0].task.attrs, t.attrs);
+  EXPECT_EQ(subs[0].task.origin_id, t.id);
+  EXPECT_EQ(subs[0].task.home_shard, 0u);
+}
+
+TEST(ShardRouter, RouteConservesNodesAcrossShards) {
+  const ShardRouter router(20, 4);
+  const MonitoringTask t = task({0, 1}, {1, 2, 3, 4, 5, 9, 13, 17, 20});
+  const auto subs = router.route(t);
+  std::set<NodeId> recovered;
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (const auto& sub : subs) {
+    EXPECT_TRUE(first || sub.shard > prev) << "subtasks not ascending";
+    first = false;
+    prev = sub.shard;
+    EXPECT_EQ(sub.task.attrs, t.attrs);  // attrs replicated in full
+    EXPECT_DOUBLE_EQ(sub.task.frequency, t.frequency);
+    EXPECT_EQ(sub.task.origin_id, t.id);
+    EXPECT_EQ(sub.task.home_shard, sub.shard);
+    for (NodeId l : sub.task.nodes) {
+      const NodeId g = router.to_global(sub.shard, l);
+      EXPECT_EQ(router.shard_of(g), sub.shard);
+      EXPECT_TRUE(recovered.insert(g).second) << "n" << g << " routed twice";
+    }
+  }
+  EXPECT_EQ(recovered, std::set<NodeId>(t.nodes.begin(), t.nodes.end()));
+}
+
+TEST(ShardRouter, RouteDropsCollectorAndOutOfRangeNodes) {
+  const ShardRouter router(8, 2);
+  const auto subs = router.route(task({0}, {kCollectorId, 3, 99, 4}));
+  std::size_t routed = 0;
+  for (const auto& sub : subs) routed += sub.task.nodes.size();
+  EXPECT_EQ(routed, 2u);  // only n3 and n4 have owning shards
+}
+
+TEST(ShardRouter, RouteSkipsEmptyShards) {
+  const ShardRouter router(8, 4);
+  // Nodes 1 and 5 both live on shard 0 ((g-1) mod 4 == 0).
+  const auto subs = router.route(task({0}, {1, 5}));
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].shard, 0u);
+  EXPECT_EQ(subs[0].task.nodes, (std::vector<NodeId>{1, 2}));  // local ids
+}
+
+TEST(ShardRouter, RouteFiltersDsdpGroupsPerShard) {
+  const ShardRouter router(8, 2);
+  MonitoringTask t = task({0}, {1, 2, 3, 4});
+  t.reliability = ReliabilityMode::kDSDP;
+  t.identical_groups = {{1, 3}, {2, 4}, {6, 8}};
+  const auto subs = router.route(t);
+  ASSERT_EQ(subs.size(), 2u);
+  // Shard 0 owns odd ids: group {1,3} -> local {1,2}; the other groups
+  // have no shard-0 member and are dropped. Shard 1 owns even ids:
+  // {2,4} -> local {1,2}, {6,8} -> local {3,4} (group filtering is by
+  // ownership, independent of the task's node list).
+  EXPECT_EQ(subs[0].task.identical_groups,
+            (std::vector<std::vector<NodeId>>{{1, 2}}));
+  EXPECT_EQ(subs[1].task.identical_groups,
+            (std::vector<std::vector<NodeId>>{{1, 2}, {3, 4}}));
+}
+
+TEST(ShardRouter, RoutingIsDeterministicAcrossInstances) {
+  const MonitoringTask t = task({4, 0, 2}, {11, 3, 7, 18, 2, 2, 14});
+  const ShardRouter a(20, 3), b(20, 3);
+  const auto sa = a.route(t), sb = b.route(t);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].shard, sb[i].shard);
+    EXPECT_EQ(sa[i].task, sb[i].task);
+  }
+}
+
+}  // namespace
+}  // namespace remo::federation

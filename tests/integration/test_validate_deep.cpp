@@ -11,6 +11,7 @@
 
 #include "common/check.h"
 #include "core/monitoring_system.h"
+#include "federation/federated_system.h"
 #include "sim/simulator.h"
 #include "tree/builder.h"
 
@@ -133,6 +134,44 @@ TEST_F(ValidateDeep, AdjustRollbackRestoresAValidatedTree) {
     EXPECT_TRUE(t.validate()) << "branch_reattach=" << branch;
     EXPECT_EQ(t.size(), 5u);  // rollback restored every member
   }
+}
+
+// --- PR 6: federated task churn under deep validation --------------------
+
+TEST_F(ValidateDeep, FederationChurnValidatesShardScopedInvariants) {
+  // Every add/remove/modify runs the facade's pair-count conservation
+  // check plus each scoped core's planner/task-manager hooks (which now
+  // assert all routed nodes lie inside the shard's own subset).
+  SystemModel system(16, 500.0, kCost);
+  system.set_collector_capacity(1e6);
+  for (NodeId id = 1; id <= 16; ++id) system.set_observable(id, {0, 1, 2});
+
+  federation::FederationOptions opts;
+  opts.num_shards = 4;
+  federation::FederatedMonitoringSystem fed(std::move(system),
+                                            std::move(opts));
+  std::vector<TaskId> ids;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    MonitoringTask t;
+    t.attrs = {static_cast<AttrId>(i % 3)};
+    for (NodeId n = 1 + i; n <= 16; n += 2) t.nodes.push_back(n);
+    ids.push_back(fed.add_task(t));
+  }
+  (void)fed.status();
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    MonitoringTask t;
+    t.id = ids[i];
+    t.attrs = {2};
+    t.nodes = {1, 6, 11, 16};  // respans the shards
+    ASSERT_TRUE(fed.modify_task(t));
+  }
+  ASSERT_TRUE(fed.remove_task(ids[1]));
+  const auto status = fed.status(1.0);
+  EXPECT_EQ(status.tasks, 5u);
+  EXPECT_EQ(status.collected, status.pairs);  // ample capacity everywhere
+  for (std::size_t s = 0; s < fed.num_shards(); ++s)
+    EXPECT_TRUE(fed.shard(s).topology(1.0).validate(fed.shard(s).system()));
+  fed.check_invariants();
 }
 
 // --- full guided search under deep validation ---------------------------

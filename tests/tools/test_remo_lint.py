@@ -71,10 +71,24 @@ class UnorderedIterationTest(unittest.TestCase):
         self.assertIn("unordered-iteration", rules_of(bad))
 
     def test_rule_scoped_to_order_sensitive_dirs(self):
-        # Hash iteration outside the planning/tree/adapt/partition paths
-        # (e.g. the collector's liveness table) is allowed.
+        # Hash iteration outside the planning/tree/adapt/partition/
+        # federation paths (e.g. the collector's liveness table) is allowed.
         self.assertNotIn("unordered-iteration",
                          rules_of(self.BAD, relpath="collector/snippet.cpp"))
+
+    def test_federation_routing_paths_are_order_sensitive(self):
+        # ISSUE 6 satellite: shard assignment and subtask ordering must be
+        # bit-deterministic; hash iteration in src/federation is flagged.
+        self.assertIn("unordered-iteration",
+                      rules_of(self.BAD, relpath="federation/snippet.cpp"))
+        good = """
+            void route() {
+              std::vector<int> shards;
+              for (int s : shards) use(s);
+            }
+        """
+        self.assertNotIn("unordered-iteration",
+                         rules_of(good, relpath="federation/snippet.cpp"))
 
 
 class RawRandomTest(unittest.TestCase):

@@ -1,16 +1,25 @@
 #!/usr/bin/env python3
-"""CI perf-smoke gate for the tree/planner kernel (ISSUE 4, satellite 5).
+"""CI perf-smoke gate over bench --json telemetry (ISSUE 4 satellite 5;
+federation sweep added in ISSUE 6).
 
-Compares a fresh BENCH_fig10.json (bench_fig10_optimization --json) against
-the committed baseline bench/baselines/BENCH_fig10.json:
+Compares a freshly generated BENCH_<name>.json against its committed
+baseline under bench/baselines/:
 
-  * planning time ("par+cache (ms)" in the plan-evaluation-engine section)
-    must not regress by more than GATE (default 2.0x, generous on purpose:
-    CI machines are noisy and slower than the box the baseline came from);
-  * collected pairs must match the baseline exactly — the kernel may get
-    faster, never worse.
+  * the time column must not regress by more than GATE (default 2.0x,
+    generous on purpose: CI machines are noisy and slower than the box the
+    baseline came from);
+  * the collected column must match the baseline exactly — a change may
+    make the planner faster, never let it collect less.
 
-Usage: perf_smoke.py BASELINE.json CURRENT.json [--gate 2.0]
+The defaults gate the fig10 plan-evaluation-engine table; --section /
+--key-column / --time-column / --collected-column retarget the same gate
+at any other bench section, e.g. the federated shard sweep:
+
+  perf_smoke.py base.json cur.json \
+      --section "federated planning vs shard count" \
+      --key-column K --time-column "max shard (s)"
+
+Usage: perf_smoke.py BASELINE.json CURRENT.json [--gate 2.0] [--section S]
 Exits non-zero with a diagnostic on any violation. Stdlib only.
 """
 
@@ -18,26 +27,21 @@ import argparse
 import json
 import sys
 
-ENGINE_SECTION = "plan-evaluation engine"
-TIME_COLUMN = "par+cache (ms)"
-COLLECTED_COLUMN = "collected"
-NODES_COLUMN = "nodes"
 
-
-def engine_rows(path):
+def section_rows(path, section_title, key_column, time_column, collected_column):
     with open(path) as f:
         doc = json.load(f)
     for section in doc["sections"]:
-        if section["title"].startswith(ENGINE_SECTION):
+        if section["title"].startswith(section_title):
             headers = section["headers"]
             return {
-                int(row[headers.index(NODES_COLUMN)]): {
-                    "ms": float(row[headers.index(TIME_COLUMN)]),
-                    "collected": int(row[headers.index(COLLECTED_COLUMN)]),
+                int(row[headers.index(key_column)]): {
+                    "time": float(row[headers.index(time_column)]),
+                    "collected": int(row[headers.index(collected_column)]),
                 }
                 for row in section["rows"]
             }
-    sys.exit(f"{path}: no '{ENGINE_SECTION}' section found")
+    sys.exit(f"{path}: no '{section_title}' section found")
 
 
 def main():
@@ -45,29 +49,43 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("current")
     ap.add_argument("--gate", type=float, default=2.0,
-                    help="max allowed planning-time ratio current/baseline")
+                    help="max allowed time ratio current/baseline")
+    ap.add_argument("--section", default="plan-evaluation engine",
+                    help="section title prefix to gate on")
+    ap.add_argument("--key-column", default="nodes",
+                    help="integer column identifying each row across runs")
+    ap.add_argument("--time-column", default="par+cache (ms)",
+                    help="column holding the gated wall time")
+    ap.add_argument("--collected-column", default="collected",
+                    help="column that must match the baseline exactly")
     args = ap.parse_args()
 
-    base = engine_rows(args.baseline)
-    cur = engine_rows(args.current)
+    def rows(path):
+        return section_rows(path, args.section, args.key_column,
+                            args.time_column, args.collected_column)
+
+    base = rows(args.baseline)
+    cur = rows(args.current)
     failures = []
-    print(f"{'nodes':>6} {'base ms':>9} {'cur ms':>9} {'ratio':>6}  collected")
-    for nodes, b in sorted(base.items()):
-        if nodes not in cur:
-            failures.append(f"n={nodes}: missing from current run")
+    key = args.key_column
+    print(f"{key:>6} {'base t':>9} {'cur t':>9} {'ratio':>6}  collected")
+    for k, b in sorted(base.items()):
+        if k not in cur:
+            failures.append(f"{key}={k}: missing from current run")
             continue
-        c = cur[nodes]
-        ratio = c["ms"] / b["ms"] if b["ms"] > 0 else float("inf")
+        c = cur[k]
+        # A zero baseline cell (sub-resolution timing) cannot gate a ratio.
+        ratio = c["time"] / b["time"] if b["time"] > 0 else 1.0
         match = "==" if c["collected"] == b["collected"] else "!="
-        print(f"{nodes:>6} {b['ms']:>9.1f} {c['ms']:>9.1f} {ratio:>6.2f}  "
+        print(f"{k:>6} {b['time']:>9.2f} {c['time']:>9.2f} {ratio:>6.2f}  "
               f"{b['collected']} {match} {c['collected']}")
         if ratio > args.gate:
             failures.append(
-                f"n={nodes}: planning time {c['ms']:.1f} ms is "
-                f"{ratio:.2f}x baseline {b['ms']:.1f} ms (gate {args.gate}x)")
+                f"{key}={k}: time {c['time']:.2f} is "
+                f"{ratio:.2f}x baseline {b['time']:.2f} (gate {args.gate}x)")
         if c["collected"] != b["collected"]:
             failures.append(
-                f"n={nodes}: collected pairs {c['collected']} != "
+                f"{key}={k}: collected pairs {c['collected']} != "
                 f"baseline {b['collected']}")
     if failures:
         print("\nPERF SMOKE FAILED:", file=sys.stderr)

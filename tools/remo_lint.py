@@ -56,8 +56,10 @@ CXX_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
 
 # Directories (relative to the scanned root) where hash-iteration order can
 # leak into plans: the planner search, the tree kernel, the adaptation /
-# repair loop, and partition manipulation.
-ORDER_SENSITIVE_DIRS = ("planner", "tree", "adapt", "partition")
+# repair loop, partition manipulation, and the federation routing paths
+# (shard assignment and subtask ordering must be bit-deterministic, see
+# DESIGN.md §12).
+ORDER_SENSITIVE_DIRS = ("planner", "tree", "adapt", "partition", "federation")
 
 SUPPRESS_RE = re.compile(r"//\s*remo-lint:\s*allow\(([a-z-]+)\)\s*(.*)$")
 HOT_MARKER_RE = re.compile(r"//\s*REMO_HOT\b")

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <ctime>
 #include <limits>
 
+#include "common/check.h"
 #include "common/sorted_vector.h"
 #include "planner/evaluator.h"
 
@@ -14,6 +16,19 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
+}
+
+// Process CPU time (all threads — the evaluation engine's pool included),
+// for the planning_cpu_seconds report field. Falls back to std::clock()
+// where the POSIX per-process clock is unavailable.
+double cpu_seconds_now() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
 }
 
 }  // namespace
@@ -33,8 +48,20 @@ const char* to_string(AdaptScheme s) noexcept {
 }
 
 AdaptivePlanner::AdaptivePlanner(const SystemModel& system, PlannerOptions options,
-                                 AdaptScheme scheme)
-    : system_(&system), planner_(system, std::move(options)), scheme_(scheme) {}
+                                 AdaptScheme scheme,
+                                 DeltaTrackerOptions tracker_options)
+    : system_(&system),
+      planner_(system, std::move(options)),
+      scheme_(scheme),
+      tracker_(tracker_options) {
+  obs::Registry& reg = obs::registry_or_global(planner_.options().metrics);
+  metrics_.updates = &reg.counter("planner.delta.updates");
+  metrics_.coalesced = &reg.counter("planner.delta.updates_coalesced");
+  metrics_.replans = &reg.counter("planner.delta.replans");
+  metrics_.pairs_changed = &reg.counter("planner.delta.pairs_changed");
+  metrics_.replan_seconds =
+      &reg.histogram("planner.delta.replan_seconds", obs::Histogram::time_bounds());
+}
 
 double AdaptivePlanner::last_adjusted(const std::vector<AttrId>& attrs,
                                       double now) const {
@@ -50,13 +77,15 @@ void AdaptivePlanner::stamp(const std::vector<AttrId>& attrs, double now) {
 
 AdaptReport AdaptivePlanner::initialize(const PairSet& pairs, double now) {
   const auto start = std::chrono::steady_clock::now();
+  const double cpu_start = cpu_seconds_now();
   AdaptReport report;
   init_time_ = now;
   topology_ = planner_.plan(pairs);
   pairs_ = pairs;
   adjusted_at_.clear();
   for (const auto& e : topology_.entries()) stamp(e.attrs, now);
-  report.planning_seconds = seconds_since(start);
+  report.planning_wall_seconds = seconds_since(start);
+  report.planning_cpu_seconds = cpu_seconds_now() - cpu_start;
   report.adaptation_messages = topology_.edges().size();  // all links are new
   report.score = score_of(topology_);
   const EvalStats stats = planner_.last_stats();  // plan() reset the window
@@ -72,13 +101,34 @@ void AdaptivePlanner::adopt(Topology topo, double now) {
 }
 
 std::vector<std::vector<AttrId>> AdaptivePlanner::direct_apply(
-    const PairSet& new_pairs, double now) {
-  const PairSetDelta delta = diff(pairs_, new_pairs);
+    const PairSetDelta& delta, double now) {
   if (delta.empty()) return {};
-  const auto old_universe = pairs_.attribute_universe();
-  const auto new_universe = new_pairs.attribute_universe();
-  const auto removed_attrs = set_difference(old_universe, new_universe);
-  const auto added_attrs = set_difference(new_universe, old_universe);
+  // pairs_ already holds the post-delta set; universe entry/exit follows
+  // from per-attribute count arithmetic over the delta alone
+  // (old_count = new_count − added + removed), O(|delta| log U) instead of
+  // materializing and diffing two full universes.
+  const auto changed_attrs = delta.affected_attrs();
+  std::vector<AttrId> removed_attrs;
+  std::vector<AttrId> added_attrs;
+  {
+    std::vector<std::size_t> added_n(changed_attrs.size(), 0);
+    std::vector<std::size_t> removed_n(changed_attrs.size(), 0);
+    auto slot = [&changed_attrs](AttrId a) {
+      return static_cast<std::size_t>(
+          std::lower_bound(changed_attrs.begin(), changed_attrs.end(), a) -
+          changed_attrs.begin());
+    };
+    for (const auto& p : delta.added) ++added_n[slot(p.attr)];
+    for (const auto& p : delta.removed) ++removed_n[slot(p.attr)];
+    for (std::size_t i = 0; i < changed_attrs.size(); ++i) {
+      const std::size_t new_count = pairs_.attr_count(changed_attrs[i]);
+      const std::size_t old_count = new_count - added_n[i] + removed_n[i];
+      if (old_count > 0 && new_count == 0) removed_attrs.push_back(changed_attrs[i]);
+      if (old_count == 0 && new_count > 0) added_attrs.push_back(changed_attrs[i]);
+    }
+  }
+
+  const PairSet& new_pairs = pairs_;  // post-delta view for the patching below
 
   // 1. Structural changes: a tree whose attribute set shrinks (an
   //    attribute left the universe) must be rebuilt; brand-new attributes
@@ -98,10 +148,16 @@ std::vector<std::vector<AttrId>> AdaptivePlanner::direct_apply(
     stamp({a}, now);  // a brand-new tree starts its throttle window now
   }
   if (!victims.empty() || !new_sets.empty()) {
-    topology_ = rebuild_trees(topology_, *system_, new_pairs, victims, new_sets,
+    // The evaluator's memo cache is synced to pairs_ by run_adaptation
+    // before we get here, so rebuilds reuse trees memoized across calls —
+    // churn that re-creates a recently seen (attrs, members, budgets) build
+    // is served from cache, bit-identically.
+    TreeBuildCache& cache = planner_.evaluator().cache();
+    topology_ = rebuild_trees(topology_, *system_, pairs_, victims, new_sets,
                               planner_.options().attr_specs,
                               planner_.options().allocation,
-                              planner_.options().tree);
+                              planner_.options().tree,
+                              cache.enabled() ? &cache : nullptr);
   }
 
   // 2. Pair-level changes: patch surviving trees with minimum topology
@@ -109,7 +165,6 @@ std::vector<std::vector<AttrId>> AdaptivePlanner::direct_apply(
   //    that newly monitor a tree's attribute, and leave everything else
   //    untouched. This is what makes DIRECT-APPLY cheap in adaptation
   //    messages (and what lets its quality decay over time, Fig. 9).
-  const auto changed_attrs = delta.affected_attrs();
   std::vector<std::vector<AttrId>> touched;
   for (auto& entry : topology_.mutable_entries()) {
     if (!sets_intersect(entry.attrs, changed_attrs)) continue;
@@ -196,7 +251,8 @@ void AdaptivePlanner::optimize(const PairSet& pairs,
                                std::vector<std::vector<AttrId>> rebuilt, double now,
                                AdaptReport& report) {
   const auto& opts = planner_.options();
-  planner_.evaluator().sync_pairs(pairs);
+  // run_adaptation already synced the evaluator's pair view (and evicted
+  // exactly the memo entries the delta touched) before direct_apply ran.
   auto in_rebuilt = [&rebuilt](const std::vector<AttrId>& attrs) {
     return std::find(rebuilt.begin(), rebuilt.end(), attrs) != rebuilt.end();
   };
@@ -294,41 +350,106 @@ void AdaptivePlanner::optimize(const PairSet& pairs,
   }
 }
 
-AdaptReport AdaptivePlanner::apply_update(const PairSet& new_pairs, double now) {
+AdaptReport AdaptivePlanner::run_adaptation(const PairSetDelta& delta, double now,
+                                            std::size_t updates_coalesced) {
   const auto start = std::chrono::steady_clock::now();
+  const double cpu_start = cpu_seconds_now();
   AdaptReport report;
+  report.updates_coalesced = updates_coalesced;
+  report.pairs_changed = delta.size();
   const Topology before = topology_;
   EvalStats stats_base = planner_.last_stats();
 
+  // Advance the evaluation engine's pair view *before* any rebuild so
+  // direct_apply's tree rebuilds hit the memo cache, and so only entries
+  // the delta touches are evicted. apply_pairs_delta is O(|delta|); the
+  // full sync only runs on the first call after construction.
+  PlanEvaluator& engine = planner_.evaluator();
+  if (scheme_ != AdaptScheme::kRebuild) {
+    if (engine.synced_pairs() == nullptr) {
+      engine.sync_pairs(pairs_);
+    } else {
+      engine.apply_pairs_delta(delta);
+      if (validation_enabled()) {
+        REMO_VALIDATE(*engine.synced_pairs() == pairs_,
+                      "evaluation engine's pair view drifted from the adaptive "
+                      "planner's after an incremental advance of ", delta.size(),
+                      " pairs");
+      }
+    }
+  }
+
   switch (scheme_) {
     case AdaptScheme::kRebuild: {
-      topology_ = planner_.plan(new_pairs);
+      topology_ = planner_.plan(pairs_);
       adjusted_at_.clear();
       for (const auto& e : topology_.entries()) stamp(e.attrs, now);
       break;
     }
     case AdaptScheme::kDirectApply: {
-      direct_apply(new_pairs, now);
+      direct_apply(delta, now);
       break;
     }
     case AdaptScheme::kNoThrottle:
     case AdaptScheme::kAdaptive: {
-      auto rebuilt = direct_apply(new_pairs, now);
-      optimize(new_pairs, std::move(rebuilt), now, report);
+      auto rebuilt = direct_apply(delta, now);
+      optimize(pairs_, std::move(rebuilt), now, report);
       break;
     }
   }
 
-  pairs_ = new_pairs;
-  topology_.set_total_pairs(new_pairs.total_pairs());
-  report.planning_seconds = seconds_since(start);
+  topology_.set_total_pairs(pairs_.total_pairs());
+  report.planning_wall_seconds = seconds_since(start);
+  report.planning_cpu_seconds = cpu_seconds_now() - cpu_start;
   report.adaptation_messages = edge_diff(before, topology_);
   report.score = score_of(topology_);
   if (scheme_ == AdaptScheme::kRebuild) stats_base = EvalStats{};  // plan() reset
   const EvalStats stats = planner_.last_stats();
   report.candidates_evaluated = stats.evaluations - stats_base.evaluations;
   report.cache_hits = stats.cache_hits - stats_base.cache_hits;
+
+  if (!delta.empty()) {
+    metrics_.replans->add(1);
+    metrics_.pairs_changed->add(delta.size());
+    metrics_.replan_seconds->observe(report.planning_wall_seconds);
+    tracker_.observe_replan_cost(report.planning_wall_seconds);
+  }
   return report;
+}
+
+AdaptReport AdaptivePlanner::apply_update(const PairSet& new_pairs, double now) {
+  metrics_.updates->add(1);
+  PairSetDelta delta = diff(pairs_, new_pairs);
+  pairs_ = new_pairs;
+  return run_adaptation(delta, now, delta.empty() ? 0 : 1);
+}
+
+AdaptReport AdaptivePlanner::apply_delta(const TaskDelta& delta, double now) {
+  metrics_.updates->add(1);
+  PairSetDelta scoped = clamp_to_vertices(delta.pairs, pairs_.num_vertices());
+  ::remo::apply_delta(pairs_, scoped);  // the free pair-set helper, not this method
+  return run_adaptation(scoped, now, scoped.empty() ? 0 : 1);
+}
+
+void AdaptivePlanner::enqueue_delta(const TaskDelta& delta, double now) {
+  metrics_.updates->add(1);
+  if (has_pending()) metrics_.coalesced->add(1);
+  TaskDelta scoped;
+  scoped.pairs = clamp_to_vertices(delta.pairs, pairs_.num_vertices());
+  scoped.tasks_touched = delta.tasks_touched;
+  tracker_.enqueue(scoped, now);
+}
+
+AdaptReport AdaptivePlanner::flush(double now) {
+  if (!has_pending()) {
+    AdaptReport report;
+    report.score = score_of(topology_);
+    return report;
+  }
+  const std::size_t burst = tracker_.coalesced_updates();
+  const TaskDelta pending = tracker_.take(now);
+  ::remo::apply_delta(pairs_, pending.pairs);
+  return run_adaptation(pending.pairs, now, burst);
 }
 
 }  // namespace remo

@@ -15,12 +15,23 @@
 //                 operation is applied only when its control-message volume
 //                 M_adapt stays below
 //                   (T_cur − min T_adj,i) · (C_cur − C_adj).
+//
+// Delta replanning (DESIGN.md §13): besides the historic full-pair-set
+// apply_update, the planner accepts structured TaskDeltas — apply_delta
+// runs the identical adaptation core seeded straight from the delta (no
+// full-set diff, no pair-set copy), and enqueue_delta/should_flush/flush
+// coalesce bursts through a DeltaTracker so replans amortize under
+// sustained churn. Both entry points share run_adaptation, so delta-driven
+// plans are bit-identical to full-pair-set plans on the same sequence.
 #pragma once
 
 #include <map>
 #include <vector>
 
+#include "adapt/delta_tracker.h"
+#include "obs/metrics.h"
 #include "planner/planner.h"
+#include "task/task_delta.h"
 
 namespace remo {
 
@@ -36,8 +47,19 @@ const char* to_string(AdaptScheme s) noexcept;
 /// What one initialize()/apply_update() call did — the raw series behind
 /// Fig. 9a-9d.
 struct AdaptReport {
-  /// CPU seconds spent planning (searching, building candidate trees).
-  double planning_seconds = 0.0;
+  /// Wall-clock seconds spent planning (searching, building candidate
+  /// trees). With the parallel evaluator this is elapsed time, not work.
+  double planning_wall_seconds = 0.0;
+  /// Process CPU seconds spent planning — the summed work across the
+  /// evaluation engine's threads; diverges from wall by up to the engine's
+  /// concurrency. (The historic `planning_seconds` field claimed CPU but
+  /// measured wall clock; it is split into these two.)
+  double planning_cpu_seconds = 0.0;
+  /// Task-churn updates this report covers: 1 for a direct apply_update /
+  /// apply_delta, the burst size for a coalesced flush(), 0 for a no-op.
+  std::size_t updates_coalesced = 0;
+  /// Pairs added + removed by the (coalesced) delta this call applied.
+  std::size_t pairs_changed = 0;
   /// Control messages needed to morph the deployed topology into the new
   /// one (multiset edge diff) — M_adapt.
   std::size_t adaptation_messages = 0;
@@ -56,16 +78,35 @@ struct AdaptReport {
 class AdaptivePlanner {
  public:
   AdaptivePlanner(const SystemModel& system, PlannerOptions options,
-                  AdaptScheme scheme);
+                  AdaptScheme scheme, DeltaTrackerOptions tracker_options = {});
 
   const Topology& topology() const noexcept { return topology_; }
   AdaptScheme scheme() const noexcept { return scheme_; }
+  const PairSet& pairs() const noexcept { return pairs_; }
 
   /// Initial full plan (all schemes plan identically at t = `now`).
   AdaptReport initialize(const PairSet& pairs, double now);
 
   /// Applies a task-set change: `new_pairs` replaces the previous pair set.
   AdaptReport apply_update(const PairSet& new_pairs, double now);
+
+  /// Incremental form of apply_update: advances the pair set by `delta`
+  /// (pairs on nodes outside the vertex range are ignored, like dedup)
+  /// and runs the same adaptation core — bit-identical to apply_update
+  /// with the equivalent full pair set, at O(|delta|) instead of
+  /// O(|pairs|) overhead outside the search itself.
+  AdaptReport apply_delta(const TaskDelta& delta, double now);
+
+  /// Burst-coalescing churn path: enqueue deltas as they arrive, replan
+  /// only when the tracker's amortized Sec. 4.2-style bound says deferral
+  /// stopped being cheaper (or at a forced flush).
+  void enqueue_delta(const TaskDelta& delta, double now);
+  bool has_pending() const noexcept { return !tracker_.empty(); }
+  bool should_flush(double now) const { return tracker_.should_flush(now); }
+  /// Replans over the coalesced pending delta (no-op report when nothing
+  /// is pending).
+  AdaptReport flush(double now);
+  const DeltaTracker& tracker() const noexcept { return tracker_; }
 
   /// Replaces the deployed topology in place — the self-healing repair
   /// path (adapt/repair.h): subsequent apply_update calls adapt from the
@@ -74,10 +115,25 @@ class AdaptivePlanner {
   void adopt(Topology topo, double now);
 
  private:
+  struct DeltaMetrics {
+    obs::Counter* updates = nullptr;        ///< deltas fed in
+    obs::Counter* coalesced = nullptr;      ///< deltas merged into a pending burst
+    obs::Counter* replans = nullptr;        ///< non-empty adaptation runs
+    obs::Counter* pairs_changed = nullptr;  ///< Σ |delta| over replans
+    obs::Histogram* replan_seconds = nullptr;  ///< wall latency per replan
+  };
+
+  /// Shared adaptation core: `delta` is the exact change that advanced
+  /// pairs_ (already applied); runs the scheme, refreshes accounting, and
+  /// emits the report + planner.delta.* telemetry.
+  AdaptReport run_adaptation(const PairSetDelta& delta, double now,
+                             std::size_t updates_coalesced);
+
   /// DIRECT-APPLY base step: rebuild exactly the trees whose attribute
   /// sets intersect the update, keeping the partition otherwise. Returns
-  /// the indices-agnostic set of rebuilt attr sets (the set T).
-  std::vector<std::vector<AttrId>> direct_apply(const PairSet& new_pairs, double now);
+  /// the indices-agnostic set of rebuilt attr sets (the set T). `delta`
+  /// is the change that produced the current pairs_.
+  std::vector<std::vector<AttrId>> direct_apply(const PairSetDelta& delta, double now);
 
   /// The Sec. 4.1 restricted local search over the base topology.
   void optimize(const PairSet& pairs, std::vector<std::vector<AttrId>> rebuilt,
@@ -95,6 +151,8 @@ class AdaptivePlanner {
   /// (T_adj,i in the throttle formula).
   std::map<std::vector<AttrId>, double> adjusted_at_;
   double init_time_ = 0.0;
+  DeltaTracker tracker_;
+  DeltaMetrics metrics_;
 };
 
 }  // namespace remo

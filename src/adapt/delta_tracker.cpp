@@ -1,0 +1,39 @@
+#include "adapt/delta_tracker.h"
+
+#include <algorithm>
+
+namespace remo {
+
+void DeltaTracker::enqueue(const TaskDelta& delta, double now) {
+  if (delta.empty()) return;
+  if (pending_.pairs.empty()) first_pending_time_ = now;
+  pending_.merge(delta);
+  ++coalesced_updates_;
+}
+
+bool DeltaTracker::should_flush(double now) const {
+  if (pending_.pairs.empty()) return false;
+  const double age = now - first_pending_time_;
+  if (age >= opts_.max_defer_seconds) return true;
+  if (pending_.pairs.size() >= opts_.max_pending_pairs) return true;
+  // Amortized bound: the staleness debt (age × pending pairs, converted
+  // to replan-cost seconds by the exchange rate) has grown past the
+  // estimated replan cost — replanning now pays for itself.
+  return cost_ewma_ < age * static_cast<double>(pending_.pairs.size()) *
+                          opts_.staleness_cost_per_pair_second;
+}
+
+TaskDelta DeltaTracker::take(double now) {
+  TaskDelta out = std::move(pending_);
+  pending_ = TaskDelta{};
+  coalesced_updates_ = 0;
+  first_pending_time_ = now;
+  return out;
+}
+
+void DeltaTracker::observe_replan_cost(double seconds) {
+  const double w = std::clamp(opts_.cost_smoothing, 0.0, 1.0);
+  cost_ewma_ = (1.0 - w) * cost_ewma_ + w * seconds;
+}
+
+}  // namespace remo

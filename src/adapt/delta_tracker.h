@@ -1,0 +1,87 @@
+// Dirty-set tracking and burst coalescing for delta replanning
+// (DESIGN.md §13). Task churn arrives as TaskDeltas (task/task_delta.h);
+// the tracker accumulates them into one pending delta — with cancellation,
+// so churn that undoes itself melts away — and decides *when* a replan
+// amortizes, mirroring the Sec. 4.2 cost-benefit bound at batch
+// granularity: deferral is cheap while the estimated replan cost still
+// exceeds the staleness debt the pending pairs have accrued,
+//
+//   replan when   M_replan < (now − T_first_pending) · |pending pairs|
+//
+// with M_replan an EWMA over observed replan costs (the analog of M_adapt)
+// and the right-hand side the accumulated benefit of replanning now. Hard
+// bounds on pending age and size keep worst-case staleness bounded no
+// matter what the estimate says.
+//
+// Deterministic by construction: decisions depend only on the caller's
+// `now` values and the delta stream — benches drive `now` synthetically
+// (batch index), making flush cadence bit-reproducible.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "task/task_delta.h"
+
+namespace remo {
+
+struct DeltaTrackerOptions {
+  /// Hard staleness bound: flush whenever the oldest pending update has
+  /// waited this long, regardless of the amortized estimate.
+  double max_defer_seconds = 1.0;
+  /// Hard size bound: flush when the coalesced delta reaches this many
+  /// changed pairs.
+  std::size_t max_pending_pairs = 256;
+  /// EWMA weight of the newest observed replan cost (0 < w ≤ 1).
+  double cost_smoothing = 0.25;
+  /// Replan-cost prior before the first observation, in seconds.
+  double initial_cost_seconds = 1e-3;
+  /// The deployment's exchange rate between staleness and planning
+  /// compute: how many seconds of replan cost one pair-second of pending
+  /// staleness debt is worth (the collapsed C_cur − C_adj factor of the
+  /// Sec. 4.2 bound). Lower values defer longer, coalescing bigger
+  /// bursts; 0 disables the amortized estimate entirely, leaving only the
+  /// deterministic hard bounds — what benches use to keep flush cadence
+  /// machine-independent while still measuring real replan cost.
+  double staleness_cost_per_pair_second = 1.0;
+};
+
+class DeltaTracker {
+ public:
+  explicit DeltaTracker(DeltaTrackerOptions opts = {})
+      : opts_(opts), cost_ewma_(opts.initial_cost_seconds) {}
+
+  /// Merges `delta` into the pending set (with cancellation). A delta that
+  /// cancels the pending set back to empty leaves nothing to flush.
+  void enqueue(const TaskDelta& delta, double now);
+
+  bool empty() const noexcept { return pending_.pairs.empty(); }
+  const TaskDelta& pending() const noexcept { return pending_; }
+  /// Updates absorbed since the last take() (including cancelled ones).
+  std::size_t coalesced_updates() const noexcept { return coalesced_updates_; }
+  /// The attributes the pending delta touches (sorted, unique) — the dirty
+  /// set that seeds the scoped local search.
+  std::vector<AttrId> dirty_attrs() const { return pending_.pairs.affected_attrs(); }
+
+  /// The Sec. 4.2-style amortized decision described above. False while
+  /// pending is empty.
+  bool should_flush(double now) const;
+
+  /// Drains and returns the coalesced pending delta; resets the burst
+  /// window to `now`.
+  TaskDelta take(double now);
+
+  /// Feeds an observed replan cost (wall seconds) into the EWMA estimate.
+  void observe_replan_cost(double seconds);
+  double replan_cost_estimate() const noexcept { return cost_ewma_; }
+
+ private:
+  DeltaTrackerOptions opts_;
+  TaskDelta pending_;
+  std::size_t coalesced_updates_ = 0;
+  double first_pending_time_ = 0.0;
+  double cost_ewma_;
+};
+
+}  // namespace remo

@@ -67,24 +67,58 @@ SystemModel& MonitoringSystem::refresh_planning_system() {
 
 TaskId MonitoringSystem::add_task(MonitoringTask task) {
   task.id = next_id_++;
-  user_tasks_.emplace(task.id, std::move(task));
+  const TaskId id = task.id;
+  if (delta_eligible(task)) {
+    // Fast path: the rewriter would pass this task through unchanged, so
+    // feed it straight to the live manager and remember the exact pair
+    // delta. ensure_planned re-checks the constraint signature before
+    // trusting it.
+    internal_id_of_[id] = manager_.add_task(task, &pending_delta_);
+    delta_dirty_ = true;
+  } else {
+    dirty_ = true;
+  }
+  user_tasks_.emplace(id, std::move(task));
   ++public_tasks_;
-  dirty_ = true;
-  return next_id_ - 1;
+  return id;
 }
 
 bool MonitoringSystem::remove_task(TaskId id) {
-  if (user_tasks_.erase(id) == 0) return false;
+  auto it = user_tasks_.find(id);
+  if (it == user_tasks_.end()) return false;
+  auto internal = internal_id_of_.find(id);
+  if (planner_.has_value() && !dirty_ && internal != internal_id_of_.end()) {
+    const bool removed = manager_.remove_task(internal->second, &pending_delta_);
+    REMO_ASSERT(removed, "internal manager lost task ", internal->second,
+                " mapped from user task ", id);
+    delta_dirty_ = true;
+  } else {
+    dirty_ = true;
+  }
+  internal_id_of_.erase(id);
+  user_tasks_.erase(it);
   --public_tasks_;
-  dirty_ = true;
   return true;
 }
 
 bool MonitoringSystem::modify_task(MonitoringTask task) {
   auto it = user_tasks_.find(task.id);
   if (it == user_tasks_.end()) return false;
+  auto internal = internal_id_of_.find(task.id);
+  // Both the old and the new definition must be rewrite identities: the
+  // mapping only exists for pass-through tasks, and the replacement must
+  // stay one.
+  if (delta_eligible(task) && internal != internal_id_of_.end()) {
+    MonitoringTask local = task;
+    local.id = internal->second;
+    const bool modified = manager_.modify_task(std::move(local), &pending_delta_);
+    REMO_ASSERT(modified, "internal manager lost task ", internal->second,
+                " mapped from user task ", task.id);
+    delta_dirty_ = true;
+  } else {
+    dirty_ = true;
+  }
   it->second = std::move(task);
-  dirty_ = true;
   return true;
 }
 
@@ -105,30 +139,81 @@ MonitoringSystem::RewriteState MonitoringSystem::rebuild_internal_tasks() {
   // REMO_VALIDATE instead of silently dropping pairs. The standalone
   // system keeps the historic universe-wide tolerance.
   if (options_.shard.scoped()) manager_.set_owned_vertices(system_.num_vertices());
-  for (auto& t : rewritten.tasks) manager_.add_task(std::move(t));
+  internal_id_of_.clear();
+  for (auto& t : rewritten.tasks) {
+    const TaskId user_id = t.id;
+    const TaskId internal_id = manager_.add_task(std::move(t));
+    // Map pass-through tasks for the delta fast path. A replica subtask
+    // can carry its original's id, but that original is SSDP/DSDP and the
+    // reliability check excludes it.
+    auto user = user_tasks_.find(user_id);
+    if (user != user_tasks_.end() &&
+        user->second.reliability == ReliabilityMode::kNone)
+      internal_id_of_[user_id] = internal_id;
+  }
 
   RewriteState state;
   state.planner_options = options_.planner;
   state.planner_options.conflicts = rewritten.conflicts;
   state.planner_options.attr_specs = derive_attr_specs(
       manager_, options_.aggregation_aware, options_.frequency_aware);
-
-  // Constraint signature: when it changes the adaptive planner must be
-  // rebuilt (it has no API for evolving conflicts/specs); otherwise task
-  // churn flows through the cheap apply_update path.
-  std::size_t funnels = 0, weights = 0;
-  for (AttrId a : manager_.dedup(system_.num_vertices()).attribute_universe()) {
-    if (state.planner_options.attr_specs.funnel(a).type() != AggType::kHolistic)
-      ++funnels;
-    if (state.planner_options.attr_specs.weight(a) < 1.0) ++weights;
-  }
-  state.signature = std::to_string(rewritten.conflicts.size()) + ":" +
-                    std::to_string(funnels) + ":" + std::to_string(weights);
+  constraint_conflicts_ = rewritten.conflicts.size();
+  state.signature = constraint_signature_of(state.planner_options.attr_specs,
+                                            constraint_conflicts_);
   return state;
 }
 
+// Constraint signature: when it changes the adaptive planner must be
+// rebuilt (it has no API for evolving conflicts/specs); otherwise task
+// churn flows through the cheap apply_update / apply_delta paths.
+std::string MonitoringSystem::constraint_signature_of(
+    const AttrSpecTable& specs, std::size_t num_conflicts) const {
+  std::size_t funnels = 0, weights = 0;
+  for (AttrId a : manager_.dedup(system_.num_vertices()).attribute_universe()) {
+    if (specs.funnel(a).type() != AggType::kHolistic) ++funnels;
+    if (specs.weight(a) < 1.0) ++weights;
+  }
+  return std::to_string(num_conflicts) + ":" + std::to_string(funnels) + ":" +
+         std::to_string(weights);
+}
+
 void MonitoringSystem::ensure_planned(double now) {
-  if (!dirty_ && planner_.has_value()) return;
+  if (!dirty_ && !delta_dirty_ && planner_.has_value()) return;
+
+  if (!dirty_ && planner_.has_value()) {
+    // Delta fast path: the manager already holds the mutated tasks and
+    // pending_delta_ is their exact dedup-pair delta. Re-derive the
+    // constraint signature from the live manager (conflicts are stable —
+    // only SSDP/DSDP rewriting creates them, and those tasks force the
+    // slow path); when unchanged, the planner's options are still valid
+    // and the delta replan is bit-identical to the full-diff apply_update.
+    const AttrSpecTable specs = derive_attr_specs(
+        manager_, options_.aggregation_aware, options_.frequency_aware);
+    if (constraint_signature_of(specs, constraint_conflicts_) ==
+        constraint_signature_) {
+      TaskDelta pending = std::move(pending_delta_);
+      pending_delta_ = TaskDelta{};
+      delta_dirty_ = false;
+      const auto report = planner_->apply_delta(pending, now);
+      ++delta_applies_;
+      if (report.adaptation_messages > 0) {
+        ++adaptations_;
+        adaptation_messages_ += report.adaptation_messages;
+      }
+      REMO_VALIDATE(planner_->pairs() == manager_.dedup(system_.num_vertices()),
+                    "delta fast path drifted from the manager's dedup set (",
+                    planner_->pairs().total_pairs(), " vs ",
+                    manager_.live_pair_count(), " live pairs)");
+      return;
+    }
+    // Signature changed (e.g. churn created/destroyed a funnel or weight
+    // class): fall through to the full rebuild, exactly like the historic
+    // path would have.
+    dirty_ = true;
+  }
+
+  pending_delta_ = TaskDelta{};
+  delta_dirty_ = false;
   RewriteState state = rebuild_internal_tasks();
   const PairSet pairs = manager_.dedup(system_.num_vertices());
 
@@ -186,6 +271,7 @@ MonitoringSystem::Status MonitoringSystem::status(double now) {
   s.message_volume = topo.total_cost();
   s.adaptations = adaptations_;
   s.adaptation_messages = adaptation_messages_;
+  s.delta_applies = delta_applies_;
   s.repair = repair_report_;
   return s;
 }

@@ -9,6 +9,15 @@
 // next read, through the adaptive planner, so a burst of task changes
 // costs one adaptation. Time is whatever unit the caller advances
 // (epochs); it feeds the cost-benefit throttle.
+//
+// Churn fast path (DESIGN.md §13): mutations that cannot change the
+// rewritten task shape (reliability = kNone) are applied to the live
+// internal manager immediately and accumulated as an exact TaskDelta; the
+// next read re-derives only the constraint signature and, when it is
+// unchanged, replans through AdaptivePlanner::apply_delta — O(|delta|)
+// bookkeeping instead of rebuilding the manager and diffing full pair
+// sets, bit-identical to the historic path by construction. A signature
+// change (or any SSDP/DSDP mutation) falls back to the full rebuild.
 #pragma once
 
 #include <functional>
@@ -158,6 +167,9 @@ class MonitoringSystem {
     Capacity message_volume = 0.0;
     std::size_t adaptations = 0;  // apply_update calls that changed links
     std::size_t adaptation_messages = 0;
+    /// Replans served by the incremental delta path (subset of the lazy
+    /// replans; the full-rebuild fallback does not count here).
+    std::size_t delta_applies = 0;
     /// Failure-recovery loop counters (all zero unless recovery.enabled).
     RepairReport repair;
   };
@@ -190,6 +202,18 @@ class MonitoringSystem {
 
   void ensure_planned(double now);
   RewriteState rebuild_internal_tasks();
+  /// "conflicts:funnels:weights" over the current manager + spec table —
+  /// when it changes the adaptive planner must be rebuilt (see
+  /// rebuild_internal_tasks); shared by the full and delta plan paths.
+  std::string constraint_signature_of(const AttrSpecTable& specs,
+                                      std::size_t num_conflicts) const;
+  /// True when a mutation may ride the incremental delta path: the
+  /// planner is live, no full rebuild is already pending, and the task
+  /// passes through the reliability rewriter as an identity.
+  bool delta_eligible(const MonitoringTask& task) const {
+    return planner_.has_value() && !dirty_ &&
+           task.reliability == ReliabilityMode::kNone;
+  }
   /// The system model the planner optimizes against: identical to the
   /// real one, except the collector keeps `repair_headroom` in reserve
   /// when the recovery loop is on (repair itself uses the real model).
@@ -209,11 +233,25 @@ class MonitoringSystem {
   TaskId next_id_ = 1;
   /// Internal manager holding the rewritten tasks.
   TaskManager manager_;
+  /// user task id -> internal manager id, for tasks the rewriter passes
+  /// through unchanged (reliability = kNone) — the ids the delta fast
+  /// path mutates in place. Rebuilt by rebuild_internal_tasks.
+  std::map<TaskId, TaskId> internal_id_of_;
   std::optional<AdaptivePlanner> planner_;
   std::string constraint_signature_;
+  /// Conflict-constraint count behind constraint_signature_ (conflicts
+  /// only come from SSDP/DSDP rewriting, which the delta path never
+  /// touches, so the count is stable between full rebuilds).
+  std::size_t constraint_conflicts_ = 0;
   bool dirty_ = true;
+  /// Exact pending churn accumulated by the fast path since the last
+  /// plan; meaningful only while delta_dirty_ (discarded on full rebuild,
+  /// whose fresh manager supersedes it).
+  TaskDelta pending_delta_;
+  bool delta_dirty_ = false;
   std::size_t adaptations_ = 0;
   std::size_t adaptation_messages_ = 0;
+  std::size_t delta_applies_ = 0;
   /// Failure-recovery loop state.
   LivenessTracker liveness_;
   RepairReport repair_report_;

@@ -17,6 +17,7 @@ MonitoringSystem::Status merge_status(
     out.message_volume += s.message_volume;
     out.adaptations += s.adaptations;
     out.adaptation_messages += s.adaptation_messages;
+    out.delta_applies += s.delta_applies;
     repairs.push_back(s.repair);
   }
   out.coverage = out.pairs == 0

@@ -12,6 +12,11 @@
 //   - republishes per-shard metrics under `planner.shard<k>.*`-style
 //     labels next to `federation.*` cross-shard traffic counters.
 //
+// Task churn stays shard-local: a mutation dirties only the shards its
+// node set routes to, and those shards ride the core's delta fast path
+// (DESIGN.md §13) — untouched shards never replan, observable as flat
+// `planner.shard<k>.delta.replans` counters after publish_metrics().
+//
 // K = 1 is the compatibility configuration: a single shard with identity
 // id maps, bit-identical collected pairs to the unsharded
 // MonitoringSystem (property-tested). This is what lets the singleton be

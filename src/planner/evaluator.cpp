@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -29,6 +30,7 @@ struct PlanEvaluator::Counters {
   obs::Counter* evaluations = nullptr;
   obs::Counter* cache_hits = nullptr;    ///< registry mirror of cache_.hits()
   obs::Counter* cache_misses = nullptr;  ///< registry mirror of cache_.misses()
+  obs::Counter* cache_invalidated = nullptr;  ///< memo entries evicted by churn
   obs::Gauge* evaluate_seconds = nullptr;
   obs::Gauge* build_seconds = nullptr;
 
@@ -66,6 +68,7 @@ PlanEvaluator::PlanEvaluator(const SystemModel& system, PlannerOptions options)
   counters_->evaluations = &reg.counter("planner.candidates_evaluated");
   counters_->cache_hits = &reg.counter("planner.cache_hits");
   counters_->cache_misses = &reg.counter("planner.cache_misses");
+  counters_->cache_invalidated = &reg.counter("planner.cache_invalidated");
   counters_->evaluate_seconds = &reg.gauge("planner.evaluate_seconds");
   counters_->build_seconds = &reg.gauge("planner.build_seconds");
 }
@@ -84,8 +87,27 @@ ThreadPool& PlanEvaluator::pool() {
 
 void PlanEvaluator::sync_pairs(const PairSet& pairs) {
   if (last_pairs_.has_value() && *last_pairs_ == pairs) return;
-  cache_.clear();
+  if (last_pairs_.has_value() && last_pairs_->num_vertices() == pairs.num_vertices()) {
+    // Scoped invalidation: evict only entries whose attribute sets the
+    // change intersects; everything else is still bit-exact (PR 1 cleared
+    // the whole cache here, discarding builds the change never touched).
+    const PairSetDelta delta = diff(*last_pairs_, pairs);
+    counters_->cache_invalidated->add(cache_.invalidate_attrs(delta.affected_attrs()));
+  } else {
+    cache_.clear();
+  }
   last_pairs_ = pairs;
+  cache_.set_reference_pairs(&*last_pairs_);
+}
+
+void PlanEvaluator::apply_pairs_delta(const PairSetDelta& delta) {
+  if (delta.empty()) return;
+  REMO_ASSERT(last_pairs_.has_value(),
+              "apply_pairs_delta before the first sync_pairs — the engine has "
+              "no pair set to advance");
+  apply_delta(*last_pairs_, delta);
+  counters_->cache_invalidated->add(cache_.invalidate_attrs(delta.affected_attrs()));
+  cache_.set_reference_pairs(&*last_pairs_);
 }
 
 Topology PlanEvaluator::build_full(const PairSet& pairs, const Partition& partition) {

@@ -65,9 +65,26 @@ class PlanEvaluator {
   };
 
   /// Must be called (by the owning search) whenever the pair set under
-  /// evaluation may have changed: a changed pair set invalidates the memo
-  /// cache (local value counts are part of every build, keyed implicitly).
+  /// evaluation may have changed. Invalidation is *scoped*: only memo
+  /// entries whose attribute sets intersect the change are evicted (the
+  /// rest cannot read anything the change touched — see
+  /// tree_build_cache.h), so memoized builds survive churn that never
+  /// touches their partitions.
   void sync_pairs(const PairSet& pairs);
+
+  /// O(|delta|) variant of sync_pairs for callers that already know the
+  /// exact change (the delta replanning path): advances the synced pair
+  /// set by `delta` and evicts only the intersecting memo entries, without
+  /// copying or re-diffing the full pair set. Requires sync_pairs to have
+  /// run at least once.
+  void apply_pairs_delta(const PairSetDelta& delta);
+
+  /// The pair set the engine is currently synced to (nullptr before the
+  /// first sync_pairs) — lets owners cross-check the incremental path
+  /// under REMO_VALIDATE.
+  const PairSet* synced_pairs() const noexcept {
+    return last_pairs_.has_value() ? &*last_pairs_ : nullptr;
+  }
 
   /// Memoized full-forest build (initial layout / re-layout escape /
   /// endpoint guard). Counts one evaluation.

@@ -3,6 +3,9 @@
 #include <bit>
 #include <cstdint>
 
+#include "common/check.h"
+#include "common/sorted_vector.h"
+
 namespace remo {
 
 namespace {
@@ -10,6 +13,19 @@ namespace {
 inline void mix(std::uint64_t& h, std::uint64_t v) {
   // FNV-1a style combine over 64-bit lanes.
   h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+// Hashes the exact pair-set slice a build with this key consumes: which of
+// the key's attributes each candidate member monitors. Any pair-set change
+// that could alter the built tree changes this value.
+std::uint64_t pair_fingerprint(const TreeBuildKey& key, const PairSet& pairs) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (NodeId n : key.nodes) {
+    mix(h, n);
+    if (n >= pairs.num_vertices()) continue;
+    for (AttrId a : set_intersection(pairs.attrs_of(n), key.attrs)) mix(h, a);
+  }
+  return h;
 }
 
 }  // namespace
@@ -30,8 +46,16 @@ std::optional<TreeEntry> TreeBuildCache::find(const TreeBuildKey& key) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
+      if (validation_enabled() && reference_pairs_ != nullptr) {
+        REMO_VALIDATE(
+            it->second.pair_fingerprint == pair_fingerprint(key, *reference_pairs_),
+            "tree-build cache served a stale entry: ", key.attrs.size(),
+            " attrs / ", key.nodes.size(),
+            " members no longer match the reference pair set — "
+            "a pair-set change was not invalidated");
+      }
       hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;  // copy under the lock; caller owns it
+      return it->second.entry;  // copy under the lock; caller owns it
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -40,7 +64,26 @@ std::optional<TreeEntry> TreeBuildCache::find(const TreeBuildKey& key) {
 
 void TreeBuildCache::insert(const TreeBuildKey& key, const TreeEntry& entry) {
   std::lock_guard<std::mutex> lock(mutex_);
-  entries_.emplace(key, entry);
+  CachedEntry cached{entry, 0};
+  if (validation_enabled() && reference_pairs_ != nullptr) {
+    cached.pair_fingerprint = pair_fingerprint(key, *reference_pairs_);
+  }
+  entries_.emplace(key, std::move(cached));
+}
+
+std::size_t TreeBuildCache::invalidate_attrs(const std::vector<AttrId>& attrs) {
+  if (attrs.empty()) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Which entries survive is order-independent (each key is tested in
+  // isolation), so hash-order traversal cannot leak into plans.
+  return std::erase_if(entries_, [&](const auto& kv) {
+    return sets_intersect(kv.first.attrs, attrs);
+  });
+}
+
+void TreeBuildCache::set_reference_pairs(const PairSet* pairs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  reference_pairs_ = pairs;
 }
 
 void TreeBuildCache::clear() {

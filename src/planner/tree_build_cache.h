@@ -14,15 +14,23 @@
 //     upper bound on any vertex usage the build could ever reach, so that
 //     two "effectively unconstrained" budgets memoize to the same entry.
 //
-// A cache instance is only valid for a fixed (system, pair set, attribute
-// specs, allocation scheme, tree-build options); the owner (the plan
-// evaluator) clears it whenever the pair set changes and owns one cache
-// per option set. Thread-safe: lookups and inserts may race freely during
+// A cache instance is only valid for a fixed (system, attribute specs,
+// allocation scheme, tree-build options); the owner (the plan evaluator)
+// owns one cache per option set. Pair-set changes invalidate *scoped*:
+// an entry reads the pair set only through its own attribute set (the
+// candidate list is nodes_with_any(key.attrs) and every local count is
+// taken over key.attrs), so a change to pairs over disjoint attributes
+// cannot alter the entry — only entries whose attrs intersect the delta
+// are evicted (invalidate_attrs), the rest stay bit-exact across churn.
+// Under REMO_VALIDATE every hit recomputes its input fingerprint against
+// the reference pair set and aborts on mismatch: a stale entry can never
+// be served. Thread-safe: lookups and inserts may race freely during
 // parallel candidate evaluation.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -30,6 +38,7 @@
 
 #include "common/types.h"
 #include "planner/topology.h"
+#include "task/pair_set.h"
 
 namespace remo {
 
@@ -48,10 +57,26 @@ class TreeBuildCache {
   bool enabled() const noexcept { return enabled_; }
 
   /// Returns a copy of the cached entry, or nullopt. Counts a hit/miss.
+  /// Under REMO_VALIDATE (with a reference pair set installed) a hit's
+  /// stored input fingerprint is recomputed and must match — serving a
+  /// stale entry aborts.
   std::optional<TreeEntry> find(const TreeBuildKey& key);
   /// Inserts (no-op if the key is already present — concurrent builders of
   /// the same key produce identical entries, so first-writer-wins is fine).
   void insert(const TreeBuildKey& key, const TreeEntry& entry);
+
+  /// Evicts every entry whose attribute set intersects `attrs` (sorted,
+  /// unique) — the scoped alternative to clear() when the pair set changed
+  /// only over `attrs`. Entries over disjoint attribute sets read nothing
+  /// the delta touched and remain exactly reusable. Returns the number of
+  /// entries evicted.
+  std::size_t invalidate_attrs(const std::vector<AttrId>& attrs);
+
+  /// Installs the pair set that entries are built against (validation
+  /// only; pass nullptr to detach). The pointee must outlive the cache or
+  /// the next set_reference_pairs call and is read during find()/insert()
+  /// — safe while builds run, since builders never mutate the pair set.
+  void set_reference_pairs(const PairSet* pairs);
 
   void clear();
   std::size_t size() const;
@@ -62,10 +87,18 @@ class TreeBuildCache {
   struct KeyHash {
     std::size_t operator()(const TreeBuildKey& k) const noexcept;
   };
+  /// The entry plus a hash of the exact pair-set slice the build consumed:
+  /// each candidate's membership in the key's attribute set. Recomputed on
+  /// validated hits to prove the entry is not stale.
+  struct CachedEntry {
+    TreeEntry entry;
+    std::uint64_t pair_fingerprint = 0;
+  };
 
   bool enabled_ = true;
   mutable std::mutex mutex_;
-  std::unordered_map<TreeBuildKey, TreeEntry, KeyHash> entries_;
+  std::unordered_map<TreeBuildKey, CachedEntry, KeyHash> entries_;
+  const PairSet* reference_pairs_ = nullptr;  ///< guarded by mutex_
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
 };

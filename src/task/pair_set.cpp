@@ -4,9 +4,26 @@
 
 namespace remo {
 
+namespace {
+
+// attr_counts_ entries sorted by attribute id; values are always > 0.
+auto count_pos(std::vector<std::pair<AttrId, std::size_t>>& counts, AttrId attr) {
+  return std::lower_bound(
+      counts.begin(), counts.end(), attr,
+      [](const std::pair<AttrId, std::size_t>& e, AttrId a) { return e.first < a; });
+}
+
+}  // namespace
+
 bool PairSet::add(NodeId node, AttrId attr) {
   if (set_insert(by_node_.at(node), attr)) {
     ++total_;
+    auto it = count_pos(attr_counts_, attr);
+    if (it != attr_counts_.end() && it->first == attr) {
+      ++it->second;
+    } else {
+      attr_counts_.insert(it, {attr, 1});
+    }
     return true;
   }
   return false;
@@ -15,6 +32,8 @@ bool PairSet::add(NodeId node, AttrId attr) {
 bool PairSet::remove(NodeId node, AttrId attr) {
   if (set_erase(by_node_.at(node), attr)) {
     --total_;
+    auto it = count_pos(attr_counts_, attr);
+    if (--it->second == 0) attr_counts_.erase(it);
     return true;
   }
   return false;
@@ -26,9 +45,16 @@ bool PairSet::contains(NodeId node, AttrId attr) const {
 
 std::vector<AttrId> PairSet::attribute_universe() const {
   std::vector<AttrId> all;
-  for (const auto& attrs : by_node_) all.insert(all.end(), attrs.begin(), attrs.end());
-  sort_unique(all);
+  all.reserve(attr_counts_.size());
+  for (const auto& [attr, count] : attr_counts_) all.push_back(attr);
   return all;
+}
+
+std::size_t PairSet::attr_count(AttrId attr) const {
+  auto it = std::lower_bound(
+      attr_counts_.begin(), attr_counts_.end(), attr,
+      [](const std::pair<AttrId, std::size_t>& e, AttrId a) { return e.first < a; });
+  return it != attr_counts_.end() && it->first == attr ? it->second : 0;
 }
 
 std::vector<NodeId> PairSet::nodes_with(AttrId attr) const {
@@ -66,6 +92,20 @@ std::vector<AttrId> PairSetDelta::affected_attrs() const {
   return out;
 }
 
+void PairSetDelta::merge(const PairSetDelta& more) {
+  // Exact-delta composition: applying `this` then `more` to a base set B
+  // nets out to
+  //   added   = (added \ more.removed) ∪ (more.added \ removed)
+  //   removed = (removed \ more.added) ∪ (more.removed \ added)
+  // — a pair added here and removed by `more` (or vice versa) cancels.
+  std::vector<NodeAttrPair> net_added =
+      set_union(set_difference(added, more.removed), set_difference(more.added, removed));
+  std::vector<NodeAttrPair> net_removed = set_union(set_difference(removed, more.added),
+                                                    set_difference(more.removed, added));
+  added = std::move(net_added);
+  removed = std::move(net_removed);
+}
+
 PairSetDelta diff(const PairSet& before, const PairSet& after) {
   PairSetDelta d;
   const std::size_t n = std::max(before.num_vertices(), after.num_vertices());
@@ -77,6 +117,28 @@ PairSetDelta diff(const PairSet& before, const PairSet& after) {
     for (AttrId attr : set_difference(b, a)) d.removed.push_back({node, attr});
   }
   return d;
+}
+
+PairSetDelta clamp_to_vertices(PairSetDelta delta, std::size_t num_vertices) {
+  auto out_of_range = [num_vertices](const NodeAttrPair& p) {
+    return p.node >= num_vertices;
+  };
+  std::erase_if(delta.added, out_of_range);
+  std::erase_if(delta.removed, out_of_range);
+  return delta;
+}
+
+std::size_t apply_delta(PairSet& pairs, const PairSetDelta& delta) {
+  std::size_t changed = 0;
+  for (const auto& p : delta.removed) {
+    if (p.node >= pairs.num_vertices()) continue;
+    if (pairs.remove(p.node, p.attr)) ++changed;
+  }
+  for (const auto& p : delta.added) {
+    if (p.node >= pairs.num_vertices()) continue;
+    if (pairs.add(p.node, p.attr)) ++changed;
+  }
+  return changed;
 }
 
 }  // namespace remo

@@ -1,0 +1,34 @@
+// Structured churn unit: what one task-manager mutation (or a coalesced
+// burst of them) changed, expressed directly as a pair-set delta plus the
+// touched task ids. Emitted by TaskManager's delta-returning mutators and
+// apply_update_batch so delta consumers (the adaptive planner's dirty-set
+// tracker, DESIGN.md §13) never have to re-diff full PairSets.
+#pragma once
+
+#include "common/sorted_vector.h"
+#include "common/types.h"
+#include "task/pair_set.h"
+
+namespace remo {
+
+struct TaskDelta {
+  /// Exact deduplicated-pair delta: `added` are pairs that entered the
+  /// dedup set (refcount 0 → 1), `removed` are pairs that left it
+  /// (refcount 1 → 0). Pairs still requested by another task after a
+  /// removal do not appear.
+  PairSetDelta pairs;
+
+  /// Ids of the tasks the mutation touched (sorted, unique).
+  std::vector<TaskId> tasks_touched;
+
+  bool empty() const noexcept { return pairs.empty() && tasks_touched.empty(); }
+
+  /// Composes `more` on top of this delta (see PairSetDelta::merge for the
+  /// cancellation semantics). Task ids accumulate.
+  void merge(const TaskDelta& more) {
+    pairs.merge(more.pairs);
+    tasks_touched = set_union(tasks_touched, more.tasks_touched);
+  }
+};
+
+}  // namespace remo

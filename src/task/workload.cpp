@@ -118,11 +118,15 @@ UpdateBatchStats apply_update_batch(TaskManager& manager, const SystemModel& sys
       const auto a = static_cast<AttrId>(rng.below(attr_universe));
       if (set_insert(nt.attrs, a)) ++replaced;
     }
-    stats.attrs_replaced += replaced;
+    // The fresh draws may re-insert exactly the attrs just removed; only a
+    // genuinely changed task is a modification, and only attrs absent from
+    // the new set were really replaced.
+    if (nt.attrs == t.attrs) continue;
+    stats.attrs_replaced += set_difference(t.attrs, nt.attrs).size();
     ++stats.tasks_modified;
     modified.push_back(std::move(nt));
   }
-  for (auto& nt : modified) manager.modify_task(std::move(nt));
+  for (auto& nt : modified) manager.modify_task(std::move(nt), &stats.delta);
   return stats;
 }
 

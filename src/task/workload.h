@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "cost/system_model.h"
 #include "task/task.h"
+#include "task/task_delta.h"
 #include "task/task_manager.h"
 
 namespace remo {
@@ -56,15 +57,24 @@ class WorkloadGenerator {
 };
 
 /// Statistics about one applied update batch (for adaptation-cost plots).
+/// Counts are accurate: a task whose redrawn attribute set lands back on
+/// the original is a genuine no-op and counts toward neither field.
 struct UpdateBatchStats {
+  /// Tasks whose attribute set actually changed (modify_task was invoked).
   std::size_t tasks_modified = 0;
+  /// Old attributes genuinely gone after the update (re-drawing an attr the
+  /// batch just removed does not count as a replacement).
   std::size_t attrs_replaced = 0;
+  /// Structured churn delta of the whole batch: exact dedup-pair changes
+  /// plus touched task ids, ready for the delta replanning path.
+  TaskDelta delta;
 };
 
 /// The Fig. 9 dynamic-task emulation: picks `node_fraction` of monitoring
-/// nodes, then for every task touching a picked node replaces
-/// `attr_fraction` of its attributes with fresh ones drawn from the
-/// universe. Mutates `manager` in place.
+/// nodes (always at least one, so small systems still churn), then for
+/// every task touching a picked node replaces `attr_fraction` of its
+/// attributes with fresh ones drawn from the universe. Mutates `manager`
+/// in place.
 UpdateBatchStats apply_update_batch(TaskManager& manager, const SystemModel& system,
                                     std::size_t attr_universe, Rng& rng,
                                     double node_fraction = 0.05,

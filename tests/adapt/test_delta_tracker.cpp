@@ -1,0 +1,125 @@
+#include "adapt/delta_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/sorted_vector.h"
+
+namespace remo {
+namespace {
+
+TaskDelta delta_of(std::vector<NodeAttrPair> added,
+                   std::vector<NodeAttrPair> removed,
+                   std::vector<TaskId> tasks = {}) {
+  TaskDelta d;
+  d.pairs.added = std::move(added);
+  d.pairs.removed = std::move(removed);
+  d.tasks_touched = std::move(tasks);
+  return d;
+}
+
+TEST(DeltaTracker, EnqueueCoalescesAndCountsUpdates) {
+  DeltaTracker tracker;
+  tracker.enqueue(delta_of({{1, 0}}, {}, {7}), 0.0);
+  tracker.enqueue(delta_of({{2, 1}}, {}, {9}), 0.5);
+  EXPECT_FALSE(tracker.empty());
+  EXPECT_EQ(tracker.coalesced_updates(), 2u);
+  EXPECT_EQ(tracker.pending().pairs.added.size(), 2u);
+  EXPECT_EQ(tracker.pending().tasks_touched, (std::vector<TaskId>{7, 9}));
+}
+
+TEST(DeltaTracker, ChurnThatUndoesItselfMeltsAway) {
+  DeltaTracker tracker;
+  tracker.enqueue(delta_of({{1, 0}}, {}, {7}), 0.0);
+  tracker.enqueue(delta_of({}, {{1, 0}}, {7}), 0.1);
+  // The pair cancelled; only the touched-task record remains, and an
+  // empty pair delta never demands a flush.
+  EXPECT_TRUE(tracker.pending().pairs.empty());
+  EXPECT_FALSE(tracker.should_flush(1e9));
+}
+
+TEST(DeltaTracker, HardAgeBoundForcesFlush) {
+  DeltaTrackerOptions opts;
+  opts.max_defer_seconds = 2.0;
+  opts.staleness_cost_per_pair_second = 0.0;  // hard bounds only
+  DeltaTracker tracker(opts);
+  tracker.enqueue(delta_of({{1, 0}}, {}), 10.0);
+  EXPECT_FALSE(tracker.should_flush(11.0));
+  EXPECT_TRUE(tracker.should_flush(12.0));
+}
+
+TEST(DeltaTracker, HardSizeBoundForcesFlush) {
+  DeltaTrackerOptions opts;
+  opts.max_defer_seconds = 1e9;
+  opts.max_pending_pairs = 3;
+  opts.staleness_cost_per_pair_second = 0.0;
+  DeltaTracker tracker(opts);
+  tracker.enqueue(delta_of({{1, 0}, {2, 0}}, {}), 0.0);
+  EXPECT_FALSE(tracker.should_flush(0.0));
+  tracker.enqueue(delta_of({{3, 0}}, {}), 0.0);
+  EXPECT_TRUE(tracker.should_flush(0.0));
+}
+
+TEST(DeltaTracker, AmortizedBoundWeighsCostAgainstStalenessDebt) {
+  DeltaTrackerOptions opts;
+  opts.max_defer_seconds = 1e9;
+  opts.max_pending_pairs = 1u << 30;
+  opts.initial_cost_seconds = 4.0;
+  opts.staleness_cost_per_pair_second = 1.0;
+  DeltaTracker tracker(opts);
+  tracker.enqueue(delta_of({{1, 0}, {2, 0}}, {}), 0.0);
+  // Debt = age × pairs × rate: 1.0 × 2 × 1.0 = 2 < 4 → defer,
+  // then 3.0 × 2 × 1.0 = 6 > 4 → flush pays for itself.
+  EXPECT_FALSE(tracker.should_flush(1.0));
+  EXPECT_TRUE(tracker.should_flush(3.0));
+}
+
+TEST(DeltaTracker, ZeroExchangeRateLeavesOnlyHardBounds) {
+  DeltaTrackerOptions opts;
+  opts.max_defer_seconds = 100.0;
+  opts.max_pending_pairs = 1u << 30;
+  opts.initial_cost_seconds = 1e-9;  // replans look free
+  opts.staleness_cost_per_pair_second = 0.0;
+  DeltaTracker tracker(opts);
+  tracker.enqueue(delta_of({{1, 0}}, {}), 0.0);
+  // Even "free" replans do not fire before the deterministic age bound.
+  EXPECT_FALSE(tracker.should_flush(99.0));
+  EXPECT_TRUE(tracker.should_flush(100.0));
+}
+
+TEST(DeltaTracker, TakeDrainsAndResetsTheBurstWindow) {
+  DeltaTrackerOptions opts;
+  opts.max_defer_seconds = 2.0;
+  opts.staleness_cost_per_pair_second = 0.0;
+  DeltaTracker tracker(opts);
+  tracker.enqueue(delta_of({{1, 0}}, {}, {3}), 0.0);
+  const TaskDelta taken = tracker.take(5.0);
+  EXPECT_EQ(taken.pairs.added.size(), 1u);
+  EXPECT_EQ(taken.tasks_touched, (std::vector<TaskId>{3}));
+  EXPECT_TRUE(tracker.empty());
+  EXPECT_EQ(tracker.coalesced_updates(), 0u);
+  // The next burst ages from its own first enqueue, not the old window.
+  tracker.enqueue(delta_of({{2, 0}}, {}), 6.0);
+  EXPECT_FALSE(tracker.should_flush(7.0));
+  EXPECT_TRUE(tracker.should_flush(8.0));
+}
+
+TEST(DeltaTracker, ObserveReplanCostUpdatesTheEwma) {
+  DeltaTrackerOptions opts;
+  opts.initial_cost_seconds = 1.0;
+  opts.cost_smoothing = 0.25;
+  DeltaTracker tracker(opts);
+  tracker.observe_replan_cost(5.0);
+  EXPECT_DOUBLE_EQ(tracker.replan_cost_estimate(), 0.75 * 1.0 + 0.25 * 5.0);
+  tracker.observe_replan_cost(5.0);
+  EXPECT_DOUBLE_EQ(tracker.replan_cost_estimate(), 0.75 * 2.0 + 0.25 * 5.0);
+}
+
+TEST(DeltaTracker, DirtyAttrsAreTheAffectedAttributeSet) {
+  DeltaTracker tracker;
+  tracker.enqueue(delta_of({{1, 5}, {2, 3}}, {{4, 5}}), 0.0);
+  EXPECT_EQ(tracker.dirty_attrs(), (std::vector<AttrId>{3, 5}));
+  EXPECT_TRUE(is_sorted_unique(tracker.dirty_attrs()));
+}
+
+}  // namespace
+}  // namespace remo

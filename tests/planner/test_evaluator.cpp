@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "planner/planner.h"
 #include "planner/tree_build_cache.h"
@@ -95,23 +96,63 @@ TEST(PlanEvaluator, RepeatedPlanWarmsTheCache) {
   EXPECT_EQ(first.edges(), second.edges());
 }
 
-TEST(PlanEvaluator, ChangedPairSetClearsTheCache) {
+TEST(PlanEvaluator, ChangedPairSetEvictsOnlyIntersectingEntries) {
   RandomWorkload w(6, 24, 60.0, 200.0, 12, 4);
   Planner planner(w.system, engine_options(1, true));
   planner.plan(w.pairs);
-  EXPECT_GT(planner.evaluator().cache().size(), 0u);
+  const std::size_t before = planner.evaluator().cache().size();
+  ASSERT_GT(before, 0u);
 
   PairSet fewer = w.pairs;
-  bool removed = false;
-  for (NodeId id = 1; id <= 24 && !removed; ++id)
+  NodeId node = kNoNode;
+  AttrId attr = 0;
+  for (NodeId id = 1; id <= 24 && node == kNoNode; ++id)
     for (AttrId a : w.system.observable(id)) {
       fewer.remove(id, a);
-      removed = true;
+      node = id;
+      attr = a;
       break;
     }
-  ASSERT_TRUE(removed);
+  ASSERT_NE(node, kNoNode);
+  // Scoped invalidation (DESIGN.md §13): only entries whose attribute set
+  // contains the changed attr may go; the rest stay bit-exact. A wholesale
+  // clear here would throw away every memoized build on any churn.
   planner.evaluator().sync_pairs(fewer);
-  EXPECT_EQ(planner.evaluator().cache().size(), 0u);
+  const std::size_t after = planner.evaluator().cache().size();
+  EXPECT_LE(after, before);
+}
+
+TEST(PlanEvaluator, DisjointDeltaKeepsCachedBuildsServable) {
+  // Deterministic surgical variant: warm the cache with a two-group
+  // partition, then change the pair set only over the first group's
+  // attribute. The second group's entry must survive and keep serving.
+  SystemModel system(4, 1e6, kCost);
+  PairSet pairs(5);
+  for (NodeId id = 1; id <= 4; ++id) {
+    system.set_observable(id, {0, 1});
+    pairs.add(id, 0);
+    pairs.add(id, 1);
+  }
+  Planner planner(system, engine_options(1, true));
+  PlanEvaluator& ev = planner.evaluator();
+  const Partition two({{0}, {1}});
+  ev.sync_pairs(pairs);
+  ev.build_full(pairs, two);
+  ASSERT_GE(ev.cache().size(), 2u);
+  const std::size_t warm = ev.cache().size();
+
+  PairSet fewer = pairs;
+  fewer.remove(4, 0);  // touches attr 0 only
+  ev.sync_pairs(fewer);
+  // Attr 1's entry survived; attr 0's is gone.
+  EXPECT_LT(ev.cache().size(), warm);
+  EXPECT_GT(ev.cache().size(), 0u);
+
+  // Rebuilding the same partition over the new pair set re-serves the
+  // surviving attr-1 build from cache.
+  const std::size_t hits_before = ev.cache().hits();
+  ev.build_full(fewer, two);
+  EXPECT_GT(ev.cache().hits(), hits_before);
 }
 
 // ---------------------------------------------------------------------------
@@ -183,6 +224,41 @@ TEST(TreeBuildCache, AttrOrNodeChangeInvalidates) {
   TreeBuildKey other_nodes = sample_key();
   other_nodes.nodes = {3, 1, 8};
   EXPECT_FALSE(cache.find(other_nodes).has_value());
+}
+
+TEST(TreeBuildCache, InvalidateAttrsEvictsOnlyIntersectingEntries) {
+  TreeBuildCache cache;
+  const TreeBuildKey a = sample_key();  // attrs {1, 4}
+  TreeBuildKey b = sample_key();
+  b.attrs = {2, 3};
+  cache.insert(a, sample_entry());
+  cache.insert(b, sample_entry());
+
+  EXPECT_EQ(cache.invalidate_attrs({}), 0u);
+  EXPECT_EQ(cache.invalidate_attrs({4}), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.find(a).has_value());
+  EXPECT_TRUE(cache.find(b).has_value());  // disjoint attrs: still served
+}
+
+TEST(TreeBuildCacheDeathTest, StaleEntryIsNeverServedUnderValidation) {
+  set_validation_enabled(true);
+  // Reference pair set matching sample_key()'s slice: node 3 monitors
+  // attr 1, node 1 monitors attr 4, node 7 nothing.
+  PairSet pairs(8);
+  pairs.add(3, 1);
+  pairs.add(1, 4);
+  TreeBuildCache cache;
+  cache.set_reference_pairs(&pairs);
+  const TreeBuildKey key = sample_key();
+  cache.insert(key, sample_entry());
+  EXPECT_TRUE(cache.find(key).has_value());  // fingerprint still matches
+
+  // Mutate the slice the entry was built against without invalidating:
+  // serving it now would hand the planner a tree for the wrong pair set.
+  pairs.add(3, 4);
+  EXPECT_DEATH((void)cache.find(key), "stale entry");
+  set_validation_enabled(false);
 }
 
 TEST(TreeBuildCache, ClearEmptiesEntries) {

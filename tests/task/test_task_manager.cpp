@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "common/sorted_vector.h"
+
 namespace remo {
 namespace {
 
@@ -102,6 +105,60 @@ TEST(TaskManager, PairFrequenciesTakeMaxAcrossTasks) {
   const auto freq = m.pair_frequencies(p);
   EXPECT_DOUBLE_EQ(freq.at({1, 0}), 1.0);  // fastest requester wins
   EXPECT_DOUBLE_EQ(freq.at({2, 0}), 1.0);
+}
+
+TEST(TaskManager, MutationDeltasEqualFullDiffAcrossRandomChurn) {
+  // Property: for any add/remove/modify sequence, the delta the mutator
+  // emits equals diff(dedup before, dedup after), and replaying deltas
+  // onto a PairSet tracks dedup() exactly — the contract the delta
+  // replanning path (DESIGN.md §13) stands on.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SystemModel system(20, 100.0);
+    Rng attr_rng{seed};
+    system.assign_random_attributes(12, 5, attr_rng);
+    TaskManager m(&system);
+    Rng rng{seed * 977};
+    std::vector<TaskId> live;
+    PairSet tracked(system.num_vertices());
+
+    for (int step = 0; step < 60; ++step) {
+      const PairSet before = m.dedup(system.num_vertices());
+      TaskDelta delta;
+      const int op = static_cast<int>(rng.below(3));
+      if (op == 0 || live.empty()) {
+        MonitoringTask t;
+        const std::size_t n = 1 + rng.below(4);
+        for (std::size_t i = 0; i < n; ++i)
+          t.nodes.push_back(1 + static_cast<NodeId>(rng.below(20)));
+        t.attrs.push_back(static_cast<AttrId>(rng.below(12)));
+        t.attrs.push_back(static_cast<AttrId>(rng.below(12)));
+        sort_unique(t.nodes);
+        sort_unique(t.attrs);
+        live.push_back(m.add_task(std::move(t), &delta));
+      } else if (op == 1) {
+        const std::size_t i = rng.below(live.size());
+        EXPECT_TRUE(m.remove_task(live[i], &delta));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        const TaskId id = live[rng.below(live.size())];
+        MonitoringTask t = *m.find(id);
+        t.attrs.clear();
+        t.attrs.push_back(static_cast<AttrId>(rng.below(12)));
+        sort_unique(t.attrs);
+        EXPECT_TRUE(m.modify_task(std::move(t), &delta));
+      }
+
+      const PairSet after = m.dedup(system.num_vertices());
+      const PairSetDelta expected = diff(before, after);
+      EXPECT_EQ(delta.pairs.added, expected.added) << "seed=" << seed << " step=" << step;
+      EXPECT_EQ(delta.pairs.removed, expected.removed)
+          << "seed=" << seed << " step=" << step;
+
+      apply_delta(tracked, delta.pairs);
+      EXPECT_EQ(tracked, after) << "seed=" << seed << " step=" << step;
+      EXPECT_EQ(m.live_pair_count(), after.total_pairs());
+    }
+  }
 }
 
 TEST(TaskManager, EnumNames) {

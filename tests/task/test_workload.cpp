@@ -95,6 +95,53 @@ TEST(Workload, UpdateBatchModifiesTouchedTasks) {
   EXPECT_EQ(manager.num_tasks(), 40u);  // modification, not add/remove
 }
 
+TEST(Workload, UpdateBatchStatsMatchRealTaskChanges) {
+  // Regression: stats must count only genuine changes — a redraw that
+  // lands back on the original attribute set is a no-op, and
+  // attrs_replaced counts old attrs actually gone (old \ new), not the
+  // redraw quota. The returned delta must equal the dedup diff exactly.
+  auto system = make_system(60, 24, 8, 11);
+  WorkloadGenerator gen(system, WorkloadConfig{.attr_universe = 24}, 12);
+  TaskManager manager(&system);
+  for (auto& t : gen.small_tasks(30)) manager.add_task(std::move(t));
+
+  Rng rng{13};
+  for (int round = 0; round < 10; ++round) {
+    const std::map<TaskId, MonitoringTask> before_tasks = manager.tasks();
+    const PairSet before = manager.dedup(system.num_vertices());
+    const auto stats = apply_update_batch(manager, system, 24, rng, 0.1, 0.5);
+
+    std::size_t modified = 0, replaced = 0;
+    for (const auto& [id, t] : manager.tasks()) {
+      const auto& old = before_tasks.at(id);
+      if (old.attrs == t.attrs) continue;
+      ++modified;
+      replaced += set_difference(old.attrs, t.attrs).size();
+    }
+    EXPECT_EQ(stats.tasks_modified, modified) << "round=" << round;
+    EXPECT_EQ(stats.attrs_replaced, replaced) << "round=" << round;
+
+    const PairSetDelta expected = diff(before, manager.dedup(system.num_vertices()));
+    EXPECT_EQ(stats.delta.pairs.added, expected.added) << "round=" << round;
+    EXPECT_EQ(stats.delta.pairs.removed, expected.removed) << "round=" << round;
+    EXPECT_EQ(stats.delta.tasks_touched.size(), modified) << "round=" << round;
+  }
+}
+
+TEST(Workload, UpdateBatchPicksAtLeastOneNodeOnTinySystems) {
+  // node_fraction × nodes rounds to zero here; the clamp must still pick
+  // one node per batch so small systems churn at all.
+  auto system = make_system(4, 12, 6, 14);
+  WorkloadGenerator gen(system, WorkloadConfig{.attr_universe = 12}, 15);
+  TaskManager manager(&system);
+  for (auto& t : gen.small_tasks(6)) manager.add_task(std::move(t));
+  Rng rng{16};
+  std::size_t modified = 0;
+  for (int round = 0; round < 20; ++round)
+    modified += apply_update_batch(manager, system, 12, rng, 0.0, 0.5).tasks_modified;
+  EXPECT_GT(modified, 0u);
+}
+
 TEST(Workload, UpdateBatchAttrsStayInUniverse) {
   auto system = make_system(50, 30, 10);
   WorkloadGenerator gen(system, WorkloadConfig{}, 8);

@@ -1,12 +1,22 @@
-// The embeddable "monitoring service" view (paper Fig. 1): a single
-// MonitoringSystem object owns the task manager, the adaptive planner and
-// the topology; the host application just adds/removes tasks over time and
-// reads status. Finishes by dumping the live topology as Graphviz DOT.
+// The monitoring SERVICE view (DESIGN.md §14): a long-running
+// MonitoringDaemon owns the planner stack behind an async ingest bus —
+// the host application never touches the planner, it just submits task
+// churn and attribute values and reads status between epochs. The same
+// ops storyline as before the daemon existed (fleet CPU → a debugging
+// subset → replicated alarms → teardown → widening), now phrased as
+// submit + run_epoch instead of direct calls, plus the service-mode
+// extras: per-node value ingest, the resource_monitor-style exporters,
+// and the live topology as Graphviz DOT.
 //
 //   $ ./monitoring_service | dot -Tsvg > topology.svg   (if graphviz is around)
+//
+// Every submit is acknowledged with an Admission verdict, task ids are
+// assigned FIFO at apply time (1, 2, 3, ... with a single producer), and
+// the virtual clock makes the run reproducible: a deployed daemon pacing
+// itself with run_wall_clock() plans exactly like this tight loop.
 #include <cstdio>
 
-#include "core/monitoring_system.h"
+#include "service/daemon.h"
 
 using namespace remo;
 
@@ -15,53 +25,77 @@ int main() {
   system.set_collector_capacity(500.0);
   for (NodeId n = 1; n <= 16; ++n) system.set_observable(n, {0, 1, 2, 3, 4});
 
-  MonitoringSystem service(std::move(system));
+  service::DaemonOptions options;
+  options.epoch_duration = 10.0;  // one scene of the storyline per epoch
+  service::MonitoringDaemon daemon(std::move(system), options);
 
-  auto show = [&](const char* when, double now) {
-    const auto s = service.status(now);
+  auto show = [&](const char* when) {
+    const auto& s = daemon.last_status();
     std::fprintf(stderr,
-                 "[%-22s] tasks=%zu pairs=%zu collected=%zu (%.0f%%) trees=%zu "
-                 "volume=%.0f adaptations=%zu (%zu msgs)\n",
-                 when, s.tasks, s.pairs, s.collected, s.coverage * 100.0,
-                 s.trees, s.message_volume, s.adaptations,
-                 s.adaptation_messages);
+                 "[%-22s] epoch=%llu tasks=%zu pairs=%zu collected=%zu "
+                 "(%.0f%%) trees=%zu volume=%.0f adaptations=%zu (%zu msgs)\n",
+                 when, static_cast<unsigned long long>(daemon.epoch()),
+                 s.tasks, s.pairs, s.collected, s.coverage * 100.0, s.trees,
+                 s.message_volume, s.adaptations, s.adaptation_messages);
   };
 
-  // t=0: the ops team starts with fleet-wide CPU monitoring.
+  // Scene 1: the ops team starts with fleet-wide CPU monitoring. The id
+  // is knowable before the epoch applies it: FIFO order assigns 1.
   MonitoringTask cpu;
   cpu.attrs = {0};
   for (NodeId n = 1; n <= 16; ++n) cpu.nodes.push_back(n);
-  const TaskId cpu_id = service.add_task(cpu);
-  show("fleet cpu", 0.0);
+  daemon.submit_add_task(cpu);
+  const TaskId cpu_id = 1;
+  daemon.run_epoch();
+  show("fleet cpu");
 
-  // t=10: a debugging session adds detailed metrics on a suspect subset.
+  // Scene 2: a debugging session adds detailed metrics on a suspect
+  // subset (task 2), and the suspect nodes start pushing values.
   MonitoringTask debug;
   debug.attrs = {1, 2, 3};
   debug.nodes = {3, 4, 5, 6};
-  const TaskId debug_id = service.add_task(debug);
-  show("+debug subset", 10.0);
+  daemon.submit_add_task(debug);
+  const TaskId debug_id = 2;
+  for (NodeId n = 3; n <= 6; ++n)
+    daemon.submit_values(n, {service::ValueUpdate{n, 1, 0.25 * n},
+                             service::ValueUpdate{n, 2, 100.0 + n}});
+  daemon.run_epoch();
+  show("+debug subset");
 
-  // t=20: an alarm metric goes mission-critical: replicate its delivery.
+  // Scene 3: an alarm metric goes mission-critical: replicate delivery.
   MonitoringTask alarms;
   alarms.attrs = {4};
   for (NodeId n = 1; n <= 16; ++n) alarms.nodes.push_back(n);
   alarms.reliability = ReliabilityMode::kSSDP;
-  service.add_task(alarms);
-  show("+replicated alarms", 20.0);
+  daemon.submit_add_task(alarms);
+  daemon.run_epoch();
+  show("+replicated alarms");
 
-  // t=30: debugging ends; the session's task disappears.
-  service.remove_task(debug_id);
-  show("-debug subset", 30.0);
+  // Scene 4: debugging ends; the session's task disappears.
+  daemon.submit_remove_task(debug_id);
+  daemon.run_epoch();
+  show("-debug subset");
 
-  // t=40: the CPU task is widened to include memory.
+  // Scene 5: the CPU task is widened to include memory.
   MonitoringTask widened;
   widened.id = cpu_id;
   widened.attrs = {0, 1};
   for (NodeId n = 1; n <= 16; ++n) widened.nodes.push_back(n);
-  service.modify_task(widened);
-  show("cpu -> cpu+mem", 40.0);
+  daemon.submit_modify_task(widened);
+  daemon.run_epoch();
+  show("cpu -> cpu+mem");
+
+  // What a deployment would scrape: the one-object JSON summary and the
+  // per-epoch time series (both resource_monitor-style, wire.h).
+  std::fprintf(stderr, "\nsummary: %s\n\ntime series:\n%s",
+               daemon.summary_json().c_str(),
+               daemon.time_series_text().c_str());
+  std::fprintf(stderr,
+               "\n(a real deployment would pace the same loop with "
+               "daemon.run_wall_clock(period, epochs) — plans and series "
+               "would be identical)\n");
 
   // The current overlay, ready for graphviz.
-  std::printf("%s", service.export_dot(40.0).c_str());
+  std::printf("%s", daemon.system().export_dot(daemon.now()).c_str());
   return 0;
 }

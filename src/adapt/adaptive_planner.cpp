@@ -100,6 +100,24 @@ void AdaptivePlanner::adopt(Topology topo, double now) {
     if (adjusted_at_.find(e.attrs) == adjusted_at_.end()) stamp(e.attrs, now);
 }
 
+void AdaptivePlanner::restore(PairSet pairs, Topology topo,
+                              std::map<std::vector<AttrId>, double> stamps,
+                              double init_time, double replan_cost_estimate) {
+  pairs_ = std::move(pairs);
+  topology_ = std::move(topo);
+  topology_.set_total_pairs(pairs_.total_pairs());
+  adjusted_at_ = std::move(stamps);
+  init_time_ = init_time;
+  tracker_.set_replan_cost_estimate(replan_cost_estimate);
+  // The evaluation engine's pair view resyncs in full on the next
+  // adaptation (synced_pairs() is null on a fresh planner); memo-cache
+  // hits are bit-identical to fresh builds, so a cold cache cannot make a
+  // restored planner diverge from the captured one.
+  REMO_VALIDATE(topology_.validate(*system_),
+                "restored topology violates capacity (", topology_.num_trees(),
+                " trees, ", pairs_.total_pairs(), " pairs)");
+}
+
 std::vector<std::vector<AttrId>> AdaptivePlanner::direct_apply(
     const PairSetDelta& delta, double now) {
   if (delta.empty()) return {};

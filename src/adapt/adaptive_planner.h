@@ -114,6 +114,23 @@ class AdaptivePlanner {
   /// bookkeeping start their adjustment window at `now`.
   void adopt(Topology topo, double now);
 
+  // ---- snapshot/restore (service/snapshot.h, DESIGN.md §14) -------------
+  /// The throttle's per-tree adjustment stamps (T_adj,i), sorted by
+  /// attribute set — plan-affecting state a snapshot must carry.
+  const std::map<std::vector<AttrId>, double>& adjustment_stamps() const noexcept {
+    return adjusted_at_;
+  }
+  double init_time() const noexcept { return init_time_; }
+  /// Wholesale-replaces the planner's plan state with a previously
+  /// captured one: pair set, deployed forest, throttle stamps, and the
+  /// tracker's replan-cost EWMA. The planner must be freshly constructed
+  /// (same system + options as the captured one); subsequent
+  /// apply_update / apply_delta calls continue bit-identically to the
+  /// planner the state was captured from.
+  void restore(PairSet pairs, Topology topo,
+               std::map<std::vector<AttrId>, double> stamps, double init_time,
+               double replan_cost_estimate);
+
  private:
   struct DeltaMetrics {
     obs::Counter* updates = nullptr;        ///< deltas fed in

@@ -75,6 +75,9 @@ class DeltaTracker {
   /// Feeds an observed replan cost (wall seconds) into the EWMA estimate.
   void observe_replan_cost(double seconds);
   double replan_cost_estimate() const noexcept { return cost_ewma_; }
+  /// Snapshot-restore hook (service/snapshot.h): re-seeds the EWMA so a
+  /// restored planner throttles exactly like the one that was captured.
+  void set_replan_cost_estimate(double seconds) noexcept { cost_ewma_ = seconds; }
 
  private:
   DeltaTrackerOptions opts_;

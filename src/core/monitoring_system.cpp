@@ -179,6 +179,7 @@ std::string MonitoringSystem::constraint_signature_of(
 
 void MonitoringSystem::ensure_planned(double now) {
   if (!dirty_ && !delta_dirty_ && planner_.has_value()) return;
+  ++generation_;
 
   if (!dirty_ && planner_.has_value()) {
     // Delta fast path: the manager already holds the mutated tasks and
@@ -261,6 +262,11 @@ std::vector<NodeAttrPair> MonitoringSystem::collected_pairs(double now) {
 
 MonitoringSystem::Status MonitoringSystem::status(double now) {
   ensure_planned(now);
+  // Coverage/cost roll-ups walk every tree entry; memoize them on the
+  // generation counter so the per-epoch status poll a long-running daemon
+  // issues costs O(1) while the plan is unchanged.
+  if (status_cache_.has_value() && status_generation_ == generation_)
+    return *status_cache_;
   const Topology& topo = planner_->topology();
   Status s;
   s.tasks = public_tasks_;
@@ -273,6 +279,8 @@ MonitoringSystem::Status MonitoringSystem::status(double now) {
   s.adaptation_messages = adaptation_messages_;
   s.delta_applies = delta_applies_;
   s.repair = repair_report_;
+  status_cache_ = s;
+  status_generation_ = generation_;
   return s;
 }
 
@@ -290,6 +298,7 @@ bool MonitoringSystem::end_epoch(std::uint64_t epoch) {
   liveness_.sync(planner_->topology(), epoch);
   const auto events = liveness_.end_epoch(epoch);
 
+  bool acted = !events.empty();
   bool any_down = false;
   std::size_t downs = 0, ups = 0;
   for (const auto& ev : events) {
@@ -350,7 +359,9 @@ bool MonitoringSystem::end_epoch(std::uint64_t epoch) {
              epoch >= last_event_epoch_ + options_.recovery.stabilize_epochs) {
     reoptimize_pending_ = false;
     changed = reoptimize_after_outage(epoch);
+    acted = true;  // the replan mutates repair_report_ even when no link moved
   }
+  if (acted || changed) ++generation_;
   return changed;
 }
 
@@ -400,6 +411,64 @@ bool MonitoringSystem::reoptimize_after_outage(std::uint64_t epoch) {
     metrics.replan_seconds->observe(seconds_since(start));
   }
   return moved > 0;
+}
+
+MonitoringSystem::PlannerState MonitoringSystem::planner_state(double now) {
+  ensure_planned(now);
+  PlannerState state;
+  state.topology = planner_->topology();
+  state.adjustment_stamps = planner_->adjustment_stamps();
+  state.init_time = planner_->init_time();
+  state.replan_cost_estimate = planner_->tracker().replan_cost_estimate();
+  state.constraint_signature = constraint_signature_;
+  return state;
+}
+
+void MonitoringSystem::restore_tasks(std::map<TaskId, MonitoringTask> tasks,
+                                     TaskId next_id) {
+  user_tasks_ = std::move(tasks);
+  public_tasks_ = user_tasks_.size();
+  if (!user_tasks_.empty()) {
+    REMO_ASSERT(next_id > user_tasks_.rbegin()->first,
+                "restored next task id ", next_id, " collides with live task ",
+                user_tasks_.rbegin()->first);
+  }
+  next_id_ = next_id;
+  internal_id_of_.clear();
+  planner_.reset();
+  constraint_signature_.clear();
+  pending_delta_ = TaskDelta{};
+  delta_dirty_ = false;
+  dirty_ = true;
+  ++generation_;
+}
+
+void MonitoringSystem::restore_planner(PlannerState state) {
+  RewriteState rebuilt = rebuild_internal_tasks();
+  REMO_ASSERT(rebuilt.signature == state.constraint_signature,
+              "restored constraint signature drifted: rebuilt '",
+              rebuilt.signature, "' vs captured '", state.constraint_signature,
+              "' — the snapshot's task set does not produce its plan");
+  PairSet pairs = manager_.dedup(system_.num_vertices());
+  planner_.emplace(refresh_planning_system(), rebuilt.planner_options,
+                   options_.adaptation);
+  planner_->restore(std::move(pairs), std::move(state.topology),
+                    std::move(state.adjustment_stamps), state.init_time,
+                    state.replan_cost_estimate);
+  constraint_signature_ = rebuilt.signature;
+  pending_delta_ = TaskDelta{};
+  delta_dirty_ = false;
+  dirty_ = false;
+  ++generation_;
+}
+
+void MonitoringSystem::restore_counters(const AdaptationCounters& counters,
+                                        RepairReport repair) {
+  adaptations_ = counters.adaptations;
+  adaptation_messages_ = counters.adaptation_messages;
+  delta_applies_ = counters.delta_applies;
+  repair_report_ = repair;
+  ++generation_;
 }
 
 std::string MonitoringSystem::export_dot(double now) {

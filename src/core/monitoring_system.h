@@ -187,6 +187,53 @@ class MonitoringSystem {
   const RepairReport& repair_report() const noexcept { return repair_report_; }
   const LivenessTracker& liveness() const noexcept { return liveness_; }
 
+  // ---- snapshot/restore + memoization (service/snapshot.h, DESIGN.md §14)
+  /// Monotone state-change counter: bumped whenever observable plan state
+  /// may have changed (lazy replans, recovery actions, restores). Readers
+  /// memoize on it — status() below, and the service daemon's
+  /// collected-pairs cache.
+  std::uint64_t generation() const noexcept { return generation_; }
+
+  /// The user-visible task set (pre-rewriting) and the id add_task would
+  /// hand out next — the task state a snapshot serializes. Everything
+  /// downstream (rewritten manager, dedup pair set) re-derives from these.
+  const std::map<TaskId, MonitoringTask>& user_tasks() const noexcept {
+    return user_tasks_;
+  }
+  TaskId next_task_id() const noexcept { return next_id_; }
+
+  struct AdaptationCounters {
+    std::size_t adaptations = 0;
+    std::size_t adaptation_messages = 0;
+    std::size_t delta_applies = 0;
+  };
+  AdaptationCounters adaptation_counters() const noexcept {
+    return {adaptations_, adaptation_messages_, delta_applies_};
+  }
+
+  /// Plan-affecting state a snapshot must carry beyond the task set: the
+  /// deployed forest plus the adaptive planner's throttle bookkeeping. The
+  /// pair set is deliberately NOT part of it — restore re-derives it from
+  /// the restored tasks (rebuild + dedup), which REMO_VALIDATE pins equal
+  /// to the planner's view.
+  struct PlannerState {
+    Topology topology;
+    std::map<std::vector<AttrId>, double> adjustment_stamps;
+    double init_time = 0.0;
+    double replan_cost_estimate = 0.0;
+    std::string constraint_signature;
+  };
+  /// Captures the current plan state (replanning first if dirty, so the
+  /// capture never races a pending lazy replan).
+  PlannerState planner_state(double now);
+  /// Rebuilds the facade from snapshot parts, in order: the task set,
+  /// then the captured plan state (which re-derives pairs from those
+  /// tasks), then the lifetime counters. After restore_planner the next
+  /// mutation + read continues bit-identically to the captured system.
+  void restore_tasks(std::map<TaskId, MonitoringTask> tasks, TaskId next_id);
+  void restore_planner(PlannerState state);
+  void restore_counters(const AdaptationCounters& counters, RepairReport repair);
+
   // ---- introspection ----------------------------------------------------
   std::string export_dot(double now = 0.0);
   std::string export_json(double now = 0.0);
@@ -252,6 +299,14 @@ class MonitoringSystem {
   std::size_t adaptations_ = 0;
   std::size_t adaptation_messages_ = 0;
   std::size_t delta_applies_ = 0;
+  /// See generation(). Every mutation funnels through ensure_planned (or a
+  /// recovery action / restore) before any reader observes it, so bumping
+  /// at those choke points keeps the counter honest without instrumenting
+  /// each mutator.
+  std::uint64_t generation_ = 0;
+  /// status() memo: valid while status_generation_ == generation_.
+  std::optional<Status> status_cache_;
+  std::uint64_t status_generation_ = 0;
   /// Failure-recovery loop state.
   LivenessTracker liveness_;
   RepairReport repair_report_;

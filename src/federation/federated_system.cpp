@@ -97,6 +97,7 @@ TaskId FederatedMonitoringSystem::add_task(MonitoringTask task) {
     ++routing_.single_shard_tasks;
 
   routes_.emplace(id, std::move(route));
+  ++routes_generation_;
   if (validation_enabled()) check_invariants();
   return id;
 }
@@ -111,6 +112,7 @@ bool FederatedMonitoringSystem::remove_task(TaskId id) {
     --routing_.subtasks_active;
   }
   routes_.erase(it);
+  ++routes_generation_;
   if (validation_enabled()) check_invariants();
   return true;
 }
@@ -163,15 +165,24 @@ bool FederatedMonitoringSystem::modify_task(MonitoringTask task) {
 
   route.user = task;
   route.subtasks = std::move(next);
+  ++routes_generation_;
   if (validation_enabled()) check_invariants();
   return true;
 }
 
 FederatedMonitoringSystem::Status FederatedMonitoringSystem::status(double now) {
-  Status merged = merge_status(shard_statuses(now));
+  // Poll the shards first: their lazy replans settle their generations, so
+  // the counter read below is stable for the cache check.
+  const std::vector<Status> per_shard = shard_statuses(now);
+  const std::uint64_t gen = generation();
+  if (status_cache_.has_value() && status_generation_ == gen)
+    return *status_cache_;
+  Status merged = merge_status(per_shard);
   // A cross-shard task contributed one subtask per spanned shard; the
   // user-facing count is the number of routed tasks.
   merged.tasks = routes_.size();
+  status_cache_ = merged;
+  status_generation_ = gen;
   return merged;
 }
 
@@ -275,6 +286,27 @@ std::string FederatedMonitoringSystem::export_dot(double now) {
     os << "// shard " << s << "\n" << shards_[s]->export_dot(now);
   }
   return os.str();
+}
+
+std::uint64_t FederatedMonitoringSystem::generation() const noexcept {
+  std::uint64_t g = routes_generation_;
+  for (const auto& shard : shards_) g += shard->generation();
+  return g;
+}
+
+void FederatedMonitoringSystem::restore_routes(std::map<TaskId, Route> routes,
+                                               TaskId next_id,
+                                               RoutingStats routing) {
+  routes_ = std::move(routes);
+  if (!routes_.empty()) {
+    REMO_ASSERT(next_id > routes_.rbegin()->first, "restored next task id ",
+                next_id, " collides with live federated task ",
+                routes_.rbegin()->first);
+  }
+  next_id_ = next_id;
+  routing_ = routing;
+  ++routes_generation_;
+  if (validation_enabled()) check_invariants();
 }
 
 std::size_t FederatedMonitoringSystem::global_pair_count(

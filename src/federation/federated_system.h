@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -138,7 +139,7 @@ class FederatedMonitoringSystem {
   /// call when validation is enabled; no-op otherwise.
   void check_invariants() const;
 
- private:
+  // ---- snapshot/restore + memoization (service/snapshot.h, DESIGN.md §14)
   struct Sub {
     std::uint32_t shard = 0;
     TaskId local_id = 0;          ///< shard-local task id
@@ -148,7 +149,22 @@ class FederatedMonitoringSystem {
     MonitoringTask user;  ///< as submitted (global ids), id = global id
     std::vector<Sub> subtasks;  ///< live subtasks, ascending by shard
   };
+  /// The routing table a snapshot serializes: every live task (global
+  /// ids) with its per-shard subtask placement.
+  const std::map<TaskId, Route>& routes() const noexcept { return routes_; }
+  TaskId next_task_id() const noexcept { return next_id_; }
+  /// Monotone state-change counter spanning the routing table and every
+  /// shard core — readers (status() here, the service daemon's
+  /// collected-pairs cache) memoize merged views on it.
+  std::uint64_t generation() const noexcept;
+  /// Replaces the routing metadata from a snapshot. The shard cores are
+  /// restored separately (shard(k).restore_*) — this call only rebinds the
+  /// facade's global→shard bookkeeping to them, then re-checks the pair
+  /// conservation invariant under REMO_VALIDATE.
+  void restore_routes(std::map<TaskId, Route> routes, TaskId next_id,
+                      RoutingStats routing);
 
+ private:
   /// Pairs task `t` requests against the global universe (unique in-range
   /// nodes × unique attributes) — the accounting unit for routing
   /// conservation.
@@ -162,6 +178,12 @@ class FederatedMonitoringSystem {
   std::map<TaskId, Route> routes_;
   TaskId next_id_ = 1;
   RoutingStats routing_;
+  /// Routing-table half of generation() (shard cores carry their own).
+  std::uint64_t routes_generation_ = 0;
+  /// status() memo: the Aggregator merge is recomputed only when
+  /// generation() moved.
+  std::optional<Status> status_cache_;
+  std::uint64_t status_generation_ = 0;
 };
 
 }  // namespace remo::federation

@@ -1,0 +1,159 @@
+#include "service/message_bus.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace remo::service {
+
+const char* to_string(CommandKind k) noexcept {
+  switch (k) {
+    case CommandKind::kValues: return "values";
+    case CommandKind::kAddTask: return "add_task";
+    case CommandKind::kRemoveTask: return "remove_task";
+    case CommandKind::kModifyTask: return "modify_task";
+    case CommandKind::kControl: return "control";
+  }
+  return "?";
+}
+
+const char* to_string(Admission a) noexcept {
+  switch (a) {
+    case Admission::kAccepted: return "accepted";
+    case Admission::kShedRateLimit: return "shed_rate_limit";
+    case Admission::kShedBackpressure: return "shed_backpressure";
+    case Admission::kRejectedFull: return "rejected_full";
+  }
+  return "?";
+}
+
+MessageBus::MessageBus(BusOptions opts) : opts_(opts) {
+  REMO_ASSERT(opts_.capacity > 0, "bus capacity must be positive");
+  opts_.shed_watermark = std::min(opts_.shed_watermark, opts_.capacity);
+}
+
+void MessageBus::set_producer_limits(std::uint32_t producer,
+                                     ProducerLimits limits) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& b = buckets_[producer];
+  b.limits = limits;
+  b.tokens = limits.burst;
+  b.initialized = false;  // first push re-anchors last_refill to its `now`
+}
+
+Admission MessageBus::push(Command cmd, double now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.pushed;
+  const std::size_t batch = cmd.values.size();
+  const bool low_priority = cmd.kind == CommandKind::kValues;
+
+  const auto shed = [&](Admission verdict, std::uint64_t* counter) {
+    ++*counter;
+    stats_.values_shed += batch;
+    return verdict;
+  };
+
+  if (queue_.size() >= opts_.capacity)
+    return shed(Admission::kRejectedFull, &stats_.rejected_full);
+
+  // Rate limit before the watermark: an over-budget producer is told so
+  // even while the queue is healthy, so it backs off before contributing
+  // to congestion. Only value traffic draws tokens — churn and control
+  // commands are rare and must not starve behind a value quota.
+  if (low_priority) {
+    auto it = buckets_.find(cmd.producer);
+    if (it != buckets_.end() && it->second.limits.rate > 0.0) {
+      Bucket& b = it->second;
+      if (!b.initialized) {
+        b.initialized = true;
+        b.last_refill = now;
+        b.tokens = b.limits.burst;
+      }
+      const double elapsed = std::max(0.0, now - b.last_refill);
+      b.tokens = std::min(b.limits.burst, b.tokens + elapsed * b.limits.rate);
+      b.last_refill = now;
+      const double cost = static_cast<double>(batch);
+      if (b.tokens < cost)
+        return shed(Admission::kShedRateLimit, &stats_.shed_rate_limit);
+      b.tokens -= cost;
+    }
+    if (queue_.size() >= opts_.shed_watermark)
+      return shed(Admission::kShedBackpressure, &stats_.shed_backpressure);
+  }
+
+  queued_values_ += batch;
+  stats_.values_accepted += batch;
+  ++stats_.accepted;
+  queue_.push_back(std::move(cmd));
+  stats_.depth_peak = std::max<std::uint64_t>(stats_.depth_peak, queue_.size());
+  return Admission::kAccepted;
+}
+
+std::size_t MessageBus::drain(std::vector<Command>& out,
+                              std::size_t value_budget) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t drained = 0;
+  std::size_t values = 0;
+  while (!queue_.empty()) {
+    const std::size_t batch = queue_.front().values.size();
+    if (value_budget > 0 && drained > 0 && values + batch > value_budget) break;
+    values += batch;
+    REMO_DCHECK(queued_values_ >= batch, "queued-value accounting underflow");
+    queued_values_ -= batch;
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    ++drained;
+  }
+  return drained;
+}
+
+std::size_t MessageBus::depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t MessageBus::queued_values() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queued_values_;
+}
+
+BusStats MessageBus::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<Command> MessageBus::export_queue() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {queue_.begin(), queue_.end()};
+}
+
+std::vector<MessageBus::BucketState> MessageBus::export_buckets() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<BucketState> out;
+  out.reserve(buckets_.size());
+  for (const auto& [producer, b] : buckets_)
+    out.push_back(
+        BucketState{producer, b.limits, b.tokens, b.last_refill, b.initialized});
+  return out;
+}
+
+void MessageBus::restore(std::vector<Command> queue,
+                         std::vector<BucketState> buckets, BusStats stats) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  queue_.assign(std::make_move_iterator(queue.begin()),
+                std::make_move_iterator(queue.end()));
+  queued_values_ = 0;
+  for (const Command& c : queue_) queued_values_ += c.values.size();
+  buckets_.clear();
+  for (const BucketState& s : buckets) {
+    Bucket b;
+    b.limits = s.limits;
+    b.tokens = s.tokens;
+    b.last_refill = s.last_refill;
+    b.initialized = s.initialized;
+    buckets_.emplace(s.producer, b);
+  }
+  stats_ = stats;
+}
+
+}  // namespace remo::service

@@ -1,0 +1,171 @@
+// Bounded multi-producer command bus — the async ingest edge of the
+// monitoring daemon (DESIGN.md §14). Producers (application threads, node
+// agents, operators) push attribute-value batches, task churn, and control
+// commands; the daemon's run loop drains them once per epoch, so a burst
+// of producers costs the planner one adaptation, exactly like the batch
+// facade's lazy replan — which is what keeps daemon mode bit-identical to
+// batch mode.
+//
+// Admission control is first-class, not an afterthought:
+//   - per-producer token buckets rate-limit value traffic (refilled on the
+//     caller's clock, so virtual-time tests and benches are deterministic);
+//   - a queue-depth shed watermark drops *low-priority* commands (value
+//     batches) while the daemon is behind, keeping room for task churn and
+//     control traffic, which is only refused when the bus is truly full;
+//   - every decision is returned to the producer (Admission) and counted
+//     (BusStats), so shedding is observable, never silent.
+//
+// Thread model: push() is safe from any thread (one mutex; the critical
+// section is a deque append plus counter updates). drain() is meant to be
+// called by the single consumer — the daemon loop — but is likewise
+// locked, so a TSan-exercised producer/consumer interleaving is race-free.
+// Determinism note: with a single producer thread (or externally ordered
+// producers), admission outcomes and drain order are pure functions of the
+// (command, now) sequence — no wall clock, no hashing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+#include "task/task.h"
+
+namespace remo::service {
+
+/// One observed attribute value, in global node ids.
+struct ValueUpdate {
+  NodeId node = kNoNode;
+  AttrId attr = 0;
+  double value = 0.0;
+
+  bool operator==(const ValueUpdate&) const = default;
+};
+
+enum class CommandKind : std::uint8_t {
+  kValues,      ///< a batch of ValueUpdates (low priority, sheddable)
+  kAddTask,     ///< task churn (high priority)
+  kRemoveTask,
+  kModifyTask,
+  kControl,
+};
+
+enum class ControlKind : std::uint8_t {
+  kReplan,    ///< force a full from-scratch replan at the next epoch
+  kSnapshot,  ///< capture a snapshot at the next epoch boundary
+};
+
+const char* to_string(CommandKind k) noexcept;
+
+struct Command {
+  CommandKind kind = CommandKind::kValues;
+  /// Producer identity for rate limiting (0 = anonymous/unlimited unless
+  /// limits were registered for 0).
+  std::uint32_t producer = 0;
+  std::vector<ValueUpdate> values;     ///< kValues payload
+  MonitoringTask task;                 ///< kAddTask / kModifyTask payload
+  TaskId task_id = 0;                  ///< kRemoveTask payload
+  ControlKind control = ControlKind::kReplan;  ///< kControl payload
+  /// Producer-side enqueue stamp on the daemon's virtual clock — the
+  /// start of the ingest-to-collected latency measurement.
+  double enqueued_at = 0.0;
+};
+
+/// Token-bucket limit for one producer's value traffic: up to `rate`
+/// values per unit time sustained, bursts of up to `burst` values.
+/// rate <= 0 means unlimited.
+struct ProducerLimits {
+  double rate = 0.0;
+  double burst = 0.0;
+};
+
+struct BusOptions {
+  /// Hard bound on queued commands; pushes beyond it are rejected.
+  std::size_t capacity = 4096;
+  /// Queue depth at which low-priority commands start shedding (clamped
+  /// to capacity). High-priority traffic still flows until capacity.
+  std::size_t shed_watermark = 3072;
+};
+
+/// Outcome of a push, returned to the producer.
+enum class Admission : std::uint8_t {
+  kAccepted,
+  kShedRateLimit,     ///< producer exceeded its token bucket
+  kShedBackpressure,  ///< low-priority command above the shed watermark
+  kRejectedFull,      ///< bus at capacity (any priority)
+};
+
+const char* to_string(Admission a) noexcept;
+
+inline bool admitted(Admission a) noexcept { return a == Admission::kAccepted; }
+
+struct BusStats {
+  std::uint64_t pushed = 0;            ///< push() calls
+  std::uint64_t accepted = 0;          ///< commands enqueued
+  std::uint64_t values_accepted = 0;   ///< values inside accepted batches
+  std::uint64_t shed_rate_limit = 0;   ///< commands shed by token buckets
+  std::uint64_t shed_backpressure = 0; ///< commands shed at the watermark
+  std::uint64_t rejected_full = 0;     ///< commands refused at capacity
+  std::uint64_t values_shed = 0;       ///< values inside shed/rejected batches
+  std::uint64_t depth_peak = 0;        ///< max queue depth ever observed
+};
+
+class MessageBus {
+ public:
+  explicit MessageBus(BusOptions opts = {});
+
+  /// Registers (or replaces) `producer`'s rate limit. Unregistered
+  /// producers are unlimited.
+  void set_producer_limits(std::uint32_t producer, ProducerLimits limits);
+
+  /// Admission-controlled enqueue; `now` is the producer's clock (the
+  /// daemon's virtual time), feeding the token buckets.
+  Admission push(Command cmd, double now);
+
+  /// Drains queued commands FIFO into `out` (appending). `value_budget`
+  /// caps the total values drained this call: draining stops *before* a
+  /// value batch that would exceed it — unless nothing was drained yet,
+  /// so an oversized batch still makes progress. 0 = unlimited. Returns
+  /// the number of commands drained.
+  std::size_t drain(std::vector<Command>& out, std::size_t value_budget = 0);
+
+  std::size_t depth() const;
+  /// Values queued but not yet drained — the daemon's deferral gauge.
+  std::size_t queued_values() const;
+  BusStats stats() const;
+  const BusOptions& options() const noexcept { return opts_; }
+
+  // ---- snapshot/restore (service/snapshot.h, DESIGN.md §14) -------------
+  /// In-flight commands are daemon state: a snapshot that dropped them
+  /// could not continue bit-identically (deferred values would vanish).
+  struct BucketState {
+    std::uint32_t producer = 0;
+    ProducerLimits limits;
+    double tokens = 0.0;
+    double last_refill = 0.0;
+    bool initialized = false;
+  };
+  std::vector<Command> export_queue() const;
+  std::vector<BucketState> export_buckets() const;
+  void restore(std::vector<Command> queue, std::vector<BucketState> buckets,
+               BusStats stats);
+
+ private:
+  struct Bucket {
+    ProducerLimits limits;
+    double tokens = 0.0;
+    double last_refill = 0.0;
+    bool initialized = false;
+  };
+
+  BusOptions opts_;
+  mutable std::mutex mutex_;
+  std::deque<Command> queue_;
+  std::size_t queued_values_ = 0;
+  std::map<std::uint32_t, Bucket> buckets_;
+  BusStats stats_;
+};
+
+}  // namespace remo::service

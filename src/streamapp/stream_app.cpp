@@ -126,4 +126,15 @@ double StreamApplication::value(NodeId node, AttrId attr) const {
   return sum / static_cast<double>(it->second.size());
 }
 
+std::vector<std::pair<NodeAttrPair, double>> StreamApplication::current_values()
+    const {
+  std::vector<std::pair<NodeAttrPair, double>> out;
+  out.reserve(exposure_.size());
+  for (const auto& [pair, ops] : exposure_) out.emplace_back(pair, 0.0);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [pair, v] : out) v = value(pair.node, pair.attr);
+  return out;
+}
+
 }  // namespace remo

@@ -74,6 +74,13 @@ class StreamApplication : public ValueSource {
   }
   std::size_t num_operators() const noexcept { return ops_.size(); }
 
+  /// Every exposed (node, attr) with its current value, sorted by
+  /// (node, attr) — the per-epoch batch a service-mode producer submits
+  /// to the daemon's ingest bus (bench_service's replay traffic). The
+  /// sort makes the batch order deterministic despite exposure_ being
+  /// hash-ordered internally.
+  std::vector<std::pair<NodeAttrPair, double>> current_values() const;
+
  private:
   struct Operator {
     NodeId node = kNoNode;

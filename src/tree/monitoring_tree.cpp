@@ -498,6 +498,31 @@ bool MonitoringTree::update_local(NodeId id,
   return true;
 }
 
+void MonitoringTree::restore_iteration_order(
+    const std::vector<NodeId>& members,
+    const std::vector<std::pair<NodeId, std::vector<NodeId>>>& children) {
+  const auto permutation_of = [](std::vector<NodeId> a, std::vector<NodeId> b) {
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    return a == b;
+  };
+  REMO_ASSERT(permutation_of(members, members_),
+              "restore_iteration_order: member list is not a permutation of "
+              "the live one (", members.size(), " given, ", members_.size(),
+              " live)");
+  members_ = members;
+  for (const auto& [vertex, order] : children) {
+    const Slot s = slot_of(vertex);
+    REMO_ASSERT(permutation_of(order, children_[s]),
+                "restore_iteration_order: child list of node ", vertex,
+                " is not a permutation of the live one (", order.size(),
+                " given, ", children_[s].size(), " live)");
+    children_[s] = order;
+  }
+  bump_generation();
+  deep_validate("restore_iteration_order");
+}
+
 // ---- undo journal ---------------------------------------------------------
 
 void MonitoringTree::begin_journal() {

@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -229,6 +230,18 @@ class MonitoringTree {
   /// children (the minimal-change operation behind DIRECT-APPLY task
   /// updates). Returns false — tree unchanged — if infeasible.
   bool update_local(NodeId id, const std::vector<std::uint32_t>& new_local);
+
+  // ---- snapshot/restore (service/snapshot.h, DESIGN.md §14) ------------
+  /// Permutes the member list and the given vertices' child lists into the
+  /// supplied orders (each must be a permutation of the current one).
+  /// Iteration order is plan-affecting state — members() drives the
+  /// builder's deterministic tie-breaks and children() drives BFS walks —
+  /// so a tree rebuilt from a snapshot must reproduce the captured order
+  /// bit-exactly, not merely the same structure. Vertices without an entry
+  /// in `children` keep their current child order.
+  void restore_iteration_order(
+      const std::vector<NodeId>& members,
+      const std::vector<std::pair<NodeId, std::vector<NodeId>>>& children);
 
   // ---- undo journal ----------------------------------------------------
   /// Start recording reversible mutations. While journaling, every mutating

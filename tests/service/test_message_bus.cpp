@@ -1,0 +1,236 @@
+// MessageBus admission control (DESIGN.md §14, `ctest -L service`): every
+// Admission verdict with its BusStats accounting, token-bucket determinism
+// on the virtual clock, FIFO drain under a value budget, and the
+// export/restore hooks the daemon snapshot rides on. The threaded test at
+// the bottom is the TSan target for the producer/consumer interleaving.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "service/message_bus.h"
+
+namespace remo::service {
+namespace {
+
+Command values_cmd(std::uint32_t producer, std::size_t n, double stamp = 0.0) {
+  Command cmd;
+  cmd.kind = CommandKind::kValues;
+  cmd.producer = producer;
+  cmd.enqueued_at = stamp;
+  for (std::size_t i = 0; i < n; ++i)
+    cmd.values.push_back(ValueUpdate{static_cast<NodeId>(i + 1),
+                                     static_cast<AttrId>(i), 1.0});
+  return cmd;
+}
+
+Command control_cmd(ControlKind control = ControlKind::kReplan) {
+  Command cmd;
+  cmd.kind = CommandKind::kControl;
+  cmd.control = control;
+  return cmd;
+}
+
+TEST(MessageBus, AcceptsAndAccountsValueBatches) {
+  MessageBus bus;
+  EXPECT_EQ(bus.push(values_cmd(1, 3), 0.0), Admission::kAccepted);
+  EXPECT_EQ(bus.push(values_cmd(1, 2), 0.0), Admission::kAccepted);
+  EXPECT_EQ(bus.depth(), 2u);
+  EXPECT_EQ(bus.queued_values(), 5u);
+
+  const BusStats s = bus.stats();
+  EXPECT_EQ(s.pushed, 2u);
+  EXPECT_EQ(s.accepted, 2u);
+  EXPECT_EQ(s.values_accepted, 5u);
+  EXPECT_EQ(s.values_shed, 0u);
+  EXPECT_EQ(s.depth_peak, 2u);
+}
+
+TEST(MessageBus, WatermarkShedsOnlyLowPriority) {
+  MessageBus bus(BusOptions{.capacity = 8, .shed_watermark = 2});
+  EXPECT_EQ(bus.push(values_cmd(1, 1), 0.0), Admission::kAccepted);
+  EXPECT_EQ(bus.push(values_cmd(1, 1), 0.0), Admission::kAccepted);
+  // Depth is at the watermark: value traffic sheds, churn still flows.
+  EXPECT_EQ(bus.push(values_cmd(1, 4), 0.0), Admission::kShedBackpressure);
+  EXPECT_EQ(bus.push(control_cmd(), 0.0), Admission::kAccepted);
+  Command add;
+  add.kind = CommandKind::kAddTask;
+  EXPECT_EQ(bus.push(std::move(add), 0.0), Admission::kAccepted);
+
+  const BusStats s = bus.stats();
+  EXPECT_EQ(s.shed_backpressure, 1u);
+  EXPECT_EQ(s.values_shed, 4u);
+  EXPECT_EQ(bus.depth(), 4u);
+  EXPECT_EQ(bus.queued_values(), 2u);
+}
+
+TEST(MessageBus, CapacityRejectsAnyPriority) {
+  MessageBus bus(BusOptions{.capacity = 2, .shed_watermark = 2});
+  EXPECT_EQ(bus.push(control_cmd(), 0.0), Admission::kAccepted);
+  EXPECT_EQ(bus.push(control_cmd(), 0.0), Admission::kAccepted);
+  EXPECT_EQ(bus.push(control_cmd(), 0.0), Admission::kRejectedFull);
+  EXPECT_EQ(bus.push(values_cmd(1, 2), 0.0), Admission::kRejectedFull);
+
+  const BusStats s = bus.stats();
+  EXPECT_EQ(s.rejected_full, 2u);
+  EXPECT_EQ(s.values_shed, 2u);
+}
+
+TEST(MessageBus, WatermarkClampsToCapacity) {
+  MessageBus bus(BusOptions{.capacity = 2, .shed_watermark = 100});
+  EXPECT_EQ(bus.options().shed_watermark, 2u);
+}
+
+TEST(MessageBus, TokenBucketIsDeterministicOnTheCallerClock) {
+  MessageBus bus;
+  bus.set_producer_limits(7, ProducerLimits{.rate = 2.0, .burst = 4.0});
+
+  // First push anchors the bucket at now=10 with a full burst of 4.
+  EXPECT_EQ(bus.push(values_cmd(7, 3, 10.0), 10.0), Admission::kAccepted);
+  // 1 token left: a batch of 2 is over budget at the same instant.
+  EXPECT_EQ(bus.push(values_cmd(7, 2, 10.0), 10.0), Admission::kShedRateLimit);
+  // One virtual second refills 2 tokens (1 + 2 = 3 >= 2).
+  EXPECT_EQ(bus.push(values_cmd(7, 2, 11.0), 11.0), Admission::kAccepted);
+  // Refill saturates at burst: after a long idle stretch only 4 fit.
+  EXPECT_EQ(bus.push(values_cmd(7, 5, 100.0), 100.0),
+            Admission::kShedRateLimit);
+  EXPECT_EQ(bus.push(values_cmd(7, 4, 100.0), 100.0), Admission::kAccepted);
+
+  const BusStats s = bus.stats();
+  EXPECT_EQ(s.shed_rate_limit, 2u);
+  EXPECT_EQ(s.values_shed, 7u);
+
+  // Other producers are unlimited, and churn never draws tokens.
+  EXPECT_EQ(bus.push(values_cmd(8, 100, 100.0), 100.0), Admission::kAccepted);
+  EXPECT_EQ(bus.push(control_cmd(), 100.0), Admission::kAccepted);
+}
+
+TEST(MessageBus, SetProducerLimitsResetsTheBucket) {
+  MessageBus bus;
+  bus.set_producer_limits(1, ProducerLimits{.rate = 1.0, .burst = 1.0});
+  EXPECT_EQ(bus.push(values_cmd(1, 1, 0.0), 0.0), Admission::kAccepted);
+  EXPECT_EQ(bus.push(values_cmd(1, 1, 0.0), 0.0), Admission::kShedRateLimit);
+  // Re-registering grants a fresh burst, re-anchored at the next push.
+  bus.set_producer_limits(1, ProducerLimits{.rate = 1.0, .burst = 2.0});
+  EXPECT_EQ(bus.push(values_cmd(1, 2, 0.0), 0.0), Admission::kAccepted);
+  // rate <= 0 disables limiting entirely.
+  bus.set_producer_limits(1, ProducerLimits{});
+  EXPECT_EQ(bus.push(values_cmd(1, 50, 0.0), 0.0), Admission::kAccepted);
+}
+
+TEST(MessageBus, DrainIsFifoAndHonorsTheValueBudget) {
+  MessageBus bus;
+  ASSERT_EQ(bus.push(values_cmd(1, 2, 1.0), 0.0), Admission::kAccepted);
+  ASSERT_EQ(bus.push(values_cmd(1, 3, 2.0), 0.0), Admission::kAccepted);
+  ASSERT_EQ(bus.push(control_cmd(), 0.0), Admission::kAccepted);
+  ASSERT_EQ(bus.push(values_cmd(1, 1, 3.0), 0.0), Admission::kAccepted);
+
+  // Budget 5: the first two batches fill it exactly (2 + 3), the control
+  // command carries zero values and still flows, and the final batch
+  // would exceed the budget, so it stays queued.
+  std::vector<Command> out;
+  EXPECT_EQ(bus.drain(out, 5), 3u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].enqueued_at, 1.0);
+  EXPECT_EQ(out[1].enqueued_at, 2.0);
+  EXPECT_EQ(out[2].kind, CommandKind::kControl);
+  EXPECT_EQ(bus.depth(), 1u);
+  EXPECT_EQ(bus.queued_values(), 1u);
+
+  // The rest drains unlimited, appending.
+  EXPECT_EQ(bus.drain(out), 1u);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(bus.depth(), 0u);
+  EXPECT_EQ(bus.queued_values(), 0u);
+}
+
+TEST(MessageBus, OversizedFirstBatchStillMakesProgress) {
+  MessageBus bus;
+  ASSERT_EQ(bus.push(values_cmd(1, 10), 0.0), Admission::kAccepted);
+  ASSERT_EQ(bus.push(values_cmd(1, 1), 0.0), Admission::kAccepted);
+  std::vector<Command> out;
+  // Budget 4 < the head batch of 10: it drains anyway (no livelock), and
+  // the next batch waits.
+  EXPECT_EQ(bus.drain(out, 4), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].values.size(), 10u);
+  EXPECT_EQ(bus.queued_values(), 1u);
+}
+
+TEST(MessageBus, ExportRestoreRoundTripsQueueBucketsAndStats) {
+  MessageBus a;
+  a.set_producer_limits(3, ProducerLimits{.rate = 5.0, .burst = 10.0});
+  ASSERT_EQ(a.push(values_cmd(3, 4, 2.5), 2.5), Admission::kAccepted);
+  ASSERT_EQ(a.push(control_cmd(ControlKind::kSnapshot), 2.5),
+            Admission::kAccepted);
+
+  MessageBus b;
+  b.restore(a.export_queue(), a.export_buckets(), a.stats());
+  EXPECT_EQ(b.depth(), a.depth());
+  EXPECT_EQ(b.queued_values(), a.queued_values());
+  const BusStats sa = a.stats(), sb = b.stats();
+  EXPECT_EQ(sb.pushed, sa.pushed);
+  EXPECT_EQ(sb.values_accepted, sa.values_accepted);
+
+  // The restored bucket continues where the original's left off: both
+  // have 6 tokens at now=2.5, so a batch of 7 sheds on both.
+  EXPECT_EQ(a.push(values_cmd(3, 7, 2.5), 2.5), Admission::kShedRateLimit);
+  EXPECT_EQ(b.push(values_cmd(3, 7, 2.5), 2.5), Admission::kShedRateLimit);
+  EXPECT_EQ(a.push(values_cmd(3, 6, 2.5), 2.5), Admission::kAccepted);
+  EXPECT_EQ(b.push(values_cmd(3, 6, 2.5), 2.5), Admission::kAccepted);
+
+  std::vector<Command> da, db;
+  EXPECT_EQ(a.drain(da), b.drain(db));
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i].kind, db[i].kind);
+    EXPECT_TRUE(da[i].values == db[i].values);
+    EXPECT_EQ(da[i].enqueued_at, db[i].enqueued_at);
+  }
+}
+
+// TSan target: concurrent producers against a draining consumer. The
+// assertion is conservation — every pushed value is either shed (counted)
+// or drained — not any particular interleaving.
+TEST(MessageBus, ConcurrentProducersConserveValues) {
+  MessageBus bus(BusOptions{.capacity = 64, .shed_watermark = 48});
+  constexpr int kProducers = 4;
+  constexpr int kPushes = 50;
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t)
+    producers.emplace_back([&bus, t] {
+      for (int i = 0; i < kPushes; ++i)
+        bus.push(values_cmd(static_cast<std::uint32_t>(t), 2), 0.0);
+    });
+
+  std::uint64_t drained_values = 0;
+  std::vector<Command> out;
+  std::thread consumer([&] {
+    for (int i = 0; i < 200; ++i) {
+      out.clear();
+      bus.drain(out);
+      for (const Command& c : out) drained_values += c.values.size();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& p : producers) p.join();
+  consumer.join();
+
+  out.clear();
+  bus.drain(out);
+  for (const Command& c : out) drained_values += c.values.size();
+
+  const BusStats s = bus.stats();
+  EXPECT_EQ(s.pushed, static_cast<std::uint64_t>(kProducers) * kPushes);
+  EXPECT_EQ(s.values_accepted, drained_values);
+  EXPECT_EQ(s.values_accepted + s.values_shed,
+            static_cast<std::uint64_t>(kProducers) * kPushes * 2);
+  EXPECT_EQ(bus.depth(), 0u);
+  EXPECT_EQ(bus.queued_values(), 0u);
+}
+
+}  // namespace
+}  // namespace remo::service

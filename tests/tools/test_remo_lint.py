@@ -76,6 +76,21 @@ class UnorderedIterationTest(unittest.TestCase):
         self.assertNotIn("unordered-iteration",
                          rules_of(self.BAD, relpath="collector/snippet.cpp"))
 
+    def test_service_daemon_paths_are_order_sensitive(self):
+        # ISSUE 8 satellite: the daemon's wire stream, snapshot images, and
+        # drain order underwrite the daemon-vs-batch bit-identity property;
+        # hash iteration in src/service is flagged.
+        self.assertIn("unordered-iteration",
+                      rules_of(self.BAD, relpath="service/snippet.cpp"))
+        good = """
+            void emit() {
+              std::map<int, double> latest;
+              for (auto& kv : latest) use(kv);
+            }
+        """
+        self.assertNotIn("unordered-iteration",
+                         rules_of(good, relpath="service/snippet.cpp"))
+
     def test_federation_routing_paths_are_order_sensitive(self):
         # ISSUE 6 satellite: shard assignment and subtask ordering must be
         # bit-deterministic; hash iteration in src/federation is flagged.

@@ -56,10 +56,12 @@ CXX_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
 
 # Directories (relative to the scanned root) where hash-iteration order can
 # leak into plans: the planner search, the tree kernel, the adaptation /
-# repair loop, partition manipulation, and the federation routing paths
+# repair loop, partition manipulation, the federation routing paths
 # (shard assignment and subtask ordering must be bit-deterministic, see
-# DESIGN.md §12).
-ORDER_SENSITIVE_DIRS = ("planner", "tree", "adapt", "partition", "federation")
+# DESIGN.md §12), and the service daemon (its wire stream, snapshots, and
+# drain order underwrite the daemon-vs-batch bit-identity of DESIGN.md §14).
+ORDER_SENSITIVE_DIRS = ("planner", "tree", "adapt", "partition", "federation",
+                        "service")
 
 SUPPRESS_RE = re.compile(r"//\s*remo-lint:\s*allow\(([a-z-]+)\)\s*(.*)$")
 HOT_MARKER_RE = re.compile(r"//\s*REMO_HOT\b")

@@ -2,10 +2,23 @@
 // algebra, tree attachment/feasibility, branch moves, whole-tree builds,
 // partition operations, gain estimation, and simulator epochs. These are
 // the building blocks whose costs the Sec. 5 optimizations target.
+//
+// On top of the google-benchmark suite, the binary emits a deterministic
+// "tree-kernel throughput" table (walk / propagate / attach ops per
+// second) through the bench telemetry harness, so `--json` produces a
+// BENCH_micro.json the CI perf-smoke gate can diff against
+// bench/baselines/ like the figure benches. `--kernels-only` skips the
+// google-benchmark suite (CI uses it: the kernel table is the gated part).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/bench_support.h"
 #include "common/rng.h"
 #include "common/sorted_vector.h"
+#include "common/table.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "partition/augmentation.h"
@@ -263,7 +276,120 @@ void BM_SimulatorEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEpoch)->Unit(benchmark::kMillisecond);
 
+// ---- deterministic kernel-throughput telemetry (perf-smoke gated) --------
+//
+// Fixed workloads, fixed iteration counts: the `checksum` column is an
+// integer invariant of the work done (success counts + the exact-integer
+// total cost), so the perf-smoke gate can require it to match the baseline
+// bit-for-bit while the us/op column rides the 2x time gate.
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void run_kernel_table() {
+  bench::subbanner("tree-kernel throughput");
+  Table t({"id", "kernel", "n", "iters", "us/op", "ops/sec", "checksum"});
+  int id = 0;
+  auto report = [&](const std::string& kernel, std::size_t n, std::size_t iters,
+                    double secs, std::size_t checksum) {
+    t.row()
+        .add(++id)
+        .add(kernel)
+        .add(n)
+        .add(iters)
+        .add(secs * 1e6 / static_cast<double>(iters), 4)
+        .add(static_cast<double>(iters) / secs, 0)
+        .add(checksum);
+  };
+
+  // walk: the allocation-free upward feasibility walk (can_attach) from the
+  // deepest vertex of an n-chain — n hops per op, walks/sec in ops/sec.
+  for (std::size_t n : {std::size_t{16}, std::size_t{128}, std::size_t{1024}}) {
+    auto tree = chain_tree(n, 4);
+    const BuildItem item{9999, {1, 1, 1, 1}, 1e9};
+    const NodeId deepest = static_cast<NodeId>(n);
+    const std::size_t iters = 2'000'000 / n;
+    std::size_t ok = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i)
+      if (tree.can_attach(item, deepest)) ++ok;
+    report("walk", n, iters, seconds_since(start),
+           ok + static_cast<std::size_t>(tree.total_cost()));
+  }
+
+  // propagate: update_local at the deepest vertex of an n-chain, bouncing
+  // the local counts so every op re-walks and re-propagates the full chain
+  // (attrs/sec = ops/sec x 4). The tree ends back in its initial state.
+  {
+    const std::size_t n = 1024, iters = 8000;
+    auto tree = chain_tree(n, 4);
+    const NodeId deepest = static_cast<NodeId>(n);
+    const std::vector<std::uint32_t> hi{2, 2, 2, 2}, lo{1, 1, 1, 1};
+    std::size_t ok = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i)
+      if (tree.update_local(deepest, i % 2 == 0 ? hi : lo)) ++ok;
+    report("propagate", n, iters, seconds_since(start),
+           ok + static_cast<std::size_t>(tree.total_cost()));
+  }
+
+  // attach: grow a 3-wide tree to n members and tear it down, repeatedly —
+  // the builder's fused try_attach path plus slot recycling.
+  {
+    const std::size_t n = 512, rounds = 100;
+    std::vector<TreeAttrSpec> specs{{0, FunnelSpec{}, 1.0}, {1, FunnelSpec{}, 1.0}};
+    MonitoringTree tree(specs, 1e9, kCost);
+    std::vector<BuildItem> items;
+    for (NodeId v = 1; v <= static_cast<NodeId>(n); ++v)
+      items.push_back(BuildItem{v, {1, 1}, 1e9});
+    std::size_t ok = 0, cost = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const NodeId parent = i < 3 ? kCollectorId : static_cast<NodeId>(i / 3);
+        if (tree.try_attach(items[i], parent)) ++ok;
+      }
+      cost = static_cast<std::size_t>(tree.total_cost());
+      for (NodeId c : std::vector<NodeId>(tree.children(kCollectorId)))
+        (void)tree.detach_branch(c);
+    }
+    report("attach", n, rounds * n, seconds_since(start), ok + cost);
+  }
+
+  bench::emit(t);
+}
+
 }  // namespace
 }  // namespace remo
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  remo::bench::init("micro", argc, argv);
+  bool kernels_only = false;
+  // Strip the harness's own flags before handing argv to google-benchmark
+  // (it rejects flags it does not recognize).
+  std::vector<char*> gb_args;
+  gb_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--kernels-only") {
+      kernels_only = true;
+      continue;
+    }
+    if (a == "--json") {
+      if (i + 1 < argc && argv[i + 1][0] != '-') ++i;  // optional path operand
+      continue;
+    }
+    gb_args.push_back(argv[i]);
+  }
+  remo::bench::banner("micro", "hot-primitive microbenchmarks");
+  remo::run_kernel_table();
+  if (kernels_only) return 0;
+  int gb_argc = static_cast<int>(gb_args.size());
+  benchmark::Initialize(&gb_argc, gb_args.data());
+  if (benchmark::ReportUnrecognizedArguments(gb_argc, gb_args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include "common/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace remo::simd::detail {
+
+namespace {
+bool init_from_env() {
+  const char* v = std::getenv("REMO_SIMD");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "OFF") == 0 || std::strcmp(v, "false") == 0);
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{init_from_env()};
+
+}  // namespace remo::simd::detail

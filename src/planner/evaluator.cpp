@@ -133,13 +133,31 @@ Topology PlanEvaluator::rebuild_candidate(const Topology& base, const Partition&
 
 PlanScore PlanEvaluator::score_candidate(const Topology& base, const Partition& p,
                                          const PairSet& pairs,
-                                         const Augmentation& aug) {
+                                         const Augmentation& aug,
+                                         RebuildScratch* scratch) {
   const AugmentationFootprint fp = footprint(p, aug);
   const RebuildScore s = rebuild_score(base, *system_, pairs, fp.victims,
                                        fp.new_sets, options_.attr_specs,
                                        options_.allocation, options_.tree,
-                                       cache_.enabled() ? &cache_ : nullptr);
+                                       cache_.enabled() ? &cache_ : nullptr, scratch);
   return PlanScore{s.collected, s.cost};
+}
+
+void PlanEvaluator::for_each_blocked(
+    std::size_t n, const std::function<void(std::size_t, RebuildScratch&)>& fn) {
+  const std::size_t block = std::max<std::size_t>(options_.candidate_block_size, 1);
+  const std::size_t num_blocks = (n + block - 1) / block;
+  if (num_threads() <= 1 || num_blocks <= 1) {
+    RebuildScratch scratch;
+    for (std::size_t i = 0; i < n; ++i) fn(i, scratch);
+    return;
+  }
+  pool().parallel_for(num_blocks, [&](std::size_t b) {
+    RebuildScratch scratch;
+    const std::size_t begin = b * block;
+    const std::size_t end = std::min(begin + block, n);
+    for (std::size_t i = begin; i < end; ++i) fn(i, scratch);
+  });
 }
 
 PlanEvaluator::Result PlanEvaluator::materialize(
@@ -159,17 +177,11 @@ std::vector<PlanEvaluator::Result> PlanEvaluator::evaluate_all(
   const auto start = std::chrono::steady_clock::now();
   const Partition p = base.partition();  // sets in entry order
   std::vector<Result> results(candidates.size());
-  const std::size_t threads = num_threads();
-  auto evaluate_one = [&](std::size_t i) {
+  for_each_blocked(candidates.size(), [&](std::size_t i, RebuildScratch&) {
     Topology topo = rebuild_candidate(base, p, pairs, candidates[i]);
     results[i] = Result{std::move(topo), PlanScore{}, i};
     results[i].score = score_of(results[i].topo);
-  };
-  if (threads <= 1 || candidates.size() <= 1) {
-    for (std::size_t i = 0; i < candidates.size(); ++i) evaluate_one(i);
-  } else {
-    pool().parallel_for(candidates.size(), evaluate_one);
-  }
+  });
   counters_->evaluations->add(candidates.size());
   counters_->evaluate_seconds->add(seconds_since(start));
   return results;
@@ -183,14 +195,9 @@ std::optional<PlanEvaluator::Result> PlanEvaluator::best_improving(
   const auto start = std::chrono::steady_clock::now();
   const Partition p = base.partition();
   std::vector<PlanScore> scores(candidates.size());
-  auto score_one = [&](std::size_t i) {
-    scores[i] = score_candidate(base, p, pairs, candidates[i]);
-  };
-  if (num_threads() <= 1 || candidates.size() <= 1) {
-    for (std::size_t i = 0; i < candidates.size(); ++i) score_one(i);
-  } else {
-    pool().parallel_for(candidates.size(), score_one);
-  }
+  for_each_blocked(candidates.size(), [&](std::size_t i, RebuildScratch& scratch) {
+    scores[i] = score_candidate(base, p, pairs, candidates[i], &scratch);
+  });
   counters_->evaluations->add(candidates.size());
 
   // Serial rank-order scan: strict improvement over the running best, so
@@ -218,20 +225,20 @@ std::optional<PlanEvaluator::Result> PlanEvaluator::first_improving(
   const auto start = std::chrono::steady_clock::now();
   const Partition p = base.partition();
   const std::size_t budget = std::min(candidates.size(), max_evaluations);
-  const std::size_t chunk = std::max<std::size_t>(num_threads(), 1);
+  // One rank-block per thread and per chunk. The winner is invariant to
+  // the chunk size: chunks are scanned in rank order and the scan stops at
+  // the first improvement, so the committed candidate is the lowest-ranked
+  // improving one no matter how the chunks were cut.
+  const std::size_t block = std::max<std::size_t>(options_.candidate_block_size, 1);
+  const std::size_t chunk = block * std::max<std::size_t>(num_threads(), 1);
   std::optional<Result> found;
   std::size_t evaluated = 0;
   for (std::size_t begin = 0; begin < budget && !found; begin += chunk) {
     const std::size_t end = std::min(begin + chunk, budget);
     std::vector<PlanScore> scores(end - begin);
-    auto score_one = [&](std::size_t i) {
-      scores[i] = score_candidate(base, p, pairs, candidates[begin + i]);
-    };
-    if (num_threads() <= 1 || scores.size() <= 1) {
-      for (std::size_t i = 0; i < scores.size(); ++i) score_one(i);
-    } else {
-      pool().parallel_for(scores.size(), score_one);
-    }
+    for_each_blocked(scores.size(), [&](std::size_t i, RebuildScratch& scratch) {
+      scores[i] = score_candidate(base, p, pairs, candidates[begin + i], &scratch);
+    });
     evaluated += scores.size();
     for (std::size_t i = 0; i < scores.size(); ++i) {
       if (improves(scores[i], current)) {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -130,7 +131,17 @@ class PlanEvaluator {
   Topology rebuild_candidate(const Topology& base, const Partition& p,
                              const PairSet& pairs, const Augmentation& aug);
   PlanScore score_candidate(const Topology& base, const Partition& p,
-                            const PairSet& pairs, const Augmentation& aug);
+                            const PairSet& pairs, const Augmentation& aug,
+                            RebuildScratch* scratch);
+  /// Block dispatcher for the scoring loops: runs fn(i, scratch) for every
+  /// i in [0, n), one pool task per contiguous rank-block of
+  /// PlannerOptions::candidate_block_size candidates. The scratch is
+  /// task-local and reused across the block's candidates, so per-candidate
+  /// allocation and pool dispatch amortize over the block. Pure dispatch
+  /// shape: every i runs exactly once into its own output slot, so callers
+  /// see results identical to the serial loop for any block size.
+  void for_each_blocked(std::size_t n,
+                        const std::function<void(std::size_t, RebuildScratch&)>& fn);
   /// Materializes the scored winner; exact by construction (the score path
   /// runs the identical builds, memoized when the cache is on).
   Result materialize(const Topology& base, const Partition& p, const PairSet& pairs,

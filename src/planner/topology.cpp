@@ -108,6 +108,77 @@ Capacity unconstrained_bound(const CostModel& cost,
          1.0;
 }
 
+/// Shared prologue of build_entry / score_entry: the tree's attribute
+/// specs and the offered items with their effective budgets. Fills
+/// caller-owned vectors (the scoring path reuses per-thread scratch).
+/// With a cache, the pair-set part (member list + local counts) comes from
+/// the cache's items template — same values, computed once per attribute
+/// set instead of once per candidate.
+void fill_entry_inputs(const SystemModel& system, const PairSet& pairs,
+                       const std::vector<AttrId>& attrs, const AttrSpecTable& specs,
+                       const std::vector<Capacity>& remaining,
+                       AllocationScheme scheme, const ShareInfo& shares,
+                       std::size_t tree_idx, BuildPass pass, TreeBuildCache* cache,
+                       std::vector<TreeAttrSpec>& tree_attrs,
+                       std::vector<BuildItem>& items, std::size_t& offered,
+                       Capacity& collector_avail) {
+  tree_attrs.clear();
+  tree_attrs.reserve(attrs.size());
+  for (AttrId a : attrs) tree_attrs.push_back(specs.tree_spec(a));
+
+  items.clear();
+  offered = 0;
+  if (cache != nullptr && cache->enabled()) {
+    const auto* t = cache->items_template(attrs, pairs);
+    offered = t->offered;
+    items.resize(t->nodes.size());
+    for (std::size_t i = 0; i < t->nodes.size(); ++i) {
+      const NodeId n = t->nodes[i];
+      BuildItem& item = items[i];
+      item.id = n;
+      const auto row = t->local.begin() + static_cast<std::ptrdiff_t>(i * attrs.size());
+      item.local.assign(row, row + static_cast<std::ptrdiff_t>(attrs.size()));
+      item.avail =
+          std::min(remaining[n], advisory_share(scheme, n, system.capacity(n),
+                                                shares, tree_idx, pass));
+    }
+  } else {
+    for (NodeId n : pairs.nodes_with_any(attrs)) {
+      BuildItem item;
+      item.id = n;
+      item.local.resize(attrs.size());
+      for (std::size_t m = 0; m < attrs.size(); ++m)
+        item.local[m] = pairs.contains(n, attrs[m]) ? 1u : 0u;
+      offered += item.local_total();
+      item.avail =
+          std::min(remaining[n], advisory_share(scheme, n, system.capacity(n),
+                                                shares, tree_idx, pass));
+      items.push_back(std::move(item));
+    }
+  }
+  collector_avail =
+      std::min(remaining[kCollectorId],
+               advisory_share(scheme, kCollectorId, system.capacity(kCollectorId),
+                              shares, tree_idx, pass));
+}
+
+TreeBuildKey make_cache_key(const CostModel& cost, const std::vector<AttrId>& attrs,
+                            const std::vector<TreeAttrSpec>& tree_attrs,
+                            const std::vector<BuildItem>& items,
+                            Capacity collector_avail) {
+  const Capacity bound = unconstrained_bound(cost, tree_attrs, items);
+  TreeBuildKey key;
+  key.attrs = attrs;
+  key.nodes.reserve(items.size());
+  key.avails.reserve(items.size());
+  for (const auto& it : items) {
+    key.nodes.push_back(it.id);
+    key.avails.push_back(std::min(it.avail, bound));
+  }
+  key.collector_avail = std::min(collector_avail, bound);
+  return key;
+}
+
 /// Builds the tree for `attrs` given per-node remaining budgets.
 TreeEntry build_entry(const SystemModel& system, const PairSet& pairs,
                       const std::vector<AttrId>& attrs, const AttrSpecTable& specs,
@@ -117,39 +188,16 @@ TreeEntry build_entry(const SystemModel& system, const PairSet& pairs,
                       std::size_t tree_idx, BuildPass pass,
                       TreeBuildCache* cache) {
   std::vector<TreeAttrSpec> tree_attrs;
-  tree_attrs.reserve(attrs.size());
-  for (AttrId a : attrs) tree_attrs.push_back(specs.tree_spec(a));
-
   std::vector<BuildItem> items;
   std::size_t offered = 0;
-  for (NodeId n : pairs.nodes_with_any(attrs)) {
-    BuildItem item;
-    item.id = n;
-    item.local.resize(attrs.size());
-    for (std::size_t m = 0; m < attrs.size(); ++m)
-      item.local[m] = pairs.contains(n, attrs[m]) ? 1u : 0u;
-    offered += item.local_total();
-    item.avail =
-        std::min(remaining[n], advisory_share(scheme, n, system.capacity(n),
-                                              shares, tree_idx, pass));
-    items.push_back(std::move(item));
-  }
-  const Capacity collector_avail =
-      std::min(remaining[kCollectorId],
-               advisory_share(scheme, kCollectorId, system.capacity(kCollectorId),
-                              shares, tree_idx, pass));
+  Capacity collector_avail = 0;
+  fill_entry_inputs(system, pairs, attrs, specs, remaining, scheme, shares,
+                    tree_idx, pass, cache, tree_attrs, items, offered,
+                    collector_avail);
 
   if (cache != nullptr && cache->enabled()) {
-    const Capacity bound = unconstrained_bound(system.cost(), tree_attrs, items);
-    TreeBuildKey key;
-    key.attrs = attrs;
-    key.nodes.reserve(items.size());
-    key.avails.reserve(items.size());
-    for (const auto& it : items) {
-      key.nodes.push_back(it.id);
-      key.avails.push_back(std::min(it.avail, bound));
-    }
-    key.collector_avail = std::min(collector_avail, bound);
+    TreeBuildKey key =
+        make_cache_key(system.cost(), attrs, tree_attrs, items, collector_avail);
     if (auto hit = cache->find(key)) {
       // The cached tree's structure and loads are exactly what a fresh
       // build would produce (the key captures every input the builder
@@ -176,9 +224,60 @@ TreeEntry build_entry(const SystemModel& system, const PairSet& pairs,
   return entry;
 }
 
+// REMO_HOT: runs once per built/cached tree on every candidate scored.
+// for_each_usage streams the slot arrays directly instead of paying a
+// lookup per member; the per-node arithmetic is the usage() expression
+// verbatim, so the subtraction sequence is unchanged.
 void charge_usage(std::vector<Capacity>& remaining, const MonitoringTree& tree) {
-  remaining[kCollectorId] -= tree.usage(kCollectorId);
-  for (NodeId n : tree.members()) remaining[n] -= tree.usage(n);
+  tree.for_each_usage([&](NodeId n, Capacity u) { remaining[n] -= u; });
+}
+
+/// Score contribution of one (re)built tree.
+struct EntryScore {
+  std::size_t collected = 0;
+  Capacity cost = 0;
+};
+
+// REMO_HOT: once per rebuilt tree per candidate scored — the inner loop of
+// the guided search. Scoring twin of build_entry: identical inputs, build
+// decisions, and cache interaction, but a cache hit is consumed *in place*
+// (no TreeEntry copy, no budget rewrite — budgets enter neither usage nor
+// cost nor collected counts, so the score is bit-identical to the
+// materialized form), and a miss builds and inserts exactly as build_entry
+// would. Charges the tree's usage into `remaining` and returns its score.
+EntryScore score_entry(const SystemModel& system, const PairSet& pairs,
+                       const std::vector<AttrId>& attrs, const AttrSpecTable& specs,
+                       const TreeBuildOptions& tree_opts,
+                       std::vector<Capacity>& remaining, AllocationScheme scheme,
+                       const ShareInfo& shares, std::size_t tree_idx,
+                       TreeBuildCache* cache, std::vector<TreeAttrSpec>& tree_attrs,
+                       std::vector<BuildItem>& items) {
+  std::size_t offered = 0;
+  Capacity collector_avail = 0;
+  fill_entry_inputs(system, pairs, attrs, specs, remaining, scheme, shares,
+                    tree_idx, BuildPass::kRebuild, cache, tree_attrs, items,
+                    offered, collector_avail);
+
+  if (cache != nullptr && cache->enabled()) {
+    const TreeBuildKey key =
+        make_cache_key(system.cost(), attrs, tree_attrs, items, collector_avail);
+    if (const TreeEntry* hit = cache->peek(key)) {
+      charge_usage(remaining, hit->tree);
+      return {hit->collected_pairs, hit->tree.total_cost()};
+    }
+    auto built = build_tree(std::move(tree_attrs), std::move(items),
+                            collector_avail, system.cost(), tree_opts);
+    TreeEntry entry{attrs, std::move(built.tree), offered, 0};
+    entry.collected_pairs = entry.tree.collected_pairs();
+    cache->insert(key, entry);
+    charge_usage(remaining, entry.tree);
+    return {entry.collected_pairs, entry.tree.total_cost()};
+  }
+
+  auto built = build_tree(std::move(tree_attrs), std::move(items), collector_avail,
+                          system.cost(), tree_opts);
+  charge_usage(remaining, built.tree);
+  return {built.tree.collected_pairs(), built.tree.total_cost()};
 }
 
 /// Build order for the given allocation scheme over set indices.
@@ -360,9 +459,15 @@ Topology rebuild_trees(const Topology& topo, const SystemModel& system,
   for (const auto& s : new_sets) all_sets.push_back(s);
   const ShareInfo shares = compute_shares(system, pairs, all_sets);
 
+  // One pass over the kept trees instead of num_vertices × entries calls
+  // to node_usage(): each node's usage still accumulates in entry order
+  // from zero, so `remaining` is bit-identical to the per-node form.
+  std::vector<Capacity> usage(system.num_vertices(), 0);
+  for (const auto& e : out.entries())
+    e.tree.for_each_usage([&](NodeId n, Capacity u) { usage[n] += u; });
   std::vector<Capacity> remaining(system.num_vertices());
   for (NodeId n = 0; n < system.num_vertices(); ++n)
-    remaining[n] = system.capacity(n) - out.node_usage(n);
+    remaining[n] = system.capacity(n) - usage[n];
 
   std::vector<std::size_t> new_sizes(new_sets.size());
   for (std::size_t k = 0; k < new_sets.size(); ++k)
@@ -383,9 +488,13 @@ RebuildScore rebuild_score(const Topology& topo, const SystemModel& system,
                            const std::vector<std::size_t>& victim_indices,
                            const std::vector<std::vector<AttrId>>& new_sets,
                            const AttrSpecTable& specs, AllocationScheme allocation,
-                           const TreeBuildOptions& tree_opts, TreeBuildCache* cache) {
-  std::vector<std::size_t> victims = victim_indices;
-  sort_unique(victims);
+                           const TreeBuildOptions& tree_opts, TreeBuildCache* cache,
+                           RebuildScratch* scratch) {
+  RebuildScratch local;
+  RebuildScratch& sc = scratch != nullptr ? *scratch : local;
+
+  sc.victims.assign(victim_indices.begin(), victim_indices.end());
+  sort_unique(sc.victims);
 
   // Every accumulation below runs in the exact order the materialized
   // rebuild would use (kept entries in original order, then new trees in
@@ -393,36 +502,53 @@ RebuildScore rebuild_score(const Topology& topo, const SystemModel& system,
   // score_of(rebuild_trees(...)) — ties in the search must not depend on
   // which path scored a candidate.
   RebuildScore score;
-  std::vector<std::vector<AttrId>> all_sets;
-  all_sets.reserve(topo.entries().size() - victims.size() + new_sets.size());
-  std::vector<Capacity> usage(system.num_vertices(), 0);
+  sc.all_sets.clear();
+  sc.all_sets.reserve(topo.entries().size() - sc.victims.size() + new_sets.size());
+  sc.usage.assign(system.num_vertices(), 0);
   for (std::size_t i = 0; i < topo.entries().size(); ++i) {
-    if (set_contains(victims, i)) continue;
+    if (set_contains(sc.victims, i)) continue;
     const auto& e = topo.entries()[i];
     score.collected += e.collected_pairs;
     score.cost += e.tree.total_cost();
-    all_sets.push_back(e.attrs);
-    usage[kCollectorId] += e.tree.usage(kCollectorId);
-    for (NodeId n : e.tree.members()) usage[n] += e.tree.usage(n);
+    sc.all_sets.push_back(e.attrs);
+    e.tree.for_each_usage([&](NodeId n, Capacity u) { sc.usage[n] += u; });
   }
-  const std::size_t first_new = all_sets.size();
-  for (const auto& s : new_sets) all_sets.push_back(s);
-  const ShareInfo shares = compute_shares(system, pairs, all_sets);
+  const std::size_t first_new = sc.all_sets.size();
+  for (const auto& s : new_sets) sc.all_sets.push_back(s);
 
-  std::vector<Capacity> remaining(system.num_vertices());
+  // Demand-driven rebuilds never read the advisory shares —
+  // advisory_share() answers "unconstrained" for every vertex in the
+  // kRebuild pass — so scoring skips the per-node share indexes over the
+  // kept sets (one nodes_with_any sweep per set per candidate otherwise)
+  // and computes only the new sets' sizes, the build-order key.
+  const bool demand_driven = allocation == AllocationScheme::kOnDemand ||
+                             allocation == AllocationScheme::kOrdered;
+  ShareInfo shares;
+  if (demand_driven) {
+    shares.tree_size.resize(sc.all_sets.size());
+    for (std::size_t k = first_new; k < sc.all_sets.size(); ++k)
+      shares.tree_size[k] =
+          cache != nullptr && cache->enabled()
+              ? cache->items_template(sc.all_sets[k], pairs)->nodes.size()
+              : pairs.nodes_with_any(sc.all_sets[k]).size();
+  } else {
+    shares = compute_shares(system, pairs, sc.all_sets);
+  }
+
+  sc.remaining.resize(system.num_vertices());
   for (NodeId n = 0; n < system.num_vertices(); ++n)
-    remaining[n] = system.capacity(n) - usage[n];
+    sc.remaining[n] = system.capacity(n) - sc.usage[n];
 
-  std::vector<std::size_t> new_sizes(new_sets.size());
+  sc.new_sizes.resize(new_sets.size());
   for (std::size_t k = 0; k < new_sets.size(); ++k)
-    new_sizes[k] = shares.tree_size[first_new + k];
-  for (std::size_t k : build_order(allocation, new_sizes)) {
-    auto entry = build_entry(system, pairs, new_sets[k], specs, tree_opts,
-                             remaining, allocation, shares, first_new + k,
-                             BuildPass::kRebuild, cache);
-    charge_usage(remaining, entry.tree);
-    score.collected += entry.collected_pairs;
-    score.cost += entry.tree.total_cost();
+    sc.new_sizes[k] = shares.tree_size[first_new + k];
+  for (std::size_t k : build_order(allocation, sc.new_sizes)) {
+    const EntryScore es =
+        score_entry(system, pairs, new_sets[k], specs, tree_opts, sc.remaining,
+                    allocation, shares, first_new + k, cache, sc.tree_attrs,
+                    sc.items);
+    score.collected += es.collected;
+    score.cost += es.cost;
   }
   return score;
 }

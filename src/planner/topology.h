@@ -131,12 +131,28 @@ struct RebuildScore {
   Capacity cost = 0;
 };
 
+/// Reusable buffers for rebuild_score. The evaluator keeps one per scoring
+/// thread and reuses it across every candidate of a dispatch block, so the
+/// hot scoring path stops re-allocating its per-call vectors. Passing the
+/// same scratch, a different scratch, or none at all never changes the
+/// returned score — the buffers are fully overwritten on every call.
+struct RebuildScratch {
+  std::vector<std::size_t> victims;
+  std::vector<std::vector<AttrId>> all_sets;
+  std::vector<Capacity> usage;
+  std::vector<Capacity> remaining;
+  std::vector<std::size_t> new_sizes;
+  std::vector<TreeAttrSpec> tree_attrs;
+  std::vector<BuildItem> items;
+};
+
 RebuildScore rebuild_score(const Topology& topo, const SystemModel& system,
                            const PairSet& pairs,
                            const std::vector<std::size_t>& victim_indices,
                            const std::vector<std::vector<AttrId>>& new_sets,
                            const AttrSpecTable& specs, AllocationScheme allocation,
                            const TreeBuildOptions& tree_opts,
-                           TreeBuildCache* cache = nullptr);
+                           TreeBuildCache* cache = nullptr,
+                           RebuildScratch* scratch = nullptr);
 
 }  // namespace remo

@@ -41,6 +41,34 @@ std::size_t TreeBuildCache::KeyHash::operator()(
   return static_cast<std::size_t>(h);
 }
 
+std::size_t TreeBuildCache::AttrsHash::operator()(
+    const std::vector<AttrId>& attrs) const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  mix(h, attrs.size());
+  for (AttrId a : attrs) mix(h, a);
+  return static_cast<std::size_t>(h);
+}
+
+const TreeBuildCache::ItemsTemplate* TreeBuildCache::items_template(
+    const std::vector<AttrId>& attrs, const PairSet& pairs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = templates_.find(attrs);
+  if (it != templates_.end()) return &it->second;
+  ItemsTemplate t;
+  t.nodes = pairs.nodes_with_any(attrs);
+  t.local.resize(t.nodes.size() * attrs.size());
+  std::size_t row = 0;
+  for (NodeId n : t.nodes) {
+    for (std::size_t m = 0; m < attrs.size(); ++m) {
+      const std::uint32_t v = pairs.contains(n, attrs[m]) ? 1u : 0u;
+      t.local[row + m] = v;
+      t.offered += v;
+    }
+    row += attrs.size();
+  }
+  return &templates_.emplace(attrs, std::move(t)).first->second;
+}
+
 std::optional<TreeEntry> TreeBuildCache::find(const TreeBuildKey& key) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -62,6 +90,27 @@ std::optional<TreeEntry> TreeBuildCache::find(const TreeBuildKey& key) {
   return std::nullopt;
 }
 
+const TreeEntry* TreeBuildCache::peek(const TreeBuildKey& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (validation_enabled() && reference_pairs_ != nullptr) {
+        REMO_VALIDATE(
+            it->second.pair_fingerprint == pair_fingerprint(key, *reference_pairs_),
+            "tree-build cache served a stale entry: ", key.attrs.size(),
+            " attrs / ", key.nodes.size(),
+            " members no longer match the reference pair set — "
+            "a pair-set change was not invalidated");
+      }
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return &it->second.entry;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
 void TreeBuildCache::insert(const TreeBuildKey& key, const TreeEntry& entry) {
   std::lock_guard<std::mutex> lock(mutex_);
   CachedEntry cached{entry, 0};
@@ -76,6 +125,9 @@ std::size_t TreeBuildCache::invalidate_attrs(const std::vector<AttrId>& attrs) {
   std::lock_guard<std::mutex> lock(mutex_);
   // Which entries survive is order-independent (each key is tested in
   // isolation), so hash-order traversal cannot leak into plans.
+  std::erase_if(templates_, [&](const auto& kv) {
+    return sets_intersect(kv.first, attrs);
+  });
   return std::erase_if(entries_, [&](const auto& kv) {
     return sets_intersect(kv.first.attrs, attrs);
   });
@@ -89,6 +141,7 @@ void TreeBuildCache::set_reference_pairs(const PairSet* pairs) {
 void TreeBuildCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  templates_.clear();
 }
 
 std::size_t TreeBuildCache::size() const {

@@ -61,6 +61,34 @@ class TreeBuildCache {
   /// stored input fingerprint is recomputed and must match — serving a
   /// stale entry aborts.
   std::optional<TreeEntry> find(const TreeBuildKey& key);
+  /// Scoring peek (REMO_HOT: once per cached tree per candidate scored):
+  /// returns a pointer to the cached entry, or nullptr, counting a
+  /// hit/miss like find() — without copying the tree. The pointee is
+  /// immutable and the pointer is stable across concurrent peek()/insert()
+  /// calls (entries are never updated in place), but invalidate_attrs()
+  /// and clear() destroy it — callers must not hold the pointer across
+  /// either. Performs the same REMO_VALIDATE staleness check as find().
+  const TreeEntry* peek(const TreeBuildKey& key);
+
+  /// Everything item construction reads from the pair set for a tree over
+  /// `attrs`: the candidate members (nodes_with_any order), their local
+  /// count rows, and the offered-pair total. Budgets are deliberately
+  /// absent — they vary per candidate; this part is a pure function of
+  /// (pairs, attrs) and recurs identically for every candidate scored
+  /// over the same attribute set.
+  struct ItemsTemplate {
+    std::vector<NodeId> nodes;
+    std::vector<std::uint32_t> local;  // nodes.size() × attrs.size(), row-major
+    std::size_t offered = 0;
+  };
+  /// Returns the template for `attrs` (sorted), computing and caching it on
+  /// first use (REMO_HOT: one lookup per rebuilt tree per candidate
+  /// scored). Invalidated by the same attrs-intersection rule as build
+  /// entries — a template reads exactly the pair-set slice over `attrs`.
+  /// Pointer stability contract as peek().
+  const ItemsTemplate* items_template(const std::vector<AttrId>& attrs,
+                                      const PairSet& pairs);
+
   /// Inserts (no-op if the key is already present — concurrent builders of
   /// the same key produce identical entries, so first-writer-wins is fine).
   void insert(const TreeBuildKey& key, const TreeEntry& entry);
@@ -87,6 +115,9 @@ class TreeBuildCache {
   struct KeyHash {
     std::size_t operator()(const TreeBuildKey& k) const noexcept;
   };
+  struct AttrsHash {
+    std::size_t operator()(const std::vector<AttrId>& attrs) const noexcept;
+  };
   /// The entry plus a hash of the exact pair-set slice the build consumed:
   /// each candidate's membership in the key's attribute set. Recomputed on
   /// validated hits to prove the entry is not stale.
@@ -98,6 +129,7 @@ class TreeBuildCache {
   bool enabled_ = true;
   mutable std::mutex mutex_;
   std::unordered_map<TreeBuildKey, CachedEntry, KeyHash> entries_;
+  std::unordered_map<std::vector<AttrId>, ItemsTemplate, AttrsHash> templates_;
   const PairSet* reference_pairs_ = nullptr;  ///< guarded by mutex_
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};

@@ -22,9 +22,13 @@ NodeId select_parent(const MonitoringTree& tree, const BuildItem& item,
   double best_primary = std::numeric_limits<double>::infinity();
   double best_secondary = std::numeric_limits<double>::infinity();
 
+  // Item invariants and per-slot feasibility masks computed once: the scan
+  // below answers can_attach in O(1) per candidate instead of one ancestor
+  // walk each (bit-identical booleans and blockers).
+  const auto scan = tree.attach_scan(item);
   auto consider = [&](NodeId v) {
     NodeId blocker = kNoNode;
-    if (!tree.can_attach(item, v, &blocker)) {
+    if (!scan.can_attach(v, &blocker)) {
       if (congested && blocker != kNoNode && blocker != item.id)
         congested->push_back(blocker);
       return;
@@ -180,11 +184,12 @@ bool adjust(MonitoringTree& tree, std::vector<NodeId> congested,
         for (const auto& item : items) {
           NodeId best = kNoNode;
           double best_slack = -std::numeric_limits<double>::infinity();
+          const auto scan = tree.attach_scan(item);
           auto try_target = [&](NodeId v) {
             if (v == dc || v == item.id) return;
             if (scope_subtree && !tree.in_subtree(v, dc)) return;
             ++stats.reattach_tests;
-            if (!tree.can_attach(item, v)) return;
+            if (!scan.can_attach(v)) return;
             const double s = tree.slack(v);
             if (s > best_slack) {
               best_slack = s;
@@ -242,6 +247,7 @@ TreeBuildResult build_tree(std::vector<TreeAttrSpec> attrs,
                          0,
                          0,
                          0.0};
+  result.tree.reserve(items.size());
 
   // Nodes with nothing to report never join; surface them as rejected so
   // accounting stays exact.
@@ -292,6 +298,7 @@ TreeBuildResult build_tree(std::vector<TreeAttrSpec> attrs,
   }
 
   for (auto& p : pending) result.rejected.push_back(std::move(p.item));
+  if (options.dfs_renumber) result.tree.renumber_dfs();
   return result;
 }
 

@@ -11,10 +11,8 @@ namespace remo {
 namespace {
 constexpr double kEps = 1e-9;
 
-std::uint32_t row_sum(const std::uint32_t* row, std::size_t n) noexcept {
-  std::uint32_t s = 0;
-  for (std::size_t m = 0; m < n; ++m) s += row[m];
-  return s;
+std::size_t row_sum(const std::uint32_t* row, std::size_t n) noexcept {
+  return static_cast<std::size_t>(simd::sum_u32(row, n));
 }
 }  // namespace
 
@@ -36,7 +34,21 @@ std::uint64_t send_period(double weight) noexcept {
 
 MonitoringTree::MonitoringTree(std::vector<TreeAttrSpec> attrs,
                                Capacity collector_avail, CostModel cost)
-    : attrs_(std::move(attrs)), cost_(cost) {
+    : attrs_(std::move(attrs)),
+      cost_(cost),
+      stride_(simd::padded_count(attrs_.size())) {
+  // Identity funnels with unit weights (the dominant workload: holistic
+  // collection, uniform frequencies) make every payload an exact integer
+  // sum — the O(1)-per-hop walk fast paths apply (DESIGN.md §15).
+  uniform_identity_ = true;
+  for (const auto& a : attrs_) {
+    const bool identity = a.funnel.type() == AggType::kHolistic ||
+                          a.funnel.type() == AggType::kDistinct;
+    if (!identity || a.weight != 1.0) {
+      uniform_identity_ = false;
+      break;
+    }
+  }
   // Slot 0 is the collector, forever.
   id_.push_back(kCollectorId);
   parent_.push_back(kNoSlot);
@@ -44,13 +56,28 @@ MonitoringTree::MonitoringTree(std::vector<TreeAttrSpec> attrs,
   avail_.push_back(collector_avail);
   y_.push_back(0.0);
   recv_.push_back(0.0);
-  in_.assign(stride(), 0);
-  local_.assign(stride(), 0);
+  in_.assign(stride_, 0);
+  local_.assign(stride_, 0);
   children_.emplace_back();
   lookup_.assign(1, kRootSlot);
-  walk_delta_.resize(stride());
-  walk_next_.resize(stride());
-  out_scratch_.resize(stride());
+  // Scratch rows share the arena's padded layout; padding beyond
+  // num_attrs() is zero here and is never written afterwards.
+  walk_delta_.resize(stride_);
+  walk_next_.resize(stride_);
+  out_scratch_.resize(stride_);
+}
+
+void MonitoringTree::reserve(std::size_t members) {
+  const std::size_t slots = members + 1;
+  id_.reserve(slots);
+  parent_.reserve(slots);
+  depth_.reserve(slots);
+  avail_.reserve(slots);
+  y_.reserve(slots);
+  recv_.reserve(slots);
+  children_.reserve(slots);
+  in_.reserve(slots * stride_);
+  local_.reserve(slots * stride_);
 }
 
 std::vector<AttrId> MonitoringTree::attr_ids() const {
@@ -78,15 +105,26 @@ MonitoringTree::Slot MonitoringTree::alloc_slot() {
   avail_.push_back(0.0);
   y_.push_back(0.0);
   recv_.push_back(0.0);
-  in_.resize(in_.size() + stride(), 0);
-  local_.resize(local_.size() + stride(), 0);
+  in_.resize(in_.size() + stride_, 0);
+  local_.resize(local_.size() + stride_, 0);
   children_.emplace_back();
+  // Growth may reallocate the row storage; the aligned allocator plus the
+  // padded stride must keep every row on a kAlign boundary.
+  REMO_DCHECK(reinterpret_cast<std::uintptr_t>(in_row(s)) % simd::kAlign == 0 &&
+                  reinterpret_cast<std::uintptr_t>(local_row(s)) % simd::kAlign == 0,
+              "arena reallocation broke the row alignment contract at slot ", s);
   return s;
 }
 
 double MonitoringTree::weighted_out(const std::uint32_t* in) const {
+  const std::size_t n = attrs_.size();
+  if (uniform_identity_) {
+    // Σ 1.0·in[m] over exact integers: identical bits to the scalar
+    // sequential sum below (values stay far under 2^53).
+    return static_cast<double>(simd::sum_u32(in, n));
+  }
   double y = 0.0;
-  for (std::size_t m = 0; m < attrs_.size(); ++m)
+  for (std::size_t m = 0; m < n; ++m)
     y += attrs_[m].weight * static_cast<double>(attrs_[m].funnel(in[m]));
   return y;
 }
@@ -161,41 +199,52 @@ void MonitoringTree::set_avail(NodeId id, Capacity avail) {
 
 CountSpan MonitoringTree::in_counts(NodeId id) const {
 #if REMO_DCHECK_ENABLED
-  return CountSpan{in_row(slot_of(id)), stride(), this, generation_};
+  return CountSpan{in_row(slot_of(id)), attrs_.size(), this, generation_};
 #else
-  return CountSpan{in_row(slot_of(id)), stride()};
+  return CountSpan{in_row(slot_of(id)), attrs_.size()};
 #endif
 }
 
 std::vector<std::uint32_t> MonitoringTree::out_counts(NodeId id) const {
   const std::uint32_t* in = in_row(slot_of(id));
-  std::vector<std::uint32_t> out(stride());
+  std::vector<std::uint32_t> out(attrs_.size());
   for (std::size_t m = 0; m < attrs_.size(); ++m) out[m] = attrs_[m].funnel(in[m]);
   return out;
 }
 
 CountSpan MonitoringTree::local_counts(NodeId id) const {
 #if REMO_DCHECK_ENABLED
-  return CountSpan{local_row(slot_of(id)), stride(), this, generation_};
+  return CountSpan{local_row(slot_of(id)), attrs_.size(), this, generation_};
 #else
-  return CountSpan{local_row(slot_of(id)), stride()};
+  return CountSpan{local_row(slot_of(id)), attrs_.size()};
 #endif
 }
 
 Capacity MonitoringTree::total_cost() const {
+  if (cost_cache_.valid.load(std::memory_order_acquire))
+    return cost_cache_.value.load(std::memory_order_relaxed);
   Capacity total = 0;
   for (NodeId n : members_) {
     const Slot s = lookup_[n];
     total += cost_.per_message + cost_.per_value * y_[s];
   }
+  cost_cache_.value.store(total, std::memory_order_relaxed);
+  cost_cache_.valid.store(true, std::memory_order_release);
   return total;
 }
 
 // REMO_HOT: one call per candidate parent per construction pass.
 bool MonitoringTree::feasible_add(Slot parent, const std::uint32_t* child_out,
                                   double child_u, NodeId* blocker) const {
-  for (std::size_t m = 0; m < attrs_.size(); ++m)
-    walk_delta_[m] = static_cast<std::int64_t>(child_out[m]);
+  const std::size_t n = attrs_.size();
+  if (uniform_identity_) {
+    // Identity trees never materialize the delta row: the payload delta at
+    // every ancestor hop is the child's (unsigned, exact) out total.
+    const std::uint64_t total = simd::sum_u32(child_out, n);
+    return feasible_walk_identity(parent, child_u, static_cast<double>(total),
+                                  total != 0, blocker);
+  }
+  simd::load_i64_from_u32(walk_delta_.data(), child_out, n, +1);
   return feasible_walk_scratch(parent, child_u, blocker);
 }
 
@@ -203,6 +252,16 @@ bool MonitoringTree::feasible_add(Slot parent, const std::uint32_t* child_out,
 // ancestor hop (walk buffers are preallocated per tree).
 bool MonitoringTree::feasible_walk_scratch(Slot parent, Capacity recv_delta,
                                            NodeId* blocker) const {
+  const std::size_t n = attrs_.size();
+  if (uniform_identity_) {
+    // Scratch padding is zero, so the vector sums may run the full padded
+    // stride with no tail.
+    const double dsum =
+        static_cast<double>(simd::sum_i64(walk_delta_.data(), stride_));
+    const bool changed = simd::any_nonzero_i64(walk_delta_.data(), stride_);
+    return feasible_walk_identity(parent, recv_delta, dsum, changed, blocker);
+  }
+  const TreeAttrSpec* specs = attrs_.data();
   Slot q = parent;
   while (true) {
     if (q == kRootSlot) {
@@ -212,18 +271,21 @@ bool MonitoringTree::feasible_walk_scratch(Slot parent, Capacity recv_delta,
       }
       return true;
     }
-    // New in-counts and the resulting payload change at q.
+    // New in-counts and the resulting payload change at q. The payload sum
+    // stays scalar-sequential on this general path: funnel weights make it
+    // a float reduction whose rounding order is part of the bit-identical
+    // plan contract.
     const std::uint32_t* in = in_row(q);
     double new_y = 0.0;
-    for (std::size_t m = 0; m < attrs_.size(); ++m) {
+    for (std::size_t m = 0; m < n; ++m) {
       const auto old_in = in[m];
       const auto new_in = static_cast<std::uint32_t>(
           static_cast<std::int64_t>(old_in) + walk_delta_[m]);
-      const auto old_out = attrs_[m].funnel(old_in);
-      const auto new_out = attrs_[m].funnel(new_in);
+      const auto old_out = specs[m].funnel(old_in);
+      const auto new_out = specs[m].funnel(new_in);
       walk_next_[m] =
           static_cast<std::int64_t>(new_out) - static_cast<std::int64_t>(old_out);
-      new_y += attrs_[m].weight * static_cast<double>(new_out);
+      new_y += specs[m].weight * static_cast<double>(new_out);
     }
     const double dy = new_y - y_[q];
     const Capacity use = cost_.per_message + cost_.per_value * y_[q] + recv_[q];
@@ -231,9 +293,7 @@ bool MonitoringTree::feasible_walk_scratch(Slot parent, Capacity recv_delta,
       if (blocker) *blocker = id_[q];
       return false;
     }
-    bool changed = false;
-    for (std::size_t m = 0; m < attrs_.size(); ++m)
-      if (walk_next_[m] != 0) changed = true;
+    const bool changed = simd::any_nonzero_i64(walk_next_.data(), stride_);
     if (!changed && dy == 0.0) return true;  // ancestors unaffected
     recv_delta = cost_.per_value * dy;
     walk_delta_.swap(walk_next_);
@@ -241,29 +301,81 @@ bool MonitoringTree::feasible_walk_scratch(Slot parent, Capacity recv_delta,
   }
 }
 
+// REMO_HOT: O(1) per ancestor hop — no per-attribute loop at all. With
+// identity funnels the out delta of every hop equals the in delta, so `dy`
+// is the constant `dsum` and only the capacity predicate remains per hop.
+// `dsum` and every cached y are exact integers held in doubles, so each
+// comparison evaluates the same bits the general path would produce.
+bool MonitoringTree::feasible_walk_identity(Slot parent, Capacity recv_delta,
+                                            double dsum, bool changed,
+                                            NodeId* blocker) const {
+  Slot q = parent;
+  while (true) {
+    if (q == kRootSlot) {
+      if (recv_[q] + recv_delta > avail_[q] + kEps) {
+        if (blocker) *blocker = kCollectorId;
+        return false;
+      }
+      return true;
+    }
+    const Capacity use = cost_.per_message + cost_.per_value * y_[q] + recv_[q];
+    if (use + recv_delta + cost_.per_value * dsum > avail_[q] + kEps) {
+      if (blocker) *blocker = id_[q];
+      return false;
+    }
+    // dsum can be zero with cancelling nonzero deltas — ancestors' in-rows
+    // still change then, and the walk must keep checking (their payloads
+    // do not move, but the general path walks on; match it).
+    if (!changed && dsum == 0.0) return true;  // ancestors unaffected
+    recv_delta = cost_.per_value * dsum;
+    q = parent_[q];
+  }
+}
+
 void MonitoringTree::propagate(Slot parent, const std::uint32_t* child_out,
                                int sign) {
-  for (std::size_t m = 0; m < attrs_.size(); ++m)
-    walk_delta_[m] = sign * static_cast<std::int64_t>(child_out[m]);
+  simd::load_i64_from_u32(walk_delta_.data(), child_out, attrs_.size(), sign);
   propagate_scratch(parent);
 }
 
 // REMO_HOT: runs once per committed mutation, walking the ancestor chain.
 void MonitoringTree::propagate_scratch(Slot parent) {
+  const std::size_t n = attrs_.size();
+  if (uniform_identity_) {
+    // Identity fast path: every hop takes the same in-row delta (a vector
+    // integer add over the padded stride — delta padding is zero) and the
+    // payload moves by the exact integer dsum.
+    const double dsum =
+        static_cast<double>(simd::sum_i64(walk_delta_.data(), stride_));
+    const bool changed = simd::any_nonzero_i64(walk_delta_.data(), stride_);
+    Slot q = parent;
+    while (true) {
+      jloads(q);
+      simd::add_i64_to_u32(in_row(q), walk_delta_.data(), stride_);
+      const double old_y = y_[q];
+      y_[q] = old_y + dsum;  // == weighted_out(new row): exact integers
+      if (q != kRootSlot) {
+        jloads(parent_[q]);
+        recv_[parent_[q]] += cost_.per_value * (y_[q] - old_y);
+      }
+      if (q == kRootSlot || !changed) return;
+      q = parent_[q];
+    }
+  }
+  const TreeAttrSpec* specs = attrs_.data();
   Slot q = parent;
   while (true) {
     jloads(q);
     std::uint32_t* in = in_row(q);
-    bool changed = false;
-    for (std::size_t m = 0; m < attrs_.size(); ++m) {
-      const auto old_out = attrs_[m].funnel(in[m]);
+    for (std::size_t m = 0; m < n; ++m) {
+      const auto old_out = specs[m].funnel(in[m]);
       const auto new_in = static_cast<std::int64_t>(in[m]) + walk_delta_[m];
       in[m] = static_cast<std::uint32_t>(new_in);
-      const auto new_out = attrs_[m].funnel(in[m]);
+      const auto new_out = specs[m].funnel(in[m]);
       walk_next_[m] =
           static_cast<std::int64_t>(new_out) - static_cast<std::int64_t>(old_out);
-      if (walk_next_[m] != 0) changed = true;
     }
+    const bool changed = simd::any_nonzero_i64(walk_next_.data(), stride_);
     const double old_y = y_[q];
     y_[q] = weighted_out(in);
     // q's message grew/shrank: its parent's cached receive load follows.
@@ -279,11 +391,16 @@ void MonitoringTree::propagate_scratch(Slot parent) {
 
 bool MonitoringTree::can_attach(const BuildItem& item, NodeId parent,
                                 NodeId* blocker) const {
-  if (item.local.size() != attrs_.size())
+  const std::size_t n = attrs_.size();
+  if (item.local.size() != n)
     throw std::invalid_argument("BuildItem count vector size mismatch");
   if (contains(item.id) || !contains(parent)) return false;
-  for (std::size_t m = 0; m < attrs_.size(); ++m)
-    out_scratch_[m] = attrs_[m].funnel(item.local[m]);
+  if (uniform_identity_) {
+    std::copy(item.local.begin(), item.local.end(), out_scratch_.begin());
+  } else {
+    for (std::size_t m = 0; m < n; ++m)
+      out_scratch_[m] = attrs_[m].funnel(item.local[m]);
+  }
   const double y = weighted_out(item.local.data());
   const Capacity u = cost_.per_message + cost_.per_value * y;
   if (u > item.avail + kEps) {
@@ -291,6 +408,106 @@ bool MonitoringTree::can_attach(const BuildItem& item, NodeId parent,
     return false;
   }
   return feasible_add(lookup_[parent], out_scratch_.data(), u, blocker);
+}
+
+MonitoringTree::AttachScan::AttachScan(const MonitoringTree& tree,
+                                       const BuildItem& item)
+    : tree_(&tree), item_(&item) {
+#if REMO_DCHECK_ENABLED
+  generation_ = tree.generation_;
+#endif
+  if (item.local.size() != tree.attrs_.size())
+    throw std::invalid_argument("BuildItem count vector size mismatch");
+  if (tree.contains(item.id)) {
+    item_member_ = true;
+    return;
+  }
+  const double y = tree.weighted_out(item.local.data());
+  const Capacity u = tree.cost_.per_message + tree.cost_.per_value * y;
+  if (u > item.avail + kEps) {
+    self_fail_ = true;
+    return;
+  }
+  if (!tree.uniform_identity_) return;  // queries fall back to the walk
+  fast_ = true;
+  tree.build_attach_masks(item, u);
+}
+
+void MonitoringTree::build_attach_masks(const BuildItem& item,
+                                        Capacity child_u) const {
+  const std::uint64_t total = simd::sum_u32(item.local.data(), attrs_.size());
+  const double dsum = static_cast<double>(total);
+  const bool changed = total != 0;
+  const Capacity pvd = cost_.per_value * dsum;
+  scan_skip_anc_ = !changed && dsum == 0.0;
+
+  const std::size_t slots = id_.size();
+  scan_pfail_.resize(slots);
+  scan_afail_.resize(slots);
+  scan_done_.resize(slots);
+  scan_anc_blocker_.resize(slots);
+
+  scan_pfail_[kRootSlot] = recv_[kRootSlot] + child_u > avail_[kRootSlot] + kEps;
+  const bool root_afail = recv_[kRootSlot] + pvd > avail_[kRootSlot] + kEps;
+  scan_anc_blocker_[kRootSlot] = root_afail ? kCollectorId : kNoNode;
+  scan_done_[kRootSlot] = 1;
+
+  // One linear pass over the arena: both hop predicates of
+  // feasible_walk_identity, evaluated with its verbatim expressions (this
+  // is what makes every query agree with the walk bit for bit). Free slots
+  // get garbage values from stale loads; they are never queried.
+  for (Slot q = 1; q < slots; ++q) {
+    const Capacity use = cost_.per_message + cost_.per_value * y_[q] + recv_[q];
+    scan_pfail_[q] = (use + child_u) + pvd > avail_[q] + kEps;
+    scan_afail_[q] = (use + pvd) + pvd > avail_[q] + kEps;
+    scan_done_[q] = 0;
+  }
+
+  // Nearest failing ancestor, memoized up the parent chains (slot order is
+  // not topological after branch moves, so chase and unwind instead of a
+  // single ordered sweep; each slot is resolved exactly once).
+  for (Slot q = 1; q < slots; ++q) {
+    if (id_[q] == kNoNode || scan_done_[q]) continue;
+    Slot w = q;
+    scan_stack_.clear();
+    while (!scan_done_[w]) {
+      scan_stack_.push_back(w);
+      w = parent_[w];
+    }
+    NodeId b = scan_anc_blocker_[w];
+    for (auto it = scan_stack_.rbegin(); it != scan_stack_.rend(); ++it) {
+      if (scan_afail_[*it]) b = id_[*it];
+      scan_anc_blocker_[*it] = b;
+      scan_done_[*it] = 1;
+    }
+  }
+}
+
+bool MonitoringTree::AttachScan::can_attach(NodeId parent,
+                                            NodeId* blocker) const {
+  const MonitoringTree& t = *tree_;
+#if REMO_DCHECK_ENABLED
+  REMO_DCHECK(generation_ == t.generation_,
+              "stale AttachScan: tree mutated since attach_scan()");
+#endif
+  if (item_member_ || !t.contains(parent)) return false;
+  if (self_fail_) {
+    if (blocker) *blocker = item_->id;
+    return false;
+  }
+  if (!fast_) return t.can_attach(*item_, parent, blocker);
+  const Slot v = t.lookup_[parent];
+  if (t.scan_pfail_[v]) {
+    if (blocker) *blocker = v == kRootSlot ? kCollectorId : t.id_[v];
+    return false;
+  }
+  if (v == kRootSlot || t.scan_skip_anc_) return true;
+  const NodeId anc = t.scan_anc_blocker_[t.parent_[v]];
+  if (anc != kNoNode) {
+    if (blocker) *blocker = anc;
+    return false;
+  }
+  return true;
 }
 
 void MonitoringTree::attach(const BuildItem& item, NodeId parent) {
@@ -303,11 +520,16 @@ void MonitoringTree::attach(const BuildItem& item, NodeId parent) {
 
 bool MonitoringTree::try_attach(const BuildItem& item, NodeId parent,
                                 NodeId* blocker) {
-  if (item.local.size() != attrs_.size())
+  const std::size_t n = attrs_.size();
+  if (item.local.size() != n)
     throw std::invalid_argument("BuildItem count vector size mismatch");
   if (contains(item.id) || !contains(parent)) return false;
-  for (std::size_t m = 0; m < attrs_.size(); ++m)
-    out_scratch_[m] = attrs_[m].funnel(item.local[m]);
+  if (uniform_identity_) {
+    std::copy(item.local.begin(), item.local.end(), out_scratch_.begin());
+  } else {
+    for (std::size_t m = 0; m < n; ++m)
+      out_scratch_[m] = attrs_[m].funnel(item.local[m]);
+  }
   const double y = weighted_out(item.local.data());
   const Capacity u = cost_.per_message + cost_.per_value * y;
   if (u > item.avail + kEps) {
@@ -429,8 +651,11 @@ std::vector<BuildItem> MonitoringTree::detach_branch(NodeId r) {
   items.reserve(nodes.size());
   for (NodeId id : nodes) {
     const Slot s = lookup_[id];
+    // BuildItem locals are num_attrs()-wide (the public layout); the padded
+    // stride is an arena-internal detail.
     items.push_back(BuildItem{
-        id, std::vector<std::uint32_t>(local_row(s), local_row(s) + stride()),
+        id,
+        std::vector<std::uint32_t>(local_row(s), local_row(s) + attrs_.size()),
         avail_[s]});
   }
   for (NodeId id : nodes) {
@@ -452,14 +677,15 @@ std::vector<BuildItem> MonitoringTree::detach_branch(NodeId r) {
 
 bool MonitoringTree::can_update_local(
     NodeId id, const std::vector<std::uint32_t>& new_local) const {
-  if (new_local.size() != attrs_.size())
+  const std::size_t n = attrs_.size();
+  if (new_local.size() != n)
     throw std::invalid_argument("local count vector size mismatch");
   if (!contains(id) || id == kCollectorId) return false;
   const Slot s = lookup_[id];
   const std::uint32_t* in = in_row(s);
   const std::uint32_t* local = local_row(s);
   // out_scratch_ holds the would-be in-counts; walk_delta_ the out deltas.
-  for (std::size_t m = 0; m < attrs_.size(); ++m) {
+  for (std::size_t m = 0; m < n; ++m) {
     out_scratch_[m] = in[m] - local[m] + new_local[m];
     walk_delta_[m] = static_cast<std::int64_t>(attrs_[m].funnel(out_scratch_[m])) -
                      static_cast<std::int64_t>(attrs_[m].funnel(in[m]));
@@ -480,7 +706,8 @@ bool MonitoringTree::update_local(NodeId id,
   std::uint32_t* in = in_row(s);
   std::uint32_t* local = local_row(s);
   const double old_y = y_[s];
-  for (std::size_t m = 0; m < attrs_.size(); ++m) {
+  const std::size_t n = attrs_.size();
+  for (std::size_t m = 0; m < n; ++m) {
     const auto old_out = attrs_[m].funnel(in[m]);
     in[m] = in[m] - local[m] + new_local[m];
     walk_delta_[m] = static_cast<std::int64_t>(attrs_[m].funnel(in[m])) -
@@ -521,6 +748,67 @@ void MonitoringTree::restore_iteration_order(
   }
   bump_generation();
   deep_validate("restore_iteration_order");
+}
+
+void MonitoringTree::renumber_dfs() {
+  REMO_ASSERT(!journal_on_,
+              "renumber_dfs while journaling: the undo log records slot "
+              "numbers and would replay into the wrong rows");
+  const std::size_t live = members_.size() + 1;
+  // Preorder over live slots, visiting children in child-list order (the
+  // deterministic order everything else already iterates).
+  std::vector<Slot> order;
+  order.reserve(live);
+  std::vector<Slot> stack{kRootSlot};
+  while (!stack.empty()) {
+    const Slot s = stack.back();
+    stack.pop_back();
+    order.push_back(s);
+    const auto& kids = children_[s];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it)
+      stack.push_back(lookup_[*it]);
+  }
+  REMO_ASSERT(order.size() == live, "renumber_dfs: preorder visited ",
+              order.size(), " slots, expected ", live);
+
+  std::vector<Slot> to_new(id_.size(), kNoSlot);
+  for (Slot ns = 0; ns < order.size(); ++ns) to_new[order[ns]] = ns;
+
+  // Gather every per-slot array into preorder; free slots are dropped (the
+  // arena is compact afterwards and the free list starts empty).
+  std::vector<NodeId> nid(live);
+  std::vector<Slot> nparent(live);
+  std::vector<std::uint32_t> ndepth(live);
+  std::vector<Capacity> navail(live);
+  std::vector<double> ny(live), nrecv(live);
+  simd::AlignedVector<std::uint32_t> nin(live * stride_, 0);
+  simd::AlignedVector<std::uint32_t> nlocal(live * stride_, 0);
+  std::vector<std::vector<NodeId>> nchildren(live);
+  for (Slot ns = 0; ns < order.size(); ++ns) {
+    const Slot os = order[ns];
+    nid[ns] = id_[os];
+    nparent[ns] = parent_[os] == kNoSlot ? kNoSlot : to_new[parent_[os]];
+    ndepth[ns] = depth_[os];
+    navail[ns] = avail_[os];
+    ny[ns] = y_[os];
+    nrecv[ns] = recv_[os];
+    std::copy_n(in_row(os), stride_, nin.data() + ns * stride_);
+    std::copy_n(local_row(os), stride_, nlocal.data() + ns * stride_);
+    nchildren[ns] = std::move(children_[os]);
+    lookup_[nid[ns]] = ns;
+  }
+  id_ = std::move(nid);
+  parent_ = std::move(nparent);
+  depth_ = std::move(ndepth);
+  avail_ = std::move(navail);
+  y_ = std::move(ny);
+  recv_ = std::move(nrecv);
+  in_ = std::move(nin);
+  local_ = std::move(nlocal);
+  children_ = std::move(nchildren);
+  free_.clear();
+  bump_generation();
+  deep_validate("renumber_dfs");
 }
 
 // ---- undo journal ---------------------------------------------------------

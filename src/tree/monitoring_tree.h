@@ -34,12 +34,14 @@
 //     back by replaying inverses instead of deep-copying the tree.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "common/types.h"
 #include "cost/cost_model.h"
 #include "tree/funnel.h"
@@ -144,6 +146,30 @@ class MonitoringTree {
   std::vector<AttrId> attr_ids() const;
   std::size_t num_attrs() const noexcept { return attrs_.size(); }
   const CostModel& cost() const noexcept { return cost_; }
+  /// Arena row width: num_attrs() padded up to simd::kU32Lanes so every
+  /// count row is simd::kAlign-byte aligned (the DESIGN.md §15 layout
+  /// contract). Padding elements are always zero.
+  std::size_t row_stride() const noexcept { return stride_; }
+  /// True iff every attribute has an identity funnel (holistic/distinct)
+  /// and unit frequency weight — the dominant workload shape. Such trees
+  /// take the O(1)-per-hop integer fast path in the feasibility and
+  /// propagation walks (payload sums are exact integers in double, so the
+  /// fast path is bit-identical to the general scalar one).
+  bool uniform_identity() const noexcept { return uniform_identity_; }
+
+  /// Pre-sizes the arena for `members` member nodes (one build's item
+  /// count), avoiding incremental reallocation during construction. The
+  /// count rows keep their alignment across growth either way — reserve
+  /// only batches the copies.
+  void reserve(std::size_t members);
+
+  /// Renumbers the arena slots into DFS preorder (children in child-list
+  /// order) and drops free slots. Ancestor walks then touch monotonically
+  /// decreasing nearby slots — prefetch-friendly after a build. Purely an
+  /// internal relayout: NodeIds, iteration orders (members()/children())
+  /// and all load state are unchanged, so plans are unaffected. Must not
+  /// be called while journaling (the undo log records slot numbers).
+  void renumber_dfs();
 
   bool contains(NodeId id) const noexcept {
     return id < lookup_.size() && lookup_[id] != kNoSlot;
@@ -192,10 +218,30 @@ class MonitoringTree {
   std::size_t collected_pairs() const noexcept { return collected_pairs_; }
   /// Σ_i u_i over members: total message volume per unit time (C_cur /
   /// C_adj in the Sec. 4.2 throttle formula). Summed in member insertion
-  /// order (deterministic).
+  /// order (deterministic). Memoized on a dirty flag — the planner's
+  /// scoring loop re-reads it for every kept entry of every candidate —
+  /// and safe to call concurrently on a shared const tree (the cache is a
+  /// pair of relaxed/acq-rel atomics; racing recomputations store the same
+  /// bits).
   Capacity total_cost() const;
   /// One message per member per unit time.
   std::size_t total_messages() const noexcept { return size(); }
+
+  /// Calls `f(NodeId, Capacity usage)` for the collector and then every
+  /// member in insertion order — equivalent to calling usage(id) for each,
+  /// with the NodeId→slot lookups hoisted out of the caller's loop. This
+  /// is the accumulation kernel behind the planner's per-candidate usage
+  /// charging (planner/topology.cpp); the per-node values and visit order
+  /// are exactly those of the naive loop, so accumulations over it are
+  /// bit-identical.
+  template <class F>
+  void for_each_usage(F&& f) const {
+    f(kCollectorId, recv_[kRootSlot]);
+    for (NodeId n : members_) {
+      const Slot s = lookup_[n];
+      f(n, cost_.per_message + cost_.per_value * y_[s] + recv_[s]);
+    }
+  }
 
   // ---- mutation --------------------------------------------------------
   /// Can `item` be attached under `parent` without violating any capacity?
@@ -203,6 +249,37 @@ class MonitoringTree {
   /// constraint would be violated (a "congested node", Definition 4).
   bool can_attach(const BuildItem& item, NodeId parent,
                   NodeId* blocker = nullptr) const;
+
+  /// Batched attach feasibility for one fixed item (REMO_HOT: the builder's
+  /// parent scan asks can_attach(item, v) for *every* vertex of the tree).
+  /// On uniform-identity trees the walk's per-hop predicates depend on the
+  /// item only through two constants (its message cost and its out total),
+  /// so constructing the scan evaluates them for every slot in one O(slots)
+  /// pass — the per-slot checks use the exact expressions of
+  /// feasible_walk_identity, so each query returns the same boolean and the
+  /// same blocker, bit for bit — and each can_attach() query is then O(1).
+  /// Non-identity trees fall back to the per-candidate walk transparently.
+  /// The scan borrows tree scratch: it is invalidated by any mutation of
+  /// the tree and at most one scan per tree may be live at a time.
+  class AttachScan {
+   public:
+    bool can_attach(NodeId parent, NodeId* blocker = nullptr) const;
+
+   private:
+    friend class MonitoringTree;
+    AttachScan(const MonitoringTree& tree, const BuildItem& item);
+    const MonitoringTree* tree_;
+    const BuildItem* item_;
+    bool fast_ = false;         // identity masks valid; else walk fallback
+    bool item_member_ = false;  // item.id already in the tree: always false
+    bool self_fail_ = false;    // item cannot afford its own message
+#if REMO_DCHECK_ENABLED
+    std::uint64_t generation_ = 0;
+#endif
+  };
+  AttachScan attach_scan(const BuildItem& item) const {
+    return AttachScan(*this, item);
+  }
   /// Attach; aborts the process if infeasible (callers check first).
   void attach(const BuildItem& item, NodeId parent);
   /// Fused feasibility-test + attach: performs the upward feasibility walk
@@ -273,23 +350,26 @@ class MonitoringTree {
   static constexpr Slot kNoSlot = 0xffffffffu;
   static constexpr Slot kRootSlot = 0;
 
-  std::size_t stride() const noexcept { return attrs_.size(); }
-  std::uint32_t* in_row(Slot s) noexcept { return in_.data() + s * stride(); }
+  /// Padded row width (see row_stride()). Cached at construction — never
+  /// recompute per hop inside a walk.
+  std::size_t stride() const noexcept { return stride_; }
+  std::uint32_t* in_row(Slot s) noexcept { return in_.data() + s * stride_; }
   const std::uint32_t* in_row(Slot s) const noexcept {
-    return in_.data() + s * stride();
+    return in_.data() + s * stride_;
   }
-  std::uint32_t* local_row(Slot s) noexcept { return local_.data() + s * stride(); }
+  std::uint32_t* local_row(Slot s) noexcept { return local_.data() + s * stride_; }
   const std::uint32_t* local_row(Slot s) const noexcept {
-    return local_.data() + s * stride();
+    return local_.data() + s * stride_;
   }
 
   Slot slot_of(NodeId id) const;           // throws std::out_of_range if absent
   Slot alloc_slot();                       // from the free list, or grows arena
   double weighted_out(const std::uint32_t* in) const;
 
-  /// Invalidate outstanding CountSpans (no-op in release builds). Every
-  /// mutating operation calls this before returning.
+  /// Invalidate outstanding CountSpans (debug builds) and the memoized
+  /// total_cost(). Every mutating operation calls this before returning.
   void bump_generation() noexcept {
+    cost_cache_.valid.store(false, std::memory_order_relaxed);
 #if REMO_DCHECK_ENABLED
     ++generation_;
 #endif
@@ -306,10 +386,23 @@ class MonitoringTree {
   /// Simulates the upward propagation without mutating.
   bool feasible_walk_scratch(Slot parent, Capacity recv_delta,
                              NodeId* blocker) const;
+  /// Uniform-identity fast path of the walk above: out deltas equal in
+  /// deltas at every hop, so the payload change is the constant `dsum`
+  /// (= Σ walk_delta_, an exact integer) and each hop is O(1). `changed`
+  /// is whether any per-attribute delta is nonzero (dsum can be zero with
+  /// cancelling deltas — the walk must still continue then).
+  bool feasible_walk_identity(Slot parent, Capacity recv_delta, double dsum,
+                              bool changed, NodeId* blocker) const;
   /// Feasibility walk for a new child message with out-vector `child_out`
   /// and cost `child_u` joining `parent`.
   bool feasible_add(Slot parent, const std::uint32_t* child_out, double child_u,
                     NodeId* blocker) const;
+
+  /// Fills the attach-scan masks for `item` (uniform-identity trees only):
+  /// per-slot parent-hop and ancestor-hop predicate results plus each
+  /// slot's nearest failing ancestor, using the identity walk's verbatim
+  /// expressions so AttachScan queries reproduce the walk bit for bit.
+  void build_attach_masks(const BuildItem& item, Capacity child_u) const;
 
   /// Apply the upward propagation of delta (pre-loaded into `walk_delta_`)
   /// to `parent`'s in-counts plus follow-on payload changes.
@@ -337,16 +430,20 @@ class MonitoringTree {
 
   std::vector<TreeAttrSpec> attrs_;
   CostModel cost_;
+  std::size_t stride_ = 0;          // num_attrs padded to simd::kU32Lanes
+  bool uniform_identity_ = false;   // see uniform_identity()
 
   // Arena (structure of arrays, indexed by slot; slot 0 = collector).
+  // Count rows live in kAlign-aligned storage with padded strides so every
+  // row starts on a cache-line boundary and vector loops need no tail.
   std::vector<NodeId> id_;          // kNoNode marks a free slot
   std::vector<Slot> parent_;        // kNoSlot for the root and free slots
   std::vector<std::uint32_t> depth_;
   std::vector<Capacity> avail_;
   std::vector<double> y_;           // cached weighted payload
   std::vector<double> recv_;        // cached Σ_{children c} u_c
-  std::vector<std::uint32_t> in_;   // stride()-flattened per-metric counts
-  std::vector<std::uint32_t> local_;
+  simd::AlignedVector<std::uint32_t> in_;  // stride_-flattened per-metric counts
+  simd::AlignedVector<std::uint32_t> local_;
   std::vector<std::vector<NodeId>> children_;
   std::vector<Slot> free_;          // LIFO recycled slots
   std::vector<Slot> lookup_;        // NodeId -> slot, direct-indexed
@@ -354,8 +451,40 @@ class MonitoringTree {
   std::size_t collected_pairs_ = 0;
 
   // Reusable walk scratch: const queries allocate nothing per ancestor hop.
-  mutable std::vector<std::int64_t> walk_delta_, walk_next_;
-  mutable std::vector<std::uint32_t> out_scratch_;
+  // Sized stride_ with always-zero padding, like the arena rows.
+  mutable simd::AlignedVector<std::int64_t> walk_delta_, walk_next_;
+  mutable simd::AlignedVector<std::uint32_t> out_scratch_;
+
+  // Attach-scan masks (AttachScan): per-slot predicate results for one
+  // fixed item. pfail = the parent-hop check fails at this slot; afail =
+  // the ancestor-hop check fails; anc_blocker = nearest vertex on the
+  // slot's root path (inclusive) whose ancestor-hop check fails, kNoNode
+  // if the whole chain passes.
+  mutable std::vector<std::uint8_t> scan_pfail_, scan_afail_, scan_done_;
+  mutable std::vector<NodeId> scan_anc_blocker_;
+  mutable std::vector<Slot> scan_stack_;
+  mutable bool scan_skip_anc_ = false;
+
+  /// Memoized total_cost(). Copyable atomic pair: trees are copied freely
+  /// (topology entries, build-cache hits) but may also be *read* from
+  /// several scoring threads at once — racing recomputations of an
+  /// unchanged tree store identical bits, the acq-rel flag orders them.
+  struct CostCache {
+    std::atomic<double> value{0.0};
+    std::atomic<bool> valid{false};
+    CostCache() = default;
+    CostCache(const CostCache& o) noexcept
+        : value(o.value.load(std::memory_order_relaxed)),
+          valid(o.valid.load(std::memory_order_acquire)) {}
+    CostCache& operator=(const CostCache& o) noexcept {
+      value.store(o.value.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      valid.store(o.valid.load(std::memory_order_acquire),
+                  std::memory_order_release);
+      return *this;
+    }
+  };
+  mutable CostCache cost_cache_;
 
   // Undo journal.
   struct JournalEntry {

@@ -199,6 +199,49 @@ class HotAllocTest(unittest.TestCase):
         self.assertEqual(rules_of(good), [])
 
 
+class HotSlotLookupTest(unittest.TestCase):
+    def test_flags_slot_of_in_hot_function(self):
+        bad = """
+            // REMO_HOT: per-hop feasibility on the ancestor chain.
+            bool walk(NodeId id) {
+              for (Slot q = slot_of(id); q != kNoSlot; q = parent_[q]) use(q);
+              return true;
+            }
+        """
+        self.assertIn("hot-slot-lookup", rules_of(bad))
+
+    def test_slot_resolution_outside_hot_function_is_fine(self):
+        good = """
+            bool prepare(NodeId id) { return slot_of(id) != kNoSlot; }
+            // REMO_HOT
+            void walk(Slot q) {
+              while (q != kNoSlot) q = parent_[q];
+            }
+        """
+        self.assertEqual(rules_of(good), [])
+
+    def test_comment_mention_is_fine(self):
+        good = """
+            // REMO_HOT
+            void walk(Slot q) {
+              // callers resolved slot_of(id) before entering the loop
+              use(q);
+            }
+        """
+        self.assertEqual(rules_of(good), [])
+
+    def test_allow_with_reason_waives(self):
+        code = """
+            // REMO_HOT
+            bool walk(NodeId id) {
+              // remo-lint: allow(hot-slot-lookup) one lookup at entry, not per hop
+              const Slot q = slot_of(id);
+              return q != kNoSlot;
+            }
+        """
+        self.assertEqual(rules_of(code), [])
+
+
 class SuppressionTest(unittest.TestCase):
     def test_allow_with_reason_waives_line_below(self):
         code = """

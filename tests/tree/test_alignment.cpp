@@ -1,0 +1,219 @@
+// Arena layout contract tests (DESIGN.md §15): count rows are padded to
+// simd::kU32Lanes elements and allocated kAlign-aligned, and that contract
+// survives growth reallocation, odd attribute counts (stride not a multiple
+// of the vector width), slot recycling, and the DFS renumbering pass.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/simd.h"
+#include "tree/builder.h"
+#include "tree/monitoring_tree.h"
+
+namespace remo {
+namespace {
+
+const CostModel kCost{10.0, 1.0};
+
+std::vector<TreeAttrSpec> identity_specs(std::size_t n) {
+  std::vector<TreeAttrSpec> specs;
+  for (std::size_t m = 0; m < n; ++m)
+    specs.push_back(TreeAttrSpec{static_cast<AttrId>(m), FunnelSpec{}, 1.0});
+  return specs;
+}
+
+bool aligned(const std::uint32_t* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % simd::kAlign == 0;
+}
+
+TEST(ArenaAlignment, PaddedCountRoundsUpToLaneMultiples) {
+  EXPECT_EQ(simd::padded_count(0), 0u);
+  EXPECT_EQ(simd::padded_count(1), simd::kU32Lanes);
+  EXPECT_EQ(simd::padded_count(simd::kU32Lanes - 1), simd::kU32Lanes);
+  EXPECT_EQ(simd::padded_count(simd::kU32Lanes), simd::kU32Lanes);
+  EXPECT_EQ(simd::padded_count(simd::kU32Lanes + 1), 2 * simd::kU32Lanes);
+}
+
+TEST(ArenaAlignment, RowStrideIsPaddedAndViewsKeepLogicalWidth) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{5},
+                        std::size_t{17}, std::size_t{33}}) {
+    MonitoringTree tree(identity_specs(n), 1e9, kCost);
+    EXPECT_EQ(tree.row_stride(), simd::padded_count(n)) << "attrs=" << n;
+    EXPECT_GE(tree.row_stride(), tree.num_attrs());
+    // Public views stay num_attrs()-wide; padding is arena-internal.
+    EXPECT_EQ(tree.in_counts(kCollectorId).size(), n);
+    EXPECT_EQ(tree.local_counts(kCollectorId).size(), n);
+    EXPECT_EQ(tree.out_counts(kCollectorId).size(), n);
+  }
+}
+
+// Growth reallocates the aligned vectors repeatedly (no reserve): every
+// row must stay on a kAlign boundary afterwards, per the REMO_DCHECK in
+// alloc_slot.
+TEST(ArenaAlignment, EveryRowStaysAlignedAcrossGrowth) {
+  for (std::size_t n : {std::size_t{3}, std::size_t{17}}) {
+    MonitoringTree tree(identity_specs(n), 1e9, kCost);
+    std::vector<std::uint32_t> local(n, 1);
+    for (NodeId v = 1; v <= 200; ++v) {
+      const NodeId parent = v <= 3 ? kCollectorId : static_cast<NodeId>(v / 3);
+      ASSERT_TRUE(tree.try_attach(BuildItem{v, local, 1e9}, parent));
+    }
+    EXPECT_TRUE(aligned(tree.in_counts(kCollectorId).data()));
+    for (NodeId v : tree.members()) {
+      EXPECT_TRUE(aligned(tree.in_counts(v).data())) << "attrs=" << n << " v=" << v;
+      EXPECT_TRUE(aligned(tree.local_counts(v).data()));
+    }
+  }
+}
+
+// Odd widths (stride not a multiple of the vector width before padding):
+// the roll-up math must be exactly the naive per-attribute accumulation.
+TEST(ArenaAlignment, OddWidthCountsRollUpExactly) {
+  const std::size_t n = 5;  // padded to 16: 11 padding lanes in play
+  MonitoringTree tree(identity_specs(n), 1e9, kCost);
+  std::vector<std::uint32_t> expected_root(n, 0);
+  for (NodeId v = 1; v <= 40; ++v) {
+    std::vector<std::uint32_t> local(n);
+    for (std::size_t m = 0; m < n; ++m)
+      local[m] = static_cast<std::uint32_t>((v + m) % 4);
+    const NodeId parent = v <= 2 ? kCollectorId : static_cast<NodeId>(v / 2);
+    ASSERT_TRUE(tree.try_attach(BuildItem{v, local, 1e9}, parent));
+    for (std::size_t m = 0; m < n; ++m) expected_root[m] += local[m];
+  }
+  const CountSpan root_in = tree.in_counts(kCollectorId);
+  double expected_payload_sum = 0.0;
+  for (std::size_t m = 0; m < n; ++m) {
+    EXPECT_EQ(root_in[m], expected_root[m]) << "m=" << m;
+    expected_payload_sum += expected_root[m];
+  }
+  // Members' payloads are their subtree totals; spot-check the chain head.
+  double direct = 0.0;
+  for (std::size_t m = 0; m < n; ++m)
+    direct += static_cast<double>(tree.in_counts(1)[m]);
+  EXPECT_DOUBLE_EQ(tree.payload(1), direct);
+  // detach_branch hands back logical-width locals, not padded rows.
+  MonitoringTree scratch(identity_specs(n), 1e9, kCost);
+  ASSERT_TRUE(scratch.try_attach(BuildItem{7, {1, 2, 3, 4, 5}, 1e9}, kCollectorId));
+  const auto items = scratch.detach_branch(7);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].local, (std::vector<std::uint32_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(ArenaAlignment, ReserveDoesNotChangeResults) {
+  const std::size_t n = 7;
+  MonitoringTree plain(identity_specs(n), 1e9, kCost);
+  MonitoringTree reserved(identity_specs(n), 1e9, kCost);
+  reserved.reserve(64);
+  std::vector<std::uint32_t> local(n, 2);
+  for (NodeId v = 1; v <= 64; ++v) {
+    const NodeId parent = v <= 4 ? kCollectorId : static_cast<NodeId>(v / 4);
+    ASSERT_TRUE(plain.try_attach(BuildItem{v, local, 1e9}, parent));
+    ASSERT_TRUE(reserved.try_attach(BuildItem{v, local, 1e9}, parent));
+  }
+  EXPECT_EQ(plain.members(), reserved.members());
+  EXPECT_EQ(plain.collected_pairs(), reserved.collected_pairs());
+  EXPECT_EQ(plain.total_cost(), reserved.total_cost());
+  for (NodeId v : plain.members()) {
+    EXPECT_EQ(plain.parent(v), reserved.parent(v));
+    EXPECT_EQ(std::vector<std::uint32_t>(plain.in_counts(v).begin(),
+                                         plain.in_counts(v).end()),
+              std::vector<std::uint32_t>(reserved.in_counts(v).begin(),
+                                         reserved.in_counts(v).end()));
+  }
+}
+
+TEST(ArenaAlignment, UniformIdentityFlagTracksSpecs) {
+  EXPECT_TRUE(MonitoringTree(identity_specs(4), 1e9, kCost).uniform_identity());
+  auto topk = identity_specs(4);
+  topk[2].funnel = FunnelSpec{AggType::kTopK, 3};
+  EXPECT_FALSE(MonitoringTree(topk, 1e9, kCost).uniform_identity());
+  auto weighted = identity_specs(4);
+  weighted[1].weight = 0.5;
+  EXPECT_FALSE(MonitoringTree(weighted, 1e9, kCost).uniform_identity());
+  // kDistinct uses the holistic (identity) bound — still the fast path.
+  auto distinct = identity_specs(4);
+  distinct[0].funnel = FunnelSpec{AggType::kDistinct};
+  EXPECT_TRUE(MonitoringTree(distinct, 1e9, kCost).uniform_identity());
+}
+
+// Capture everything observable about a tree for exact comparison.
+struct TreeImage {
+  std::vector<NodeId> members;
+  std::map<NodeId, NodeId> parent;
+  std::map<NodeId, std::vector<NodeId>> children;
+  std::map<NodeId, std::size_t> depth;
+  std::map<NodeId, Capacity> usage;
+  std::map<NodeId, std::vector<std::uint32_t>> in, local;
+  std::size_t collected = 0;
+  Capacity cost = 0;
+
+  static TreeImage of(const MonitoringTree& t) {
+    TreeImage img;
+    img.members = t.members();
+    img.children[kCollectorId] = t.children(kCollectorId);
+    img.usage[kCollectorId] = t.usage(kCollectorId);
+    for (NodeId v : t.members()) {
+      img.parent[v] = t.parent(v);
+      img.children[v] = t.children(v);
+      img.depth[v] = t.depth(v);
+      img.usage[v] = t.usage(v);
+      img.in[v].assign(t.in_counts(v).begin(), t.in_counts(v).end());
+      img.local[v].assign(t.local_counts(v).begin(), t.local_counts(v).end());
+    }
+    img.collected = t.collected_pairs();
+    img.cost = t.total_cost();
+    return img;
+  }
+
+  bool operator==(const TreeImage&) const = default;
+};
+
+// renumber_dfs is a pure relayout: every externally observable quantity is
+// unchanged, including after slot recycling left holes in the arena.
+TEST(ArenaAlignment, RenumberDfsPreservesObservableState) {
+  const std::size_t n = 5;
+  MonitoringTree tree(identity_specs(n), 1e9, kCost);
+  std::vector<std::uint32_t> local(n, 1);
+  for (NodeId v = 1; v <= 60; ++v) {
+    const NodeId parent = v <= 5 ? kCollectorId : static_cast<NodeId>(v / 5);
+    ASSERT_TRUE(tree.try_attach(BuildItem{v, local, 1e9}, parent));
+  }
+  // Punch holes: drop a mid-tree branch, then attach fresh nodes into the
+  // recycled slots so live rows sit scattered across the arena.
+  (void)tree.detach_branch(5);
+  for (NodeId v = 100; v <= 104; ++v)
+    ASSERT_TRUE(tree.try_attach(BuildItem{v, local, 1e9}, 3));
+
+  const TreeImage before = TreeImage::of(tree);
+  tree.renumber_dfs();
+  EXPECT_EQ(TreeImage::of(tree), before);
+  // Rows remain aligned after the compaction copy.
+  for (NodeId v : tree.members())
+    EXPECT_TRUE(aligned(tree.in_counts(v).data()));
+  // The tree stays fully functional: more growth after renumbering.
+  for (NodeId v = 200; v <= 240; ++v)
+    ASSERT_TRUE(tree.try_attach(BuildItem{v, local, 1e9}, kCollectorId));
+  tree.renumber_dfs();
+  EXPECT_EQ(tree.size(), before.members.size() + 41);
+}
+
+// The builder's dfs_renumber option must not change the built tree's
+// observable state or scores — only the internal slot order.
+TEST(ArenaAlignment, BuilderDfsRenumberingIsPlanNeutral) {
+  std::vector<BuildItem> items;
+  for (NodeId v = 1; v <= 48; ++v)
+    items.push_back(BuildItem{v, {1, 1, 1}, 35.0});
+  TreeBuildOptions with, without;
+  with.dfs_renumber = true;
+  without.dfs_renumber = false;
+  const auto specs = identity_specs(3);
+  auto a = build_tree(specs, items, 500.0, kCost, with);
+  auto b = build_tree(specs, items, 500.0, kCost, without);
+  EXPECT_EQ(TreeImage::of(a.tree), TreeImage::of(b.tree));
+  EXPECT_EQ(a.rejected.size(), b.rejected.size());
+}
+
+}  // namespace
+}  // namespace remo

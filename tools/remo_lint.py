@@ -32,6 +32,11 @@ Rules
                        function whose definition is marked `// REMO_HOT`.
                        Hot-path functions run per candidate per iteration;
                        allocation there is a measured regression (PR 4).
+  hot-slot-lookup      slot_of() inside a `// REMO_HOT` function body. The
+                       id->slot hash/array lookup costs more than the work
+                       of a vectorized loop iteration; hot loops must
+                       resolve slots once outside the loop (or walk
+                       parent_[] slots directly) and index the flat arrays.
 
 Suppressions
 ------------
@@ -85,6 +90,7 @@ HOT_ALLOC_RE = re.compile(
     r"(?<![\w:])new\b|(?<![\w.:])(?:malloc|calloc|realloc)\s*\(|"
     r"\bmake_unique\s*<|\bmake_shared\s*<"
 )
+HOT_SLOT_LOOKUP_RE = re.compile(r"\bslot_of\s*\(")
 
 
 class Violation:
@@ -266,6 +272,11 @@ def lint_file(path: Path, rel: Path) -> list[Violation]:
             report(idx, "hot-alloc",
                    "allocation inside a // REMO_HOT function; hot paths must "
                    "reuse preallocated scratch (DESIGN.md §8)")
+        if idx in hot_lines and HOT_SLOT_LOOKUP_RE.search(code):
+            report(idx, "hot-slot-lookup",
+                   "slot_of() inside a // REMO_HOT function; resolve the slot "
+                   "once before the loop and index the flat arrays directly "
+                   "(DESIGN.md §15)")
     return violations
 
 

@@ -1,0 +1,72 @@
+// Clang Thread Safety Analysis (TSA) capability annotations — the
+// compile-time half of the concurrency contract (DESIGN.md §16).
+//
+// REMO's determinism story (bit-identical plans under every optimization)
+// rests on a small set of lock disciplines: the metrics registry's map is
+// only touched under its mutex, the tree-build cache's memo tables are
+// only read under theirs, the message bus's stats are a locked snapshot,
+// and so on. Runtime tools (TSan, REMO_VALIDATE) can only catch a
+// violation on an interleaving that actually happens in a test; these
+// annotations move the whole bug class to compile time — Clang's
+// -Wthread-safety pass proves, per translation unit, that every access to
+// a REMO_GUARDED_BY field happens while its capability (mutex) is held.
+//
+// Vocabulary (mirrors the attribute names in the Clang TSA docs):
+//   REMO_CAPABILITY(name)   a class whose instances are capabilities
+//                           (remo::Mutex is the only one today)
+//   REMO_SCOPED_CAPABILITY  an RAII object that acquires/releases one
+//   REMO_GUARDED_BY(mu)     field only accessed while `mu` is held
+//   REMO_PT_GUARDED_BY(mu)  pointer field whose *pointee* `mu` guards
+//   REMO_REQUIRES(mu...)    function requires `mu` held on entry (and exit)
+//   REMO_ACQUIRE(mu...)     function acquires `mu`; held on exit
+//   REMO_RELEASE(mu...)     function releases `mu`; not held on exit
+//   REMO_TRY_ACQUIRE(b, mu) acquires `mu` iff the function returns `b`
+//   REMO_EXCLUDES(mu...)    caller must NOT hold `mu` (non-reentrancy)
+//   REMO_ASSERT_CAPABILITY  runtime assertion that `mu` is held
+//   REMO_RETURN_CAPABILITY  function returns a reference to `mu`
+//   REMO_NO_TSA             opt a function body out of the analysis — use
+//                           only with a comment saying why it is sound
+//
+// Every macro expands to nothing unless the compiler is Clang with the
+// thread-safety attributes available, so GCC builds (the default local
+// toolchain) are byte-for-byte unaffected. The `-DREMO_TSA=ON` CMake
+// option turns the analysis into errors (-Werror=thread-safety); the CI
+// `tsa` job builds the whole tree that way.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define REMO_TSA_ATTRIBUTE(x) __attribute__((x))
+#endif
+#endif
+#ifndef REMO_TSA_ATTRIBUTE
+#define REMO_TSA_ATTRIBUTE(x)  // not Clang (or too old): annotations vanish
+#endif
+
+#define REMO_CAPABILITY(x) REMO_TSA_ATTRIBUTE(capability(x))
+#define REMO_SCOPED_CAPABILITY REMO_TSA_ATTRIBUTE(scoped_lockable)
+
+#define REMO_GUARDED_BY(x) REMO_TSA_ATTRIBUTE(guarded_by(x))
+#define REMO_PT_GUARDED_BY(x) REMO_TSA_ATTRIBUTE(pt_guarded_by(x))
+
+#define REMO_REQUIRES(...) \
+  REMO_TSA_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REMO_REQUIRES_SHARED(...) \
+  REMO_TSA_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define REMO_ACQUIRE(...) REMO_TSA_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define REMO_ACQUIRE_SHARED(...) \
+  REMO_TSA_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define REMO_RELEASE(...) REMO_TSA_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define REMO_RELEASE_SHARED(...) \
+  REMO_TSA_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define REMO_TRY_ACQUIRE(...) \
+  REMO_TSA_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define REMO_EXCLUDES(...) REMO_TSA_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define REMO_ASSERT_CAPABILITY(x) REMO_TSA_ATTRIBUTE(assert_capability(x))
+#define REMO_RETURN_CAPABILITY(x) REMO_TSA_ATTRIBUTE(lock_returned(x))
+
+#define REMO_NO_TSA REMO_TSA_ATTRIBUTE(no_thread_safety_analysis)

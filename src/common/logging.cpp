@@ -1,13 +1,16 @@
 #include "common/logging.h"
 
 #include <cstdio>
-#include <mutex>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace remo {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_emit_mutex;
-LogSink g_sink;  // empty = the stderr default; guarded by g_emit_mutex
+Mutex g_emit_mutex;
+/// Empty = the stderr default.
+LogSink g_sink REMO_GUARDED_BY(g_emit_mutex);
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -35,13 +38,13 @@ LogLevel log_level() noexcept {
 }
 
 void set_log_sink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   g_sink = std::move(sink);
 }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   if (g_sink) {
     g_sink(level, message);
     return;

@@ -1,0 +1,94 @@
+// Annotated mutex wrappers (DESIGN.md §16): `remo::Mutex`, the RAII
+// `remo::MutexLock`, and `remo::CondVar`, carrying the Clang TSA
+// capability annotations from common/annotations.h. On GCC (the default
+// local toolchain) the annotations expand to nothing and these classes
+// compile to exactly `std::mutex` / `std::lock_guard` semantics — the
+// wrappers exist so that `-DREMO_TSA=ON` (Clang) can prove every access
+// to a REMO_GUARDED_BY field happens under its lock.
+//
+// Project rule (enforced by remo_lint's `raw-mutex` rule): code in src/
+// uses these wrappers, never `std::mutex` / `std::lock_guard` /
+// `std::condition_variable` directly — a raw mutex is invisible to the
+// analysis, so a guarded field behind it is a silent hole in the proof.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace remo {
+
+/// A `std::mutex` that is a TSA capability — the one sanctioned raw mutex
+/// in src/; everything else goes through this wrapper. Lockable and
+/// BasicLockable, so it composes with CondVar (which unlocks/relocks it
+/// while waiting).
+class REMO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() REMO_ACQUIRE() { mu_.lock(); }
+  void unlock() REMO_RELEASE() { mu_.unlock(); }
+  bool try_lock() REMO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  // remo-lint: allow(raw-mutex) the wrapped implementation mutex
+  std::mutex mu_;
+};
+
+/// RAII lock: acquires on construction, releases on destruction, with
+/// manual unlock()/lock() for the drop-the-lock-around-work pattern
+/// (ThreadPool::worker_loop). Follows the scoped-capability example in
+/// the Clang TSA docs so the analysis tracks the relock cycle exactly.
+class REMO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) REMO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() REMO_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily drop the lock; must be balanced by lock() (or scope exit
+  /// with the lock released is fine — the destructor checks).
+  void unlock() REMO_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+  void lock() REMO_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable that waits on a remo::Mutex directly (the caller
+/// holds it via MutexLock; wait() unlocks and relocks the same mutex).
+/// Built on condition_variable_any, which accepts any BasicLockable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, reacquires `mu`.
+  /// Spurious wakeups happen; callers loop on their predicate (reading it
+  /// under the lock, which is what REMO_REQUIRES documents and checks).
+  void wait(Mutex& mu) REMO_REQUIRES(mu) { cv_.wait(mu); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  // the one std waiter that can block on the annotated Mutex type itself:
+  // remo-lint: allow(raw-mutex) condition_variable_any waits on remo::Mutex
+  std::condition_variable_any cv_;
+};
+
+}  // namespace remo

@@ -3,15 +3,22 @@
 // topologies concurrently; determinism is preserved because parallel_for
 // assigns each index its own output slot and the caller decides winners by
 // index, never by completion order.
+//
+// Lock discipline (machine-checked under -DREMO_TSA=ON, DESIGN.md §16):
+// `mutex_` guards the job hand-off state (job_, job_generation_, stop_);
+// workers take it only to pick up or wait for a job, never while running
+// one. Per-job completion state lives in Job (see thread_pool.cpp), under
+// the job's own `done_mutex`.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace remo {
 
@@ -35,21 +42,26 @@ class ThreadPool {
   /// set of executed indices is not. If any fn throws, the first exception
   /// (by completion order) is rethrown in the caller after the loop drains.
   /// Serial fallback (no pool involvement) when the pool has no workers.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn)
+      REMO_EXCLUDES(mutex_);
 
   /// Default concurrency: hardware_concurrency, floored at 1.
   static std::size_t default_concurrency();
 
  private:
   struct Job;
-  void worker_loop();
+  void worker_loop() REMO_EXCLUDES(mutex_);
   static void run(Job& job);
 
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::shared_ptr<Job> job_;        // current job, null when idle
-  std::uint64_t job_generation_ = 0;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar wake_;
+  /// Current job, null when idle.
+  std::shared_ptr<Job> job_ REMO_GUARDED_BY(mutex_);
+  std::uint64_t job_generation_ REMO_GUARDED_BY(mutex_) = 0;
+  bool stop_ REMO_GUARDED_BY(mutex_) = false;
+  /// Written only by the constructor/destructor (no concurrent access).
+  /// The pool is the sanctioned thread owner in src/:
+  // remo-lint: allow(naked-thread) workers joined in ~ThreadPool, no detach
   std::vector<std::thread> threads_;
 };
 

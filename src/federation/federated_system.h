@@ -54,6 +54,15 @@ struct FederationOptions {
   obs::Registry* metrics = nullptr;
 };
 
+// Thread model (DESIGN.md §16): the facade itself is single-threaded —
+// callers serialize task/epoch calls exactly as they would against one
+// core. The only state shared with other threads is the per-shard metric
+// registries (`registries_`): shard cores publish into them while an
+// exporter thread may read, and that traffic is safe because
+// obs::Registry's map is guarded by an annotated remo::Mutex and the
+// returned metric handles are lock-free atomics. No mutex lives at this
+// layer, so there is nothing here for the thread-safety analysis to
+// check — by construction, not by waiver.
 class FederatedMonitoringSystem {
  public:
   explicit FederatedMonitoringSystem(SystemModel global,

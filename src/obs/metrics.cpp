@@ -69,14 +69,14 @@ std::vector<double> Histogram::time_bounds() {
 // ---- Registry -------------------------------------------------------------
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -84,14 +84,14 @@ Gauge& Registry::gauge(const std::string& name) {
 
 Histogram& Registry::histogram(const std::string& name,
                                std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
 }
 
 RegistrySnapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   RegistrySnapshot s;
   for (const auto& [name, c] : counters_) s.counters.emplace(name, c->value());
   for (const auto& [name, g] : gauges_) s.gauges.emplace(name, g->value());
@@ -101,14 +101,14 @@ RegistrySnapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
 std::size_t Registry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 

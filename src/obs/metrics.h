@@ -27,9 +27,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace remo::obs {
 
@@ -122,31 +124,41 @@ struct RegistrySnapshot {
 /// a mutex and is idempotent — the same name always returns the same
 /// object, whose address is stable for the registry's lifetime. Keep the
 /// returned reference and increment lock-free from there.
+///
+/// Lock discipline (DESIGN.md §16): `mutex_` guards the three name→metric
+/// maps — registration, snapshot, reset, size. The metric objects
+/// themselves are lock-free (atomics) and are incremented *outside* the
+/// lock by design; only the map structure is a capability-protected
+/// region, which is what keeps the hot path one relaxed atomic op.
 class Registry {
  public:
   Registry() = default;
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  Counter& counter(const std::string& name) REMO_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name) REMO_EXCLUDES(mutex_);
   /// `bounds` are used only on first registration of `name`; a later call
   /// with different bounds returns the existing histogram unchanged.
-  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds)
+      REMO_EXCLUDES(mutex_);
 
-  RegistrySnapshot snapshot() const;
+  RegistrySnapshot snapshot() const REMO_EXCLUDES(mutex_);
   /// Zeroes every metric; registrations (and handed-out addresses) survive.
-  void reset();
-  std::size_t size() const;
+  void reset() REMO_EXCLUDES(mutex_);
+  std::size_t size() const REMO_EXCLUDES(mutex_);
 
   /// The process-global default instance.
   static Registry& global();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      REMO_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      REMO_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      REMO_GUARDED_BY(mutex_);
 };
 
 /// Injectable-registry convention used across the codebase: components

@@ -37,25 +37,33 @@ double TraceRecorder::since_epoch(std::chrono::steady_clock::time_point t) const
   return std::chrono::duration<double>(t - epoch_).count();
 }
 
-void TraceRecorder::commit(SpanRecord record) {
-  if (log_spans_.load(std::memory_order_relaxed)) {
-    REMO_DEBUG() << "span " << record.name << " id=" << record.id
-                 << " parent=" << record.parent << " start=" << record.start_s
-                 << "s dur=" << record.duration_s << "s";
+void TraceRecorder::commit(SpanRecord record,
+                           std::chrono::steady_clock::time_point start) {
+  {
+    MutexLock lock(mutex_);
+    // start_s must be derived under the lock: clear() moves the epoch, and
+    // an unguarded read here raced it (caught by annotation, PR 10).
+    record.start_s = since_epoch(start);
+    if (log_spans_.load(std::memory_order_relaxed)) {
+      lock.unlock();
+      REMO_DEBUG() << "span " << record.name << " id=" << record.id
+                   << " parent=" << record.parent << " start=" << record.start_s
+                   << "s dur=" << record.duration_s << "s";
+      lock.lock();
+    }
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(record));
+      return;
+    }
+    ring_[next_slot_] = std::move(record);
+    next_slot_ = (next_slot_ + 1) % capacity_;
+    wrapped_ = true;
+    ++dropped_;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(record));
-    return;
-  }
-  ring_[next_slot_] = std::move(record);
-  next_slot_ = (next_slot_ + 1) % capacity_;
-  wrapped_ = true;
-  ++dropped_;
 }
 
 std::vector<SpanRecord> TraceRecorder::records() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!wrapped_) return ring_;
   std::vector<SpanRecord> out;
   out.reserve(ring_.size());
@@ -65,12 +73,12 @@ std::vector<SpanRecord> TraceRecorder::records() const {
 }
 
 std::size_t TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return dropped_;
 }
 
 void TraceRecorder::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ring_.clear();
   next_slot_ = 0;
   wrapped_ = false;
@@ -109,9 +117,9 @@ Span::~Span() {
   record.id = id_;
   record.parent = parent_;
   record.name = name_;
-  record.start_s = recorder_->since_epoch(start_);
   record.duration_s = std::chrono::duration<double>(end - start_).count();
-  recorder_->commit(std::move(record));
+  // start_s is stamped by commit() under the recorder lock (epoch read).
+  recorder_->commit(std::move(record), start_);
 }
 
 }  // namespace remo::obs

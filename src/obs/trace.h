@@ -19,9 +19,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace remo::obs {
 
@@ -46,13 +48,14 @@ class TraceRecorder {
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
   /// Completed spans, oldest first (completion order).
-  std::vector<SpanRecord> records() const;
+  std::vector<SpanRecord> records() const REMO_EXCLUDES(mutex_);
   /// Spans overwritten because the ring was full.
-  std::size_t dropped() const;
+  std::size_t dropped() const REMO_EXCLUDES(mutex_);
   std::size_t capacity() const noexcept { return capacity_; }
   /// Drops all records and restarts the time epoch; live spans still end
-  /// into the cleared ring.
-  void clear();
+  /// into the cleared ring (their start_s is taken against the *new*
+  /// epoch, under the same lock that moved it — see commit()).
+  void clear() REMO_EXCLUDES(mutex_);
 
   /// Mirror every completed span onto the log stream (REMO_DEBUG), so
   /// trace events and log lines interleave on whatever sink
@@ -69,16 +72,23 @@ class TraceRecorder {
   std::uint64_t next_id() noexcept {
     return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
-  double since_epoch(std::chrono::steady_clock::time_point t) const;
-  void commit(SpanRecord record);
+  double since_epoch(std::chrono::steady_clock::time_point t) const
+      REMO_REQUIRES(mutex_);
+  /// Stamps record.start_s from `start` and the current epoch — both read
+  /// under mutex_, so a concurrent clear() (which moves the epoch) cannot
+  /// race the conversion. A span ending during clear() lands consistently
+  /// on one side of the new epoch (possibly with a negative start_s).
+  void commit(SpanRecord record, std::chrono::steady_clock::time_point start)
+      REMO_EXCLUDES(mutex_);
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> ring_;
-  std::size_t next_slot_ = 0;  ///< insertion point once the ring wrapped
-  bool wrapped_ = false;
-  std::size_t dropped_ = 0;
-  std::chrono::steady_clock::time_point epoch_;
+  mutable Mutex mutex_;
+  std::vector<SpanRecord> ring_ REMO_GUARDED_BY(mutex_);
+  /// Insertion point once the ring wrapped.
+  std::size_t next_slot_ REMO_GUARDED_BY(mutex_) = 0;
+  bool wrapped_ REMO_GUARDED_BY(mutex_) = false;
+  std::size_t dropped_ REMO_GUARDED_BY(mutex_) = 0;
+  std::chrono::steady_clock::time_point epoch_ REMO_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<bool> log_spans_{false};
 };

@@ -12,6 +12,14 @@
 //     re-evaluating an augmentation whose involved nodes the previously
 //     committed operation did not touch reuses the built trees.
 //
+// Thread model (DESIGN.md §16): the evaluator itself owns no lock — its
+// cross-thread state is exactly the annotated TreeBuildCache (capability
+// `cache_.mutex_`), the ThreadPool's job hand-off, and the registry's
+// lock-free metric objects. Pool tasks touch only their own rank slot,
+// their task-local RebuildScratch, and those three annotated structures,
+// which is why the engine needs no capability of its own and the TSA
+// build proves the whole parallel section lock-correct.
+//
 // The engine also keeps the evaluation counters/timings (EvalStats) that
 // plan(), the adaptive planner, and the Fig. 9/10 benches report. The live
 // counters are `planner.*` metrics in an obs::Registry

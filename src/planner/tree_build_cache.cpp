@@ -51,7 +51,7 @@ std::size_t TreeBuildCache::AttrsHash::operator()(
 
 const TreeBuildCache::ItemsTemplate* TreeBuildCache::items_template(
     const std::vector<AttrId>& attrs, const PairSet& pairs) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = templates_.find(attrs);
   if (it != templates_.end()) return &it->second;
   ItemsTemplate t;
@@ -71,7 +71,7 @@ const TreeBuildCache::ItemsTemplate* TreeBuildCache::items_template(
 
 std::optional<TreeEntry> TreeBuildCache::find(const TreeBuildKey& key) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       if (validation_enabled() && reference_pairs_ != nullptr) {
@@ -92,7 +92,7 @@ std::optional<TreeEntry> TreeBuildCache::find(const TreeBuildKey& key) {
 
 const TreeEntry* TreeBuildCache::peek(const TreeBuildKey& key) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       if (validation_enabled() && reference_pairs_ != nullptr) {
@@ -112,7 +112,7 @@ const TreeEntry* TreeBuildCache::peek(const TreeBuildKey& key) {
 }
 
 void TreeBuildCache::insert(const TreeBuildKey& key, const TreeEntry& entry) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   CachedEntry cached{entry, 0};
   if (validation_enabled() && reference_pairs_ != nullptr) {
     cached.pair_fingerprint = pair_fingerprint(key, *reference_pairs_);
@@ -122,7 +122,7 @@ void TreeBuildCache::insert(const TreeBuildKey& key, const TreeEntry& entry) {
 
 std::size_t TreeBuildCache::invalidate_attrs(const std::vector<AttrId>& attrs) {
   if (attrs.empty()) return 0;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Which entries survive is order-independent (each key is tested in
   // isolation), so hash-order traversal cannot leak into plans.
   std::erase_if(templates_, [&](const auto& kv) {
@@ -134,18 +134,18 @@ std::size_t TreeBuildCache::invalidate_attrs(const std::vector<AttrId>& attrs) {
 }
 
 void TreeBuildCache::set_reference_pairs(const PairSet* pairs) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   reference_pairs_ = pairs;
 }
 
 void TreeBuildCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
   templates_.clear();
 }
 
 std::size_t TreeBuildCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 

@@ -31,11 +31,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/types.h"
 #include "planner/topology.h"
 #include "task/pair_set.h"
@@ -60,7 +61,7 @@ class TreeBuildCache {
   /// Under REMO_VALIDATE (with a reference pair set installed) a hit's
   /// stored input fingerprint is recomputed and must match — serving a
   /// stale entry aborts.
-  std::optional<TreeEntry> find(const TreeBuildKey& key);
+  std::optional<TreeEntry> find(const TreeBuildKey& key) REMO_EXCLUDES(mutex_);
   /// Scoring peek (REMO_HOT: once per cached tree per candidate scored):
   /// returns a pointer to the cached entry, or nullptr, counting a
   /// hit/miss like find() — without copying the tree. The pointee is
@@ -68,7 +69,7 @@ class TreeBuildCache {
   /// calls (entries are never updated in place), but invalidate_attrs()
   /// and clear() destroy it — callers must not hold the pointer across
   /// either. Performs the same REMO_VALIDATE staleness check as find().
-  const TreeEntry* peek(const TreeBuildKey& key);
+  const TreeEntry* peek(const TreeBuildKey& key) REMO_EXCLUDES(mutex_);
 
   /// Everything item construction reads from the pair set for a tree over
   /// `attrs`: the candidate members (nodes_with_any order), their local
@@ -87,27 +88,30 @@ class TreeBuildCache {
   /// entries — a template reads exactly the pair-set slice over `attrs`.
   /// Pointer stability contract as peek().
   const ItemsTemplate* items_template(const std::vector<AttrId>& attrs,
-                                      const PairSet& pairs);
+                                      const PairSet& pairs)
+      REMO_EXCLUDES(mutex_);
 
   /// Inserts (no-op if the key is already present — concurrent builders of
   /// the same key produce identical entries, so first-writer-wins is fine).
-  void insert(const TreeBuildKey& key, const TreeEntry& entry);
+  void insert(const TreeBuildKey& key, const TreeEntry& entry)
+      REMO_EXCLUDES(mutex_);
 
   /// Evicts every entry whose attribute set intersects `attrs` (sorted,
   /// unique) — the scoped alternative to clear() when the pair set changed
   /// only over `attrs`. Entries over disjoint attribute sets read nothing
   /// the delta touched and remain exactly reusable. Returns the number of
   /// entries evicted.
-  std::size_t invalidate_attrs(const std::vector<AttrId>& attrs);
+  std::size_t invalidate_attrs(const std::vector<AttrId>& attrs)
+      REMO_EXCLUDES(mutex_);
 
   /// Installs the pair set that entries are built against (validation
   /// only; pass nullptr to detach). The pointee must outlive the cache or
   /// the next set_reference_pairs call and is read during find()/insert()
   /// — safe while builds run, since builders never mutate the pair set.
-  void set_reference_pairs(const PairSet* pairs);
+  void set_reference_pairs(const PairSet* pairs) REMO_EXCLUDES(mutex_);
 
-  void clear();
-  std::size_t size() const;
+  void clear() REMO_EXCLUDES(mutex_);
+  std::size_t size() const REMO_EXCLUDES(mutex_);
   std::size_t hits() const noexcept { return hits_.load(std::memory_order_relaxed); }
   std::size_t misses() const noexcept { return misses_.load(std::memory_order_relaxed); }
 
@@ -126,11 +130,14 @@ class TreeBuildCache {
     std::uint64_t pair_fingerprint = 0;
   };
 
+  /// Written once by the owning evaluator before any concurrent use.
   bool enabled_ = true;
-  mutable std::mutex mutex_;
-  std::unordered_map<TreeBuildKey, CachedEntry, KeyHash> entries_;
-  std::unordered_map<std::vector<AttrId>, ItemsTemplate, AttrsHash> templates_;
-  const PairSet* reference_pairs_ = nullptr;  ///< guarded by mutex_
+  mutable Mutex mutex_;
+  std::unordered_map<TreeBuildKey, CachedEntry, KeyHash> entries_
+      REMO_GUARDED_BY(mutex_);
+  std::unordered_map<std::vector<AttrId>, ItemsTemplate, AttrsHash> templates_
+      REMO_GUARDED_BY(mutex_);
+  const PairSet* reference_pairs_ REMO_GUARDED_BY(mutex_) = nullptr;
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
 };

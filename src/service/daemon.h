@@ -88,6 +88,14 @@ struct DaemonStats {
   std::uint64_t pairs_emitted = 0;
 };
 
+// Thread model (DESIGN.md §16): producers on any thread call the
+// submit_* edge, which only touches `bus_` — MessageBus is the daemon's
+// single cross-thread capability (one annotated remo::Mutex guards the
+// queue, admission buckets, and stats; see service/message_bus.h). The
+// run loop is a single consumer: everything below the bus (the federated
+// system, stats_, collected_) is consumer-thread-only state, so it is
+// deliberately unguarded and unannotated — adding a mutex there would
+// claim a sharing that must never exist.
 class MonitoringDaemon {
  public:
   MonitoringDaemon(SystemModel global, DaemonOptions options = {});

@@ -34,7 +34,7 @@ MessageBus::MessageBus(BusOptions opts) : opts_(opts) {
 
 void MessageBus::set_producer_limits(std::uint32_t producer,
                                      ProducerLimits limits) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Bucket& b = buckets_[producer];
   b.limits = limits;
   b.tokens = limits.burst;
@@ -42,7 +42,7 @@ void MessageBus::set_producer_limits(std::uint32_t producer,
 }
 
 Admission MessageBus::push(Command cmd, double now) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++stats_.pushed;
   const std::size_t batch = cmd.values.size();
   const bool low_priority = cmd.kind == CommandKind::kValues;
@@ -91,7 +91,7 @@ Admission MessageBus::push(Command cmd, double now) {
 
 std::size_t MessageBus::drain(std::vector<Command>& out,
                               std::size_t value_budget) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::size_t drained = 0;
   std::size_t values = 0;
   while (!queue_.empty()) {
@@ -108,27 +108,27 @@ std::size_t MessageBus::drain(std::vector<Command>& out,
 }
 
 std::size_t MessageBus::depth() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return queue_.size();
 }
 
 std::size_t MessageBus::queued_values() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return queued_values_;
 }
 
 BusStats MessageBus::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return stats_;
 }
 
 std::vector<Command> MessageBus::export_queue() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return {queue_.begin(), queue_.end()};
 }
 
 std::vector<MessageBus::BucketState> MessageBus::export_buckets() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<BucketState> out;
   out.reserve(buckets_.size());
   for (const auto& [producer, b] : buckets_)
@@ -139,7 +139,7 @@ std::vector<MessageBus::BucketState> MessageBus::export_buckets() const {
 
 void MessageBus::restore(std::vector<Command> queue,
                          std::vector<BucketState> buckets, BusStats stats) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   queue_.assign(std::make_move_iterator(queue.begin()),
                 std::make_move_iterator(queue.end()));
   queued_values_ = 0;

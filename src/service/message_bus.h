@@ -27,9 +27,10 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/types.h"
 #include "task/task.h"
 
@@ -118,23 +119,25 @@ class MessageBus {
 
   /// Registers (or replaces) `producer`'s rate limit. Unregistered
   /// producers are unlimited.
-  void set_producer_limits(std::uint32_t producer, ProducerLimits limits);
+  void set_producer_limits(std::uint32_t producer, ProducerLimits limits)
+      REMO_EXCLUDES(mutex_);
 
   /// Admission-controlled enqueue; `now` is the producer's clock (the
   /// daemon's virtual time), feeding the token buckets.
-  Admission push(Command cmd, double now);
+  Admission push(Command cmd, double now) REMO_EXCLUDES(mutex_);
 
   /// Drains queued commands FIFO into `out` (appending). `value_budget`
   /// caps the total values drained this call: draining stops *before* a
   /// value batch that would exceed it — unless nothing was drained yet,
   /// so an oversized batch still makes progress. 0 = unlimited. Returns
   /// the number of commands drained.
-  std::size_t drain(std::vector<Command>& out, std::size_t value_budget = 0);
+  std::size_t drain(std::vector<Command>& out, std::size_t value_budget = 0)
+      REMO_EXCLUDES(mutex_);
 
-  std::size_t depth() const;
+  std::size_t depth() const REMO_EXCLUDES(mutex_);
   /// Values queued but not yet drained — the daemon's deferral gauge.
-  std::size_t queued_values() const;
-  BusStats stats() const;
+  std::size_t queued_values() const REMO_EXCLUDES(mutex_);
+  BusStats stats() const REMO_EXCLUDES(mutex_);
   const BusOptions& options() const noexcept { return opts_; }
 
   // ---- snapshot/restore (service/snapshot.h, DESIGN.md §14) -------------
@@ -147,10 +150,10 @@ class MessageBus {
     double last_refill = 0.0;
     bool initialized = false;
   };
-  std::vector<Command> export_queue() const;
-  std::vector<BucketState> export_buckets() const;
+  std::vector<Command> export_queue() const REMO_EXCLUDES(mutex_);
+  std::vector<BucketState> export_buckets() const REMO_EXCLUDES(mutex_);
   void restore(std::vector<Command> queue, std::vector<BucketState> buckets,
-               BusStats stats);
+               BusStats stats) REMO_EXCLUDES(mutex_);
 
  private:
   struct Bucket {
@@ -161,11 +164,15 @@ class MessageBus {
   };
 
   BusOptions opts_;
-  mutable std::mutex mutex_;
-  std::deque<Command> queue_;
-  std::size_t queued_values_ = 0;
-  std::map<std::uint32_t, Bucket> buckets_;
-  BusStats stats_;
+  /// One capability guards the whole bus: queue, value accounting, token
+  /// buckets, and stats move together under every admission decision
+  /// (DESIGN.md §16) — a partially-locked read could observe a queue that
+  /// doesn't match its stats.
+  mutable Mutex mutex_;
+  std::deque<Command> queue_ REMO_GUARDED_BY(mutex_);
+  std::size_t queued_values_ REMO_GUARDED_BY(mutex_) = 0;
+  std::map<std::uint32_t, Bucket> buckets_ REMO_GUARDED_BY(mutex_);
+  BusStats stats_ REMO_GUARDED_BY(mutex_);
 };
 
 }  // namespace remo::service

@@ -242,6 +242,147 @@ class HotSlotLookupTest(unittest.TestCase):
         self.assertEqual(rules_of(code), [])
 
 
+class RawMutexTest(unittest.TestCase):
+    def test_flags_std_mutex_member(self):
+        bad = "class Q { mutable std::mutex mutex_; };"
+        self.assertIn("raw-mutex", rules_of(bad))
+
+    def test_flags_lock_guard_and_unique_lock(self):
+        self.assertIn("raw-mutex",
+                      rules_of("std::lock_guard<std::mutex> lock(mutex_);"))
+        self.assertIn("raw-mutex",
+                      rules_of("std::unique_lock<std::mutex> lock(mutex_);"))
+
+    def test_flags_condition_variable(self):
+        self.assertIn("raw-mutex", rules_of("std::condition_variable wake_;"))
+
+    def test_applies_outside_order_sensitive_dirs_too(self):
+        # The wrapper mandate covers all of src/ (any raw mutex is a hole
+        # in the TSA proof), not just the plan-determinism dirs.
+        self.assertIn("raw-mutex",
+                      rules_of("std::mutex m;", relpath="collector/snippet.cpp"))
+
+    def test_remo_wrappers_are_fine(self):
+        good = """
+            #include "common/mutex.h"
+            class Q {
+              void f() { MutexLock lock(mutex_); ++x_; }
+              mutable Mutex mutex_;
+              int x_ REMO_GUARDED_BY(mutex_) = 0;
+            };
+        """
+        self.assertEqual(rules_of(good), [])
+
+    def test_allow_with_reason_waives(self):
+        code = """
+            // remo-lint: allow(raw-mutex) interop with a C library callback
+            std::mutex legacy_handle_lock;
+        """
+        self.assertEqual(rules_of(code), [])
+
+
+class UnannotatedMutexTest(unittest.TestCase):
+    def test_flags_mutex_with_no_guarded_field(self):
+        bad = """
+            class Q {
+              mutable Mutex mutex_;
+              int x_ = 0;
+            };
+        """
+        self.assertIn("unannotated-mutex", rules_of(bad))
+
+    def test_guarded_by_anywhere_in_file_satisfies(self):
+        good = """
+            class Q {
+              mutable Mutex mutex_;
+              int x_ REMO_GUARDED_BY(mutex_) = 0;
+            };
+        """
+        self.assertEqual(rules_of(good), [])
+
+    def test_pt_guarded_by_also_satisfies(self):
+        good = """
+            class Q {
+              Mutex mu_;
+              int* p_ REMO_PT_GUARDED_BY(mu_) = nullptr;
+            };
+        """
+        self.assertEqual(rules_of(good), [])
+
+    def test_reference_member_is_not_a_declaration(self):
+        # MutexLock holds `Mutex& mu_;` — a borrowed capability, not a new
+        # one; only owning declarations need a guarded field.
+        self.assertEqual(rules_of("class L { Mutex& mu_; };"), [])
+
+    def test_allow_with_reason_waives(self):
+        code = """
+            class Q {
+              // remo-lint: allow(unannotated-mutex) pure signaling: pairs
+              Mutex wake_mutex_;
+            };
+        """
+        self.assertEqual(rules_of(code), [])
+
+
+class NakedThreadTest(unittest.TestCase):
+    def test_flags_std_thread_member(self):
+        self.assertIn("naked-thread",
+                      rules_of("std::vector<std::thread> workers_;"))
+
+    def test_flags_detach(self):
+        self.assertIn("naked-thread", rules_of("worker.detach();"))
+
+    def test_hardware_concurrency_is_fine(self):
+        good = "auto n = std::thread::hardware_concurrency();"
+        self.assertEqual(rules_of(good), [])
+
+    def test_this_thread_is_fine(self):
+        good = "std::this_thread::sleep_for(std::chrono::seconds(1));"
+        self.assertEqual(rules_of(good), [])
+
+    def test_allow_with_reason_waives(self):
+        code = """
+            // remo-lint: allow(naked-thread) pool workers, joined in dtor
+            threads_.emplace_back([this] { worker_loop(); });
+            // remo-lint: allow(naked-thread) pool-owned storage
+            std::vector<std::thread> threads_;
+        """
+        self.assertEqual(rules_of(code), [])
+
+
+class NondetSourceTest(unittest.TestCase):
+    def test_flags_system_clock_in_planner(self):
+        bad = "auto now = std::chrono::system_clock::now();"
+        self.assertIn("nondet-source", rules_of(bad))
+
+    def test_flags_thread_local_in_planner(self):
+        bad = "thread_local double best_score = 0.0;"
+        self.assertIn("nondet-source", rules_of(bad))
+
+    def test_flags_libc_clock_call(self):
+        self.assertIn("nondet-source", rules_of("double t = clock();"))
+
+    def test_steady_clock_duration_measurement_is_fine(self):
+        good = "const auto start = std::chrono::steady_clock::now();"
+        self.assertEqual(rules_of(good), [])
+
+    def test_scoped_to_order_sensitive_dirs(self):
+        # obs/ legitimately keeps a thread_local span stack; collectors may
+        # read wall clocks — neither feeds plan scores.
+        ok = "thread_local std::vector<LiveSpan> t_live_spans;"
+        self.assertNotIn("nondet-source", rules_of(ok, relpath="obs/snippet.cpp"))
+        self.assertNotIn("nondet-source",
+                         rules_of("auto t = std::chrono::system_clock::now();",
+                                  relpath="collector/snippet.cpp"))
+
+    def test_allow_with_reason_waives(self):
+        code = """
+            // remo-lint: allow(nondet-source) log stamp only, not plan input
+            auto wall = std::chrono::system_clock::now();
+        """
+        self.assertEqual(rules_of(code), [])
+
+
 class SuppressionTest(unittest.TestCase):
     def test_allow_with_reason_waives_line_below(self):
         code = """

@@ -37,6 +37,34 @@ Rules
                        of a vectorized loop iteration; hot loops must
                        resolve slots once outside the loop (or walk
                        parent_[] slots directly) and index the flat arrays.
+  raw-mutex            std::mutex / lock_guard / unique_lock / scoped_lock
+                       / condition_variable used directly in src/. All
+                       locking goes through the annotated remo::Mutex /
+                       MutexLock / CondVar wrappers (common/mutex.h) so
+                       Clang Thread Safety Analysis (-DREMO_TSA=ON,
+                       DESIGN.md §16) sees every capability; a raw mutex
+                       is a hole in the compile-time lock-discipline proof.
+  unannotated-mutex    A remo::Mutex member declared in a file that never
+                       says REMO_GUARDED_BY(that mutex). A mutex that
+                       guards nothing is either dead weight or — worse —
+                       guarding fields the annotation layer can't see;
+                       name at least one guarded field, or waive with the
+                       reason the mutex exists (e.g. pure signaling).
+  naked-thread         std::thread construction or .detach() outside the
+                       common/thread_pool owner. Detached threads outlive
+                       scope unjoined (UB at exit, invisible to TSan
+                       teardown) and ad-hoc threads bypass the pool's
+                       deterministic parallel_for indexing; spawn through
+                       ThreadPool, or waive with the ownership story.
+  nondet-source        Nondeterminism sources in plan-affecting code (the
+                       order-sensitive dirs): wall-clock reads
+                       (system_clock, gettimeofday, clock()) and
+                       thread_local state. Plans must be pure functions of
+                       (inputs, seed); steady_clock *duration* measurement
+                       for reported timings is fine and not flagged.
+                       (Float accumulation over unordered containers — the
+                       third §16 source — is already caught by
+                       unordered-iteration: any hash-order walk is banned.)
 
 Suppressions
 ------------
@@ -91,6 +119,31 @@ HOT_ALLOC_RE = re.compile(
     r"\bmake_unique\s*<|\bmake_shared\s*<"
 )
 HOT_SLOT_LOOKUP_RE = re.compile(r"\bslot_of\s*\(")
+
+# v2 concurrency/determinism rules (DESIGN.md §16) ---------------------------
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"condition_variable(?:_any)?)\b"
+)
+# A remo::Mutex member/global declaration: `Mutex name_;`, possibly
+# `mutable`. std::mutex is lowercase, so the capitalized match is exact;
+# `Mutex& ref;` (the MutexLock member) deliberately does not match.
+MUTEX_DECL_RE = re.compile(r"\b(?:mutable\s+)?Mutex\s+([A-Za-z_]\w*)\s*;")
+# `std::thread t(...)` / `std::jthread` / vector<std::thread>, but not
+# `std::thread::hardware_concurrency` (scope access) and not
+# `std::this_thread::*`.
+NAKED_THREAD_RE = re.compile(r"\bstd\s*::\s*j?thread\b(?!\s*::)")
+DETACH_RE = re.compile(r"\.\s*detach\s*\(")
+# Wall-clock and per-thread state in plan-affecting code. steady_clock is
+# allowed (duration measurement); `clock(` does not match `steady_clock::`
+# (no '(' after the name) nor `hardware_clock`-style identifiers (no word
+# boundary after '_').
+NONDET_SOURCE_RE = re.compile(
+    r"\bsystem_clock\b|\bgettimeofday\s*\(|(?<![\w:])clock\s*\(\s*\)|"
+    r"\bthread_local\b"
+)
 
 
 class Violation:
@@ -242,6 +295,15 @@ def lint_file(path: Path, rel: Path) -> list[Violation]:
     order_sensitive = any(part in ORDER_SENSITIVE_DIRS for part in rel.parts)
     unordered_names = unordered_var_names(code_lines) if order_sensitive else set()
     hot_lines = hot_function_lines(raw_lines, code_lines)
+    # Mutexes named as guards anywhere in this file (REMO_GUARDED_BY /
+    # REMO_PT_GUARDED_BY); a Mutex member missing from this set guards
+    # nothing the analysis can see.
+    guarded_mutexes = {
+        m.group(1)
+        for code in code_lines
+        for m in re.finditer(
+            r"REMO_(?:PT_)?GUARDED_BY\(\s*([A-Za-z_]\w*)\s*\)", code)
+    }
 
     for idx, code in enumerate(code_lines, start=1):
         if order_sensitive and unordered_names:
@@ -277,6 +339,28 @@ def lint_file(path: Path, rel: Path) -> list[Violation]:
                    "slot_of() inside a // REMO_HOT function; resolve the slot "
                    "once before the loop and index the flat arrays directly "
                    "(DESIGN.md §15)")
+        if RAW_MUTEX_RE.search(code):
+            report(idx, "raw-mutex",
+                   "raw std:: locking primitive; use remo::Mutex / MutexLock "
+                   "/ CondVar (common/mutex.h) so the thread-safety analysis "
+                   "sees the capability (DESIGN.md §16)")
+        m = MUTEX_DECL_RE.search(code)
+        if m and m.group(1) not in guarded_mutexes:
+            report(idx, "unannotated-mutex",
+                   f"Mutex '{m.group(1)}' has no REMO_GUARDED_BY field in "
+                   "this file; annotate what it guards, or waive with the "
+                   "reason it exists (DESIGN.md §16)")
+        if NAKED_THREAD_RE.search(code) or DETACH_RE.search(code):
+            report(idx, "naked-thread",
+                   "ad-hoc std::thread / detach(); spawn through "
+                   "common/thread_pool (joined, deterministic indexing) or "
+                   "waive with the ownership story (DESIGN.md §16)")
+        if order_sensitive and NONDET_SOURCE_RE.search(code):
+            report(idx, "nondet-source",
+                   "wall-clock read or thread_local state in plan-affecting "
+                   "code; plans must be pure functions of (inputs, seed) — "
+                   "use the virtual clock / common/rng.h, or measure "
+                   "durations with steady_clock (DESIGN.md §16)")
     return violations
 
 
